@@ -1,0 +1,115 @@
+"""Fig. 16: accuracy vs particle count on Kalman, Coin, and Outlier.
+
+Reproduced shapes (Section 6.2):
+
+* Kalman — SDS exact and flat; BDS reaches SDS accuracy with ~10
+  particles; PF needs ~12 (median) / ~35 (90th percentile);
+* Coin — SDS exact; BDS degenerates to PF after the first step, both
+  improve with particles but stay above SDS;
+* Outlier — unreliable at low particle counts (wide quantile spread),
+  methods comparable at ~100 particles with PF's tails the worst.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    CoinModel,
+    KalmanModel,
+    OutlierModel,
+    accuracy_sweep,
+    coin_data,
+    format_sweep,
+    kalman_data,
+    outlier_data,
+    particles_to_match,
+)
+
+from conftest import emit
+
+METHODS = ["pf", "bds", "sds"]
+
+
+@pytest.fixture(scope="module")
+def kalman_sweep(bench_config):
+    data = kalman_data(bench_config["sweep_steps"], seed=42)
+    return accuracy_sweep(
+        KalmanModel, data, particle_counts=bench_config["particle_counts"],
+        methods=METHODS, runs=bench_config["sweep_runs"],
+    )
+
+
+def test_fig16_kalman_accuracy(benchmark, kalman_sweep):
+    result = benchmark.pedantic(lambda: kalman_sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "Fig. 16 — Kalman accuracy (MSE) vs particles"))
+    # SDS flat and best
+    assert result.get("sds", 1).median == pytest.approx(
+        result.get("sds", 100).median, rel=1e-9
+    )
+    # ordering at low particle counts: sds <= bds <= pf
+    assert result.get("sds", 2).median <= result.get("bds", 2).median * 1.05
+    assert result.get("bds", 2).median <= result.get("pf", 2).median * 1.05
+
+
+def test_fig16_kalman_particles_to_match(benchmark, kalman_sweep):
+    """Section 6.2: PF needs ~12 particles (median) to match SDS, ~35 at
+    the 90% quantile; BDS needs ~10 at the 90% quantile."""
+
+    def compute():
+        return {
+            "pf_median": particles_to_match(kalman_sweep, "sds", "pf", "median"),
+            "pf_q90": particles_to_match(kalman_sweep, "sds", "pf", "q90"),
+            "bds_q90": particles_to_match(kalman_sweep, "sds", "bds", "q90"),
+        }
+
+    needed = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "Particles needed to match SDS accuracy (slack 1.5x):\n"
+        f"  PF  (median): {needed['pf_median']}  (paper: ~12)\n"
+        f"  PF  (q90):    {needed['pf_q90']}  (paper: ~35)\n"
+        f"  BDS (q90):    {needed['bds_q90']}  (paper: ~10)"
+    )
+    assert 2 <= needed["pf_median"] <= 50
+    assert needed["bds_q90"] <= needed["pf_q90"]
+
+
+def test_fig16_coin_accuracy(benchmark, bench_config):
+    data = coin_data(bench_config["sweep_steps"], seed=42)
+
+    def sweep():
+        return accuracy_sweep(
+            CoinModel, data, particle_counts=[1, 5, 20, 100],
+            methods=METHODS, runs=bench_config["sweep_runs"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "Fig. 16 — Coin accuracy (MSE) vs particles"))
+    # SDS exact and flat
+    assert result.get("sds", 1).median == pytest.approx(
+        result.get("sds", 100).median, rel=1e-9
+    )
+    # PF and BDS improve with particles but do not beat SDS
+    assert result.get("pf", 100).median < result.get("pf", 1).median
+    assert result.get("sds", 1).median <= result.get("pf", 100).median * 1.05
+    assert result.get("sds", 1).median <= result.get("bds", 100).median * 1.05
+
+
+def test_fig16_outlier_accuracy(benchmark, bench_config):
+    data = outlier_data(bench_config["sweep_steps"], seed=42)
+
+    def sweep():
+        return accuracy_sweep(
+            OutlierModel, data, particle_counts=[5, 20, 100],
+            methods=METHODS, runs=bench_config["sweep_runs"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "Fig. 16 — Outlier accuracy (MSE) vs particles"))
+    # unreliable at low counts: quantile spread shrinks with particles
+    for method in METHODS:
+        low = result.get(method, 5)
+        high = result.get(method, 100)
+        assert high.median <= low.median * 1.5 + 1.0
+    # at 100 particles the three methods are comparable (within 3x)
+    medians = [result.get(m, 100).median for m in METHODS]
+    assert max(medians) < 3.0 * min(medians) + 1.0

@@ -1,0 +1,73 @@
+"""Fig. 17: step latency vs particle count on the three benchmarks.
+
+Reproduced shape: execution time increases linearly with the number of
+particles; PF has lower latency than BDS, which is lower than SDS.
+The per-step latency of a single warmed engine is also measured
+precisely with pytest-benchmark (one benchmark per method).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    CoinModel,
+    KalmanModel,
+    OutlierModel,
+    format_sweep,
+    latency_sweep,
+    coin_data,
+    kalman_data,
+    outlier_data,
+)
+from repro.inference import infer
+
+from conftest import emit
+
+BENCHMARKS = {
+    "kalman": (KalmanModel, kalman_data),
+    "coin": (CoinModel, coin_data),
+    "outlier": (OutlierModel, outlier_data),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_fig17_latency_sweep(benchmark, name, bench_config):
+    model_cls, datagen = BENCHMARKS[name]
+    data = datagen(30, seed=42)
+    counts = [1, 10, 50, 100]
+
+    def sweep():
+        return latency_sweep(
+            model_cls, data, particle_counts=counts,
+            methods=["pf", "bds", "sds"], runs=2,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, f"Fig. 17 — {name} step latency (ms) vs particles"))
+
+    for method in ("pf", "bds", "sds"):
+        assert result.get(method, 100).median > result.get(method, 1).median
+    assert result.get("pf", 100).median <= result.get("sds", 100).median
+
+
+@pytest.mark.parametrize(
+    "name,method",
+    list(itertools.product(sorted(BENCHMARKS), ["pf", "bds", "sds"])),
+)
+def test_fig17_single_step_latency(benchmark, name, method, bench_config):
+    """Precise per-step latency at 100 particles via pytest-benchmark."""
+    model_cls, datagen = BENCHMARKS[name]
+    data = datagen(200, seed=42)
+    engine = infer(model_cls(), n_particles=100, method=method, seed=0)
+    state = engine.init()
+    observations = iter(itertools.cycle(data.observations))
+    # warm up one step (the paper discards a warm-up run)
+    holder = {"state": state}
+    _, holder["state"] = engine.step(holder["state"], next(observations))
+
+    def one_step():
+        _, holder["state"] = engine.step(holder["state"], next(observations))
+
+    benchmark(one_step)

@@ -1,0 +1,67 @@
+"""Fig. 18: per-step latency along a long run, PF / BDS / SDS / DS.
+
+Reproduced shape: PF, BDS, and SDS have (nearly) constant step latency
+over time; the original DS gets linearly slower on Kalman and Outlier
+(its live graph grows, so cloning particles at each resampling costs
+more every step) and stays flat on Coin (the DS graph is constant
+there — one sample at the first step, then only observations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    CoinModel,
+    KalmanModel,
+    OutlierModel,
+    coin_data,
+    format_profile,
+    kalman_data,
+    outlier_data,
+    step_latency_profile,
+    summarize_profile,
+)
+
+from conftest import emit
+
+GROWING = {"kalman": (KalmanModel, kalman_data), "outlier": (OutlierModel, outlier_data)}
+
+
+@pytest.mark.parametrize("name", sorted(GROWING))
+def test_fig18_ds_latency_grows(benchmark, name, bench_config):
+    model_cls, datagen = GROWING[name]
+    data = datagen(bench_config["profile_steps"], seed=42)
+
+    def profile():
+        return step_latency_profile(
+            model_cls, data, n_particles=bench_config["profile_particles"],
+            methods=["pf", "bds", "sds", "ds"],
+        )
+
+    result = benchmark.pedantic(profile, rounds=1, iterations=1)
+    emit(format_profile(result, f"Fig. 18 — {name} step latency (ms) over time"))
+    summary = summarize_profile(result)
+    emit(
+        "latency growth (tail/head): "
+        + "  ".join(f"{m}={summary[m]['growth']:.2f}" for m in result.methods)
+    )
+    # DS degrades over time; the streaming engines stay within noise
+    assert summary["ds"]["growth"] > 2.0
+    for method in ("pf", "bds", "sds"):
+        assert summary[method]["growth"] < 2.0
+
+
+def test_fig18_coin_ds_latency_flat(benchmark, bench_config):
+    data = coin_data(bench_config["profile_steps"], seed=42)
+
+    def profile():
+        return step_latency_profile(
+            CoinModel, data, n_particles=bench_config["profile_particles"],
+            methods=["pf", "bds", "sds", "ds"],
+        )
+
+    result = benchmark.pedantic(profile, rounds=1, iterations=1)
+    emit(format_profile(result, "Fig. 18 — coin step latency (ms) over time"))
+    summary = summarize_profile(result)
+    # the DS graph does not grow on the Coin benchmark
+    assert summary["ds"]["growth"] < 2.0

@@ -1,0 +1,71 @@
+"""Fig. 2: PF / BDS / SDS on the Section-2 HMM.
+
+(a) inference accuracy (MSE, log scale) as a function of particles;
+(b) runtime performance (step latency) as a function of particles.
+
+Reproduced shape: SDS accuracy is flat (exact posterior per particle);
+BDS needs ~an order of magnitude fewer particles than PF; latency grows
+linearly in particles with PF < BDS < SDS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    HmmModel,
+    accuracy_sweep,
+    format_sweep,
+    kalman_data,
+    latency_sweep,
+)
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def hmm_data(bench_config):
+    # the Section-2 HMM has unit speed/noise; data generated accordingly
+    return kalman_data(
+        bench_config["sweep_steps"], seed=42,
+        prior_var=1.0, motion_var=1.0, obs_var=1.0,
+    )
+
+
+def test_fig2a_hmm_accuracy(benchmark, hmm_data, bench_config):
+    counts = [1, 5, 10, 35, 100]
+
+    def sweep():
+        return accuracy_sweep(
+            HmmModel, hmm_data, particle_counts=counts,
+            methods=["pf", "bds", "sds"], runs=bench_config["sweep_runs"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "Fig. 2a — HMM accuracy (MSE) vs particles"))
+
+    # SDS is exact: flat in particle count
+    assert result.get("sds", 1).median == pytest.approx(
+        result.get("sds", 100).median, rel=1e-9
+    )
+    # PF at 1 particle is far worse than SDS; PF at 100 approaches it
+    assert result.get("pf", 1).median > 2 * result.get("sds", 1).median
+    assert result.get("pf", 100).median < 1.5 * result.get("sds", 1).median
+
+
+def test_fig2b_hmm_latency(benchmark, hmm_data, bench_config):
+    counts = [1, 10, 50, 100]
+
+    def sweep():
+        return latency_sweep(
+            HmmModel, hmm_data, particle_counts=counts,
+            methods=["pf", "bds", "sds"], runs=2,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "Fig. 2b — HMM step latency (ms) vs particles"))
+
+    # latency increases with particle count for every method
+    for method in ("pf", "bds", "sds"):
+        assert result.get(method, 100).median > result.get(method, 1).median
+    # PF is the cheapest per step
+    assert result.get("pf", 100).median < result.get("sds", 100).median

@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark suite.
+
+The paper's experiments use 1000 runs x 1600 steps on a dedicated cloud
+instance; the defaults here are scaled down so the whole suite runs in a
+few minutes, while preserving every qualitative shape the paper reports.
+Override through environment variables for a full-scale run:
+
+    REPRO_BENCH_STEPS=1600 REPRO_BENCH_RUNS=100 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return {
+        # sweep experiments (Fig. 2 / 16 / 17)
+        "sweep_steps": _env_int("REPRO_BENCH_SWEEP_STEPS", 50),
+        "sweep_runs": _env_int("REPRO_BENCH_RUNS", 10),
+        "particle_counts": [1, 2, 5, 10, 20, 35, 50, 100],
+        # long-run profiles (Fig. 4 / 18 / 19); the paper uses 1600 steps
+        "profile_steps": _env_int("REPRO_BENCH_STEPS", 200),
+        "profile_particles": _env_int("REPRO_BENCH_PROFILE_PARTICLES", 20),
+    }
+
+
+def emit(text: str) -> None:
+    """Print a results table so it lands in the pytest output."""
+    print()
+    print(text)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Delayed-sampling graph evolution on the HMM (Fig. 3 vs Fig. 15).
+
+Runs four steps of the Section-2 HMM under (a) the original delayed
+sampling graph and (b) the pointer-minimal streaming graph, printing
+after each step the set of nodes *reachable from the program state*
+through the pointers each implementation retains.
+
+The original graph keeps the whole marginalized chain alive (Fig. 3);
+the streaming graph retains only the current node plus, transiently, a
+pending observation (Fig. 15).
+"""
+
+from repro.delayed import DelayedGraph, StreamingGraph, reachable_nodes
+from repro.inference.contexts import DelayedCtx
+from repro.lang import gaussian
+
+
+def hmm_step(state, y, ctx):
+    mean = 0.0 if state is None else state
+    x = ctx.sample(gaussian(mean, 1.0))
+    ctx.observe(gaussian(x, 1.0), y)
+    return x, x
+
+
+def describe(node):
+    return f"{node.name or node.uid}:{node.state.value[:4]}"
+
+
+def run(graph_cls, label, observations):
+    print(f"--- {label} ---")
+    graph = graph_cls()
+    ctx = DelayedCtx(graph)
+    state = None
+    for step, y in enumerate(observations, start=1):
+        _, state = hmm_step(state, y, ctx)
+        live = reachable_nodes([state.node])
+        names = sorted(describe(n) for n in live)
+        print(f"step {step}: {len(live):>2} live nodes  {names}")
+    print()
+
+
+def main():
+    observations = [0.5, 1.0, 1.5, 2.0]
+    run(DelayedGraph, "original delayed sampling (DS, Fig. 3)", observations)
+    run(StreamingGraph, "streaming delayed sampling (SDS, Fig. 15)", observations)
+    print("DS keeps every past time step reachable through backward pointers;")
+    print("SDS's marginalization flips them forward, so the prefix of the")
+    print("chain becomes garbage the moment the program drops its reference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The compilation pipeline of Sections 3-4, end to end.
+
+Builds the Section-2 HMM as a kernel AST, then walks it through every
+stage the paper describes:
+
+1. kind checking (Fig. 7) — the model is P, the driver is D,
+2. source-to-source rewriting of ``->`` / ``pre`` (Section 3.1),
+3. scheduling of the recursive equations,
+4. compilation to muF (Fig. 11 / Fig. 20 / Fig. 21), pretty-printed,
+5. execution of the compiled term, checked against the co-iterative
+   reference interpreter (Theorem 4.2 in action).
+"""
+
+from repro.core import (
+    Interpreter,
+    check_program,
+    check_types,
+    compile_program,
+    load,
+    prepare_program,
+)
+from repro.core.muf import pretty
+from repro.dsl import (
+    app,
+    arrow,
+    const,
+    eq,
+    gaussian,
+    infer_,
+    node,
+    observe,
+    pre,
+    program,
+    sample,
+    var,
+    where_,
+)
+
+
+def build_program():
+    hmm = node("hmm", "y", where_(
+        var("x"),
+        eq("x", sample(gaussian(arrow(const(0.0), pre(var("x"))), const(1.0)))),
+        eq("_u", observe(gaussian(var("x"), const(1.0)), var("y"))),
+    ))
+    main = node("main", "y",
+                infer_(app("hmm", var("y")), particles=1, method="sds", seed=0))
+    return program(hmm, main)
+
+
+def main():
+    source = build_program()
+
+    print("== kinds (Fig. 7) ==")
+    prepared = prepare_program(source)
+    for name, kind in check_program(prepared).items():
+        print(f"  node {name}: kind {kind}")
+
+    print("\n== inferred types (Section 3.2) ==")
+    for name, (param_t, result_t) in check_types(prepared).items():
+        print(f"  node {name}: {param_t!r} -> {result_t!r}")
+
+    print("\n== desugared + scheduled hmm body ==")
+    print(" ", prepared.decl("hmm").body)
+
+    print("\n== compiled muF (excerpt) ==")
+    muf = compile_program(prepared, prepared=True)
+    for definition in muf.defs:
+        text = pretty(definition.term)
+        first_lines = "\n    ".join(text.splitlines()[:6])
+        print(f"  let {definition.name} =\n    {first_lines}\n    ...")
+
+    print("\n== compiled vs co-iterative execution (Theorem 4.2) ==")
+    compiled = load(source).det_node("main")
+    interpreted = Interpreter(source).det_node("main")
+    cs, is_ = compiled.init(), interpreted.init()
+    for y in (0.8, 1.2, 1.9, 2.4):
+        cd, cs = compiled.step(cs, y)
+        id_, is_ = interpreted.step(is_, y)
+        print(f"  y={y:>4}: compiled mean={cd.mean():.6f}  "
+              f"interpreted mean={id_.mean():.6f}")
+        assert abs(cd.mean() - id_.mean()) < 1e-12
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The Fig. 5 robot: inference in the loop, with a mode automaton.
+
+A robot equipped with an accelerometer (every step) and a GPS (every few
+steps) estimates its position with streaming delayed sampling — each
+particle is an exact matrix Kalman filter over the latent
+[position, velocity, acceleration] state. A PID controller consumes the
+*posterior position distribution* to drive toward the target, and a
+two-state automaton (Go -> Task) switches mode once
+
+    probability(p_dist, target, epsilon) > 0.9
+
+exactly as in the paper's ``task_bot``. In Task mode the robot holds
+position with a trivial task controller. Each mode's node maps the
+posterior to a ``(command, posterior)`` pair so the transition guard can
+inspect the posterior, mirroring ``until (probability(...) > 0.9)``.
+"""
+
+from repro import Automaton, AutoState, FunNode, Pid, infer
+from repro.bench.robot import RobotConfig, RobotEnv, RobotModel, reached_target
+from repro.dists.stats import probability
+
+STEPS = 400
+
+
+def make_go_controller(config):
+    """PID position controller acting on the posterior mean."""
+    pid = Pid(kp=2.0, kd=4.0, h=config.dt)
+
+    def step(state, p_dist):
+        error = config.target - p_dist.mean()
+        cmd, state = pid.step(state, error)
+        return (max(-5.0, min(5.0, cmd)), p_dist), state
+
+    return FunNode(pid.init(), step)
+
+
+def make_task_controller():
+    """Task mode: hold position (a stand-in for the paper's task)."""
+    return FunNode(None, lambda state, p_dist: ((0.0, p_dist), state))
+
+
+def main():
+    config = RobotConfig()
+    env = RobotEnv(config, seed=3)
+    engine = infer(RobotModel(config), n_particles=1, method="sds", seed=0)
+    engine_state = engine.init()
+
+    task_bot = Automaton([
+        AutoState(
+            "Go",
+            make_go_controller(config),
+            transitions=[
+                (lambda out: reached_target(out[1], config), "Task"),
+            ],
+        ),
+        AutoState("Task", make_task_controller()),
+    ])
+
+    ctrl_state = task_bot.init()
+    cmd = 0.0
+    switched_at = None
+    true_p = 0.0
+    for t in range(STEPS):
+        a_obs, gps, true_p = env.step(cmd)
+        p_dist, engine_state = engine.step(engine_state, (a_obs, gps, cmd))
+        mode = task_bot.mode_of(ctrl_state)
+        (cmd, _), ctrl_state = task_bot.step(ctrl_state, p_dist)
+        now_task = task_bot.mode_of(ctrl_state) == "Task"
+        if switched_at is None and now_task:
+            switched_at = t
+        if t % 40 == 0 or switched_at == t:
+            confidence = probability(p_dist, config.target, config.epsilon)
+            print(f"t={t:>3}  mode={mode:<4}  true={true_p:>7.3f}  "
+                  f"est={p_dist.mean():>7.3f}  P(|p-target|<eps)={confidence:.3f}")
+        if switched_at is not None and t > switched_at + 20:
+            break
+
+    if switched_at is None:
+        print("\nnever switched to Task mode (unexpected)")
+    else:
+        print(f"\nswitched Go -> Task at step {switched_at}; "
+              f"final true position {true_p:.3f} (target {config.target})")
+
+
+if __name__ == "__main__":
+    main()

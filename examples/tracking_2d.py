@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""2D object tracking with a multivariate state-space model.
+
+The paper's introduction motivates ProbZélus with "controllers that
+operate under the assumption of a probabilistic model of their
+environment (e.g., object tracking)". This example tracks an object
+moving in the plane with a constant-velocity model: the latent state is
+``[px, py, vx, vy]``, observations are noisy 2D positions.
+
+Under streaming delayed sampling every particle runs an exact 4D matrix
+Kalman filter (the MvAffineGaussian conjugacy), so one particle gives
+the exact posterior, forever, in constant memory — compare with a
+particle filter on the same data.
+"""
+
+import numpy as np
+
+from repro.lang import mv_gaussian
+from repro.inference import infer
+from repro.runtime import FunProbNode
+from repro.symbolic import app as sym_app
+
+DT = 0.5
+F = np.array([
+    [1.0, 0.0, DT, 0.0],
+    [0.0, 1.0, 0.0, DT],
+    [0.0, 0.0, 1.0, 0.0],
+    [0.0, 0.0, 0.0, 1.0],
+])
+Q = np.diag([1e-4, 1e-4, 0.05, 0.05])      # process noise (on velocity)
+H = np.array([
+    [1.0, 0.0, 0.0, 0.0],
+    [0.0, 1.0, 0.0, 0.0],
+])
+R = np.diag([0.5, 0.5])                     # sensor noise
+PRIOR_MEAN = np.zeros(4)
+PRIOR_COV = np.diag([25.0, 25.0, 4.0, 4.0])
+STEPS = 60
+
+
+def tracker_step(state, y_obs, ctx):
+    """One step: predict with the constant-velocity model, observe 2D."""
+    if state is None:
+        z = ctx.sample(mv_gaussian(PRIOR_MEAN, PRIOR_COV))
+    else:
+        z = ctx.sample(mv_gaussian(sym_app("matvec", F, state), Q))
+    ctx.observe(mv_gaussian(sym_app("matvec", H, z), R), y_obs)
+    return z, z
+
+
+def simulate(steps, seed=0):
+    """Ground-truth trajectory and noisy position observations."""
+    rng = np.random.default_rng(seed)
+    z = np.array([0.0, 0.0, 1.0, 0.5])
+    truths, observations = [], []
+    for _ in range(steps):
+        z = F @ z + rng.multivariate_normal(np.zeros(4), Q)
+        truths.append(z[:2].copy())
+        observations.append(H @ z + rng.multivariate_normal(np.zeros(2), R))
+    return truths, observations
+
+
+def run(method, particles, observations):
+    engine = infer(FunProbNode(None, tracker_step), n_particles=particles,
+                   method=method, seed=1)
+    state = engine.init()
+    means = []
+    for obs in observations:
+        dist, state = engine.step(state, obs)
+        means.append(np.asarray(dist.mean())[:2])
+    return means
+
+
+def main():
+    truths, observations = simulate(STEPS, seed=9)
+    sds = run("sds", 1, observations)
+    pf = run("pf", 50, observations)
+
+    print(f"{'step':>4}  {'truth':>16}  {'sds(1p)':>16}  {'pf(50p)':>16}")
+    for t in range(0, STEPS, 6):
+        def fmt(point):
+            return f"({point[0]:6.2f},{point[1]:6.2f})"
+        print(f"{t:>4}  {fmt(truths[t]):>16}  {fmt(sds[t]):>16}  {fmt(pf[t]):>16}")
+
+    def mse(estimates):
+        return float(np.mean([
+            np.sum((np.asarray(e) - np.asarray(t)) ** 2)
+            for e, t in zip(estimates, truths)
+        ]))
+
+    print(f"\nMSE  sds with 1 particle:   {mse(sds):.4f}")
+    print(f"MSE  pf  with 50 particles: {mse(pf):.4f}")
+    print("\nOne SDS particle is an exact 4D Kalman filter: the symbolic")
+    print("state stays a single MvGaussian node, updated in closed form.")
+
+
+if __name__ == "__main__":
+    main()

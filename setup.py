@@ -1,0 +1,4 @@
+"""Setuptools shim for offline editable installs (`python setup.py develop`)."""
+from setuptools import setup
+
+setup()

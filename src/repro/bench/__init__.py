@@ -1,0 +1,50 @@
+"""Benchmark models, data generation, and the evaluation harness."""
+
+from repro.bench.data import Dataset, coin_data, kalman_data, outlier_data
+from repro.bench.harness import (
+    ProfileResult,
+    Quantiles,
+    SweepResult,
+    accuracy_sweep,
+    latency_sweep,
+    memory_profile,
+    particles_to_match,
+    run_mse,
+    step_latency_profile,
+)
+from repro.bench.models import (
+    BoundedWalkModel,
+    CoinModel,
+    HmmInitModel,
+    HmmModel,
+    KalmanModel,
+    OutlierModel,
+    WalkModel,
+)
+from repro.bench.reporting import format_profile, format_sweep, summarize_profile
+
+__all__ = [
+    "Dataset",
+    "kalman_data",
+    "coin_data",
+    "outlier_data",
+    "KalmanModel",
+    "HmmModel",
+    "CoinModel",
+    "OutlierModel",
+    "HmmInitModel",
+    "WalkModel",
+    "BoundedWalkModel",
+    "Quantiles",
+    "SweepResult",
+    "ProfileResult",
+    "run_mse",
+    "accuracy_sweep",
+    "latency_sweep",
+    "step_latency_profile",
+    "memory_profile",
+    "particles_to_match",
+    "format_sweep",
+    "format_profile",
+    "summarize_profile",
+]

@@ -1,0 +1,254 @@
+"""The paper's benchmark models (Section 6.1, Appendix B).
+
+Each model is a :class:`~repro.runtime.node.ProbNode` in the shape the
+ProbZelus compiler produces after static reduction: an explicit initial
+state and a transition function threading the probabilistic context.
+The ProbZelus source each one corresponds to is quoted in its docstring.
+
+Models:
+
+* :class:`KalmanModel` — Appendix B.1 (also the HMM of Fig. 1 / Section 2
+  with unit variances; :class:`HmmModel` exposes the Section-2 constants),
+* :class:`CoinModel` — Appendix B.2,
+* :class:`OutlierModel` — Appendix B.3,
+* :class:`HmmInitModel` and :class:`WalkModel` — the Section 5.3
+  pathologies that defeat bounded-memory SDS, plus
+  :class:`BoundedWalkModel`, the ``value``-forcing mitigation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.lang import bernoulli, beta, gaussian
+from repro.runtime.node import ProbCtx, ProbNode
+
+__all__ = [
+    "KalmanModel",
+    "HmmModel",
+    "CoinModel",
+    "OutlierModel",
+    "HmmInitModel",
+    "WalkModel",
+    "BoundedWalkModel",
+]
+
+
+class KalmanModel(ProbNode):
+    """One-dimensional Gaussian state-space model (Appendix B.1).
+
+    ::
+
+        let node delay_kalman (prob, yobs) = xt where
+          rec xt = sample (prob, gaussian ((0., 100.) -> (pre xt, 1.)))
+          and () = observe (prob, gaussian (xt, 1.), yobs)
+
+    State is the previous position (``None`` at the first instant).
+    Under SDS each particle computes the exact Kalman-filter posterior.
+    """
+
+    def __init__(
+        self,
+        prior_mean: float = 0.0,
+        prior_var: float = 100.0,
+        motion_var: float = 1.0,
+        obs_var: float = 1.0,
+    ):
+        self.prior_mean = prior_mean
+        self.prior_var = prior_var
+        self.motion_var = motion_var
+        self.obs_var = obs_var
+
+    def init(self) -> Any:
+        return None
+
+    def step(self, state: Any, yobs: float, ctx: ProbCtx) -> Tuple[Any, Any]:
+        if state is None:
+            xt = ctx.sample(gaussian(self.prior_mean, self.prior_var))
+        else:
+            xt = ctx.sample(gaussian(state, self.motion_var))
+        ctx.observe(gaussian(xt, self.obs_var), yobs)
+        return xt, xt
+
+
+class HmmModel(KalmanModel):
+    """The Section-2 HMM: position tracking with speed and noise constants.
+
+    ::
+
+        let node hmm y = x where
+          rec x = sample (gaussian (0 -> pre x, speed_x))
+          and () = observe (gaussian (x, noise_x), y)
+    """
+
+    def __init__(self, speed_x: float = 1.0, noise_x: float = 1.0):
+        super().__init__(
+            prior_mean=0.0, prior_var=speed_x, motion_var=speed_x, obs_var=noise_x
+        )
+
+
+class CoinModel(ProbNode):
+    """Beta-Bernoulli bias estimation (Appendix B.2).
+
+    ::
+
+        let node coin (prob, yobs) = xt where
+          rec init xt = sample (prob, beta (1., 1.))
+          and () = observe (prob, bernoulli xt, yobs)
+
+    Under SDS the Beta node is conditioned analytically forever (exact
+    posterior); under BDS it is forced at the end of the first step, so
+    BDS degenerates to a particle filter from step 2 on — exactly the
+    behaviour discussed in Section 6.2.
+    """
+
+    def __init__(self, alpha: float = 1.0, beta_param: float = 1.0):
+        self.alpha = alpha
+        self.beta_param = beta_param
+
+    def init(self) -> Any:
+        return None
+
+    def step(self, state: Any, yobs: bool, ctx: ProbCtx) -> Tuple[Any, Any]:
+        if state is None:
+            xt = ctx.sample(beta(self.alpha, self.beta_param))
+        else:
+            xt = state
+        ctx.observe(bernoulli(xt), yobs)
+        return xt, xt
+
+
+class OutlierModel(ProbNode):
+    """Position tracking with a faulty sensor (Appendix B.3, Minka 2001).
+
+    ::
+
+        let node outlier (prob, yobs) = xt where
+          rec xt = sample (prob, gaussian ((0., 100.) -> (pre xt, 1.)))
+          and init outlier_prob = sample (prob, beta (100., 1000.))
+          and is_outlier = sample (prob, bernoulli outlier_prob)
+          and () = present is_outlier -> observe (prob, gaussian (0., 100.), yobs)
+                   else observe (prob, gaussian (xt, 1.), yobs)
+
+    The outlier indicator must be a concrete boolean to branch on, so it
+    is forced with ``ctx.value`` — under the delayed samplers this
+    realizes the Bernoulli child (conditioning the Beta parent) while the
+    position chain stays symbolic: a Rao-Blackwellized particle filter.
+    """
+
+    def __init__(
+        self,
+        prior_mean: float = 0.0,
+        prior_var: float = 100.0,
+        motion_var: float = 1.0,
+        obs_var: float = 1.0,
+        outlier_alpha: float = 100.0,
+        outlier_beta: float = 1000.0,
+        outlier_mean: float = 0.0,
+        outlier_var: float = 100.0,
+    ):
+        self.prior_mean = prior_mean
+        self.prior_var = prior_var
+        self.motion_var = motion_var
+        self.obs_var = obs_var
+        self.outlier_alpha = outlier_alpha
+        self.outlier_beta = outlier_beta
+        self.outlier_mean = outlier_mean
+        self.outlier_var = outlier_var
+
+    def init(self) -> Any:
+        return None  # (previous position, outlier_prob) after the first step
+
+    def step(self, state: Any, yobs: float, ctx: ProbCtx) -> Tuple[Any, Any]:
+        if state is None:
+            xt = ctx.sample(gaussian(self.prior_mean, self.prior_var))
+            outlier_prob = ctx.sample(beta(self.outlier_alpha, self.outlier_beta))
+        else:
+            prev_x, outlier_prob = state
+            xt = ctx.sample(gaussian(prev_x, self.motion_var))
+        is_outlier = ctx.value(ctx.sample(bernoulli(outlier_prob)))
+        if is_outlier:
+            ctx.observe(gaussian(self.outlier_mean, self.outlier_var), yobs)
+        else:
+            ctx.observe(gaussian(xt, self.obs_var), yobs)
+        return xt, (xt, outlier_prob)
+
+
+class HmmInitModel(ProbNode):
+    """The ``hmm_init`` pathology of Section 5.3.
+
+    ::
+
+        let node hmm_init(xo, y) = x where
+          rec init i = sample(normal(xo, noise_x))
+          and x = sample (gaussian (i -> pre x, speed_x))
+          and () = observe(gaussian (x, noise_x), y)
+
+    The state keeps a reference to the never-realized initial guess
+    ``i``, which anchors the whole chain: even the pointer-minimal graph
+    cannot collect the history, so SDS memory grows linearly. Used by
+    the memory-pathology tests.
+    """
+
+    def __init__(self, xo: float = 0.0, noise_x: float = 1.0, speed_x: float = 1.0):
+        self.xo = xo
+        self.noise_x = noise_x
+        self.speed_x = speed_x
+
+    def init(self) -> Any:
+        return None  # (i, prev x) after the first step
+
+    def step(self, state: Any, yobs: float, ctx: ProbCtx) -> Tuple[Any, Any]:
+        if state is None:
+            i = ctx.sample(gaussian(self.xo, self.noise_x))
+            x = ctx.sample(gaussian(i, self.speed_x))
+        else:
+            i, prev_x = state
+            x = ctx.sample(gaussian(prev_x, self.speed_x))
+        ctx.observe(gaussian(x, self.noise_x), yobs)
+        return x, (i, x)
+
+
+class WalkModel(ProbNode):
+    """The unobserved random walk of Section 5.3.
+
+    ::
+
+        let node walk() = x where rec x = sample(normal(0 -> pre x, 1))
+
+    With no observations, every node stays *initialized*; initialized
+    nodes keep backward pointers to their parents, so the chain grows
+    without bound even under SDS.
+    """
+
+    def init(self) -> Any:
+        return None
+
+    def step(self, state: Any, inp: Any, ctx: ProbCtx) -> Tuple[Any, Any]:
+        mean = 0.0 if state is None else state
+        x = ctx.sample(gaussian(mean, 1.0))
+        return x, x
+
+
+class BoundedWalkModel(ProbNode):
+    """The mitigation of Section 5.3: force trailing nodes.
+
+    ::
+
+        and () = value(0 -> pre (0 -> pre x))
+
+    Forcing the value of ``x`` two steps back cuts the initialized chain
+    at a bounded depth without losing the exactness of the current
+    step's marginal.
+    """
+
+    def init(self) -> Any:
+        return (None, None)  # (pre pre x, pre x)
+
+    def step(self, state: Any, inp: Any, ctx: ProbCtx) -> Tuple[Any, Any]:
+        pre_pre_x, pre_x = state
+        mean = 0.0 if pre_x is None else pre_x
+        x = ctx.sample(gaussian(mean, 1.0))
+        if pre_pre_x is not None:
+            ctx.value(pre_pre_x)
+        return x, (pre_x, x)

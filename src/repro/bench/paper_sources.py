@@ -1,0 +1,78 @@
+"""The paper's ProbZélus sources, as parseable surface syntax.
+
+The Appendix-B benchmark programs and the Section-2 HMM, adapted
+mechanically for this implementation (the explicit ``prob`` argument is
+implicit in our engines; the appendix's paired ``(m0, v0) -> (m, v)``
+initializations are written as two ``->`` equations). Each constant
+matches the paper.
+
+:func:`load_paper_node` parses, checks, and compiles one of them into a
+probabilistic model ready for :func:`repro.inference.infer` — so the
+benchmarks can be run from the *textual* programs as well as from the
+hand-written models in :mod:`repro.bench.models` (they agree; see
+``tests/bench/test_paper_sources_models.py``).
+"""
+
+from __future__ import annotations
+
+from repro.core.compiled import CompiledProbNode, load
+from repro.frontend import parse_program
+
+__all__ = [
+    "HMM_SOURCE",
+    "KALMAN_SOURCE",
+    "COIN_SOURCE",
+    "MAIN_DRIVER_SOURCE",
+    "PAPER_SOURCES",
+    "load_paper_node",
+]
+
+#: Section 2 — the running HMM example (speed_x = noise_x = 1).
+HMM_SOURCE = """
+let node hmm y = x where
+  rec x = sample (gaussian (0. -> pre x, 1.))
+  and () = observe (gaussian (x, 1.), y)
+"""
+
+#: Appendix B.1 — initial position N(0, 100), then N(pre x, 1).
+KALMAN_SOURCE = """
+let node delay_kalman yobs = xt where
+  rec mu = 0. -> pre xt
+  and sigma2 = 100. -> 1.
+  and xt = sample (gaussian (mu, sigma2))
+  and () = observe (gaussian (xt, 1.), yobs)
+"""
+
+#: Appendix B.2 — the coin bias model.
+COIN_SOURCE = """
+let node coin yobs = xt where
+  rec init xt = sample (beta (1., 1.))
+  and () = observe (bernoulli (xt), yobs)
+"""
+
+#: Appendix B — the evaluation driver (estimate + running MSE).
+MAIN_DRIVER_SOURCE = """
+let node main (tr, observed) = (est_mean, mse) where
+  rec t = 1. -> pre t + 1.
+  and x_d = infer 100 delay_kalman observed
+  and est_mean = mean_float (x_d)
+  and error = (est_mean - tr) * (est_mean - tr)
+  and total_error = error -> pre total_error + error
+  and mse = total_error / t
+"""
+
+PAPER_SOURCES = {
+    "hmm": HMM_SOURCE,
+    "delay_kalman": KALMAN_SOURCE,
+    "coin": COIN_SOURCE,
+}
+
+
+def load_paper_node(name: str) -> CompiledProbNode:
+    """Parse and compile one of the paper's models by node name."""
+    if name not in PAPER_SOURCES:
+        raise KeyError(
+            f"unknown paper source {name!r}; available: {sorted(PAPER_SOURCES)}"
+        )
+    module = load(parse_program(PAPER_SOURCES[name]))
+    return module.prob_node(name)

@@ -1,0 +1,91 @@
+"""Text rendering of benchmark results.
+
+The paper presents its evaluation as log-scale plots; the harness
+renders the same series as aligned text tables (one row per particle
+count or step index, one column group per method) so a terminal run of
+the benchmark suite reproduces every figure's data.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.harness import ProfileResult, SweepResult
+
+__all__ = ["format_sweep", "format_profile", "summarize_profile"]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.4f}"
+
+
+def format_sweep(result: SweepResult, title: str) -> str:
+    """Render a particle-count sweep as a table with q10/median/q90 cells."""
+    lines: List[str] = [title, ""]
+    header = ["particles"] + [
+        f"{m}[q10/med/q90]" for m in result.methods
+    ]
+    rows: List[List[str]] = []
+    for particles in result.particle_counts:
+        row = [str(particles)]
+        for method in result.methods:
+            q = result.cells[method][particles]
+            row.append(f"{_fmt(q.q10)} / {_fmt(q.median)} / {_fmt(q.q90)}")
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_profile(result: ProfileResult, title: str, max_rows: int = 20) -> str:
+    """Render a per-step profile, sub-sampled to at most ``max_rows`` rows."""
+    lines: List[str] = [title, ""]
+    n = len(result.steps)
+    stride = max(1, n // max_rows)
+    header = ["step"] + list(result.methods)
+    rows: List[List[str]] = []
+    for i in range(0, n, stride):
+        row = [str(result.steps[i])]
+        for method in result.methods:
+            row.append(_fmt(result.series[method][i]))
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def summarize_profile(result: ProfileResult) -> dict:
+    """First/last values and growth ratio per method.
+
+    The growth ratio (last quarter mean / first quarter mean) is the
+    quantity the paper's conclusions rest on: ~1 for constant-resource
+    engines, >> 1 for the original delayed sampler.
+    """
+    summary = {}
+    for method in result.methods:
+        series = result.series[method]
+        quarter = max(1, len(series) // 4)
+        head = sum(series[:quarter]) / quarter
+        tail = sum(series[-quarter:]) / quarter
+        summary[method] = {
+            "first": series[0],
+            "last": series[-1],
+            "head_mean": head,
+            "tail_mean": tail,
+            "growth": tail / head if head > 0 else float("inf"),
+        }
+    return summary

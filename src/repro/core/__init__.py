@@ -1,0 +1,98 @@
+"""The language core: kernel AST, static analyses, semantics, compiler."""
+
+from repro.core.ast import (
+    App,
+    Arrow,
+    Const,
+    Eq,
+    Equation,
+    Expr,
+    Factor,
+    Fby,
+    Infer,
+    InitEq,
+    Last,
+    NodeDecl,
+    Observe,
+    Op,
+    Pair,
+    PreE,
+    Present,
+    Program,
+    Reset,
+    Sample,
+    Var,
+    Where,
+)
+from repro.core.automata import AutomatonE, AutoStateE, expand_automata
+from repro.core.coiter import Interpreter
+from repro.core.compiled import CompiledModule, load
+from repro.core.compiler import Compiler, compile_program, prepare_program
+from repro.core.kinds import D, P, check_program, kind_of_expr
+from repro.core.muf import MuFProgram, eval_program, pretty
+from repro.core.rewrites import desugar_expr, desugar_node, desugar_program
+from repro.core.signals import ABSENT, present_signal
+from repro.core.scheduling import (
+    check_initialization,
+    instantaneous_reads,
+    schedule_equations,
+    schedule_node,
+)
+from repro.core.types import check_types
+
+__all__ = [
+    # AST
+    "Expr",
+    "Const",
+    "Var",
+    "Pair",
+    "Op",
+    "App",
+    "Last",
+    "Where",
+    "Present",
+    "Reset",
+    "Sample",
+    "Observe",
+    "Factor",
+    "Infer",
+    "Arrow",
+    "PreE",
+    "Fby",
+    "Equation",
+    "Eq",
+    "InitEq",
+    "NodeDecl",
+    "Program",
+    # analyses
+    "D",
+    "P",
+    "check_program",
+    "kind_of_expr",
+    "check_types",
+    "instantaneous_reads",
+    "schedule_equations",
+    "schedule_node",
+    "check_initialization",
+    # signals
+    "present_signal",
+    "ABSENT",
+    # automata
+    "AutomatonE",
+    "AutoStateE",
+    "expand_automata",
+    # transformations
+    "desugar_expr",
+    "desugar_node",
+    "desugar_program",
+    "prepare_program",
+    "compile_program",
+    "Compiler",
+    # semantics
+    "Interpreter",
+    "MuFProgram",
+    "eval_program",
+    "pretty",
+    "CompiledModule",
+    "load",
+]

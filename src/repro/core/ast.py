@@ -1,0 +1,306 @@
+"""Abstract syntax of the ProbZelus kernel (Fig. 6) plus surface sugar.
+
+The kernel grammar::
+
+    d ::= let node f x = e | d d
+    e ::= c | x | (e,e) | op(e) | f(e) | last x | e where rec E
+        | present e -> e else e | reset e every e
+        | sample(e) | observe(e,e) | factor(e) | infer(e)
+    E ::= x = e | init x = c | E and E
+
+Surface constructs (``e1 -> e2``, ``pre e``, ``e1 fby e2``) are also
+represented here and eliminated by :mod:`repro.core.rewrites` via the
+source-to-source transformation of Section 3.1.
+
+All nodes are immutable dataclasses; expressions support ``+ - * /``
+operator overloading for convenience when building programs from Python
+(see :mod:`repro.dsl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Pair",
+    "Op",
+    "App",
+    "Last",
+    "Where",
+    "Present",
+    "Reset",
+    "Sample",
+    "Observe",
+    "Factor",
+    "Infer",
+    "Arrow",
+    "PreE",
+    "Fby",
+    "Equation",
+    "Eq",
+    "InitEq",
+    "NodeDecl",
+    "Program",
+    "KERNEL_ONLY",
+    "SURFACE_ONLY",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of expressions."""
+
+    def __add__(self, other):
+        return Op("add", (self, _expr(other)))
+
+    def __radd__(self, other):
+        return Op("add", (_expr(other), self))
+
+    def __sub__(self, other):
+        return Op("sub", (self, _expr(other)))
+
+    def __rsub__(self, other):
+        return Op("sub", (_expr(other), self))
+
+    def __mul__(self, other):
+        return Op("mul", (self, _expr(other)))
+
+    def __rmul__(self, other):
+        return Op("mul", (_expr(other), self))
+
+    def __truediv__(self, other):
+        return Op("div", (self, _expr(other)))
+
+    def __rtruediv__(self, other):
+        return Op("div", (_expr(other), self))
+
+    def __neg__(self):
+        return Op("neg", (self,))
+
+    def __gt__(self, other):
+        return Op("gt", (self, _expr(other)))
+
+    def __lt__(self, other):
+        return Op("lt", (self, _expr(other)))
+
+    def __ge__(self, other):
+        return Op("ge", (self, _expr(other)))
+
+    def __le__(self, other):
+        return Op("le", (self, _expr(other)))
+
+
+def _expr(value: Any) -> Expr:
+    """Coerce a Python constant into an expression."""
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant ``c``."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable occurrence ``x``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Pair(Expr):
+    """A pair ``(e1, e2)``."""
+
+    first: Expr
+    second: Expr
+
+
+@dataclass(frozen=True)
+class Op(Expr):
+    """External operator application ``op(e, ...)``.
+
+    Arithmetic, comparisons, ``if`` (the paper treats ``if`` as an
+    external operator, footnote 3), distribution constructors, and any
+    operator registered in :mod:`repro.core.ops`.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Node application ``f(e)``."""
+
+    func: str
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class Last(Expr):
+    """``last x`` — the value of ``x`` at the previous step."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Equation:
+    """Base class of equations."""
+
+
+@dataclass(frozen=True)
+class Eq(Equation):
+    """Simple equation ``x = e``."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class InitEq(Equation):
+    """Initialization ``init x = c`` (``c`` must be a constant)."""
+
+    name: str
+    value: Const
+
+
+@dataclass(frozen=True)
+class Where(Expr):
+    """Locally recursive definitions ``e where rec E``."""
+
+    body: Expr
+    equations: Tuple[Equation, ...]
+
+
+@dataclass(frozen=True)
+class Present(Expr):
+    """Activation condition ``present e -> e1 else e2``.
+
+    Unlike ``if``, only the selected branch executes this instant.
+    """
+
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+
+@dataclass(frozen=True)
+class Reset(Expr):
+    """``reset e1 every e2``: re-initialize ``e1``'s state when ``e2`` holds."""
+
+    body: Expr
+    every: Expr
+
+
+@dataclass(frozen=True)
+class Sample(Expr):
+    """``sample(e)``: draw from the distribution ``e`` (probabilistic)."""
+
+    dist: Expr
+
+
+@dataclass(frozen=True)
+class Observe(Expr):
+    """``observe(e1, e2)``: condition on ``e2`` drawn from ``e1``."""
+
+    dist: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Factor(Expr):
+    """``factor(e)``: weight the execution by ``exp(e)``."""
+
+    score: Expr
+
+
+@dataclass(frozen=True)
+class Infer(Expr):
+    """``infer(e)``: distribution of a probabilistic expression's values.
+
+    ``particles`` and ``method`` configure the inference engine, as the
+    surface syntax ``infer 1000 hmm y`` configures the particle count.
+    """
+
+    body: Expr
+    particles: int = 100
+    method: str = "pf"
+    seed: Any = None
+
+
+# ----------------------------------------------------------------------
+# surface sugar, eliminated by rewrites
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Arrow(Expr):
+    """Initialization operator ``e1 -> e2``: ``e1`` at the first instant."""
+
+    first: Expr
+    then: Expr
+
+
+@dataclass(frozen=True)
+class PreE(Expr):
+    """Uninitialized unit delay ``pre e``."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Fby(Expr):
+    """Initialized delay ``e1 fby e2`` = ``e1 -> pre e2``."""
+
+    first: Expr
+    then: Expr
+
+
+@dataclass(frozen=True)
+class NodeDecl:
+    """``let node f x = e``. ``param`` may be a tuple of names."""
+
+    name: str
+    param: Tuple[str, ...]
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Program:
+    """A sequence of node declarations."""
+
+    decls: Tuple[NodeDecl, ...] = field(default_factory=tuple)
+
+    def decl(self, name: str) -> NodeDecl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+
+#: expression classes allowed after desugaring
+KERNEL_ONLY = (
+    Const,
+    Var,
+    Pair,
+    Op,
+    App,
+    Last,
+    Where,
+    Present,
+    Reset,
+    Sample,
+    Observe,
+    Factor,
+    Infer,
+)
+
+#: surface classes that must be eliminated before compilation
+SURFACE_ONLY = (Arrow, PreE, Fby)

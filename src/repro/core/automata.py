@@ -1,0 +1,221 @@
+"""Hierarchical automata as a language construct (Section 2.4 / 3.1).
+
+The paper: "hierarchical automata can be re-written using ``present``
+and ``reset`` [Colaço et al. 2006]". This module provides the surface
+construct — :class:`AutomatonE`, a mode machine whose states carry
+expressions and *weak* transitions (``until c then S``) — and the
+rewrite into the kernel.
+
+Encoding for an automaton with states ``S0 .. S(N-1)``::
+
+    out where rec
+      init st = 0.
+      and cur  = last st                      (active mode this instant)
+      and prev = -1. fby cur                  (mode of previous instant)
+      and res  = present (cur = 0.) then branch_0
+                 else present (cur = 1.) then branch_1
+                 else ... branch_{N-1}
+      and st   = snd res
+      and out  = fst res
+
+    branch_i = reset
+                 ((o, next) where rec
+                    o    = body_i
+                    next = if c_i1 then t_i1 else ... else i.)
+               every (cur = i. and prev <> i.)
+
+The ``reset ... every`` on mode (re-)entry gives each mode a fresh
+state; transitions are weak — the guard is evaluated on the *current*
+instant's output (bound to ``out_name`` inside the guard's scope) and
+the switch takes effect at the next instant, exactly like the runtime
+combinator in :mod:`repro.runtime.automaton` and the paper's
+``until ... then`` in Fig. 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.ast import (
+    App,
+    Arrow,
+    Const,
+    Eq,
+    Expr,
+    Factor,
+    Fby,
+    Infer,
+    InitEq,
+    Last,
+    NodeDecl,
+    Observe,
+    Op,
+    Pair,
+    PreE,
+    Present,
+    Program,
+    Reset,
+    Sample,
+    Var,
+    Where,
+)
+from repro.errors import LanguageError
+
+__all__ = ["AutoStateE", "AutomatonE", "expand_automata", "expand_program"]
+
+_fresh_counter = itertools.count()
+
+
+def _fresh(prefix: str) -> str:
+    return f"_{prefix}{next(_fresh_counter)}"
+
+
+@dataclass(frozen=True)
+class AutoStateE:
+    """One automaton mode: a name, a body expression, weak transitions.
+
+    Each transition is ``(condition, target_name)``; the condition may
+    reference the mode's output through the automaton's ``out_name``.
+    """
+
+    name: str
+    body: Expr
+    transitions: Tuple[Tuple[Expr, str], ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class AutomatonE(Expr):
+    """A mode machine expression. The first state is initial.
+
+    ``out_name`` is the variable the guards use to refer to the active
+    mode's output value (default ``"o"``).
+    """
+
+    states: Tuple[AutoStateE, ...]
+    out_name: str = "o"
+
+
+def _index_of(states: Tuple[AutoStateE, ...]) -> dict:
+    index = {}
+    for i, state in enumerate(states):
+        if state.name in index:
+            raise LanguageError(f"duplicate automaton state {state.name!r}")
+        index[state.name] = float(i)
+    return index
+
+
+def _expand_automaton(expr: AutomatonE) -> Expr:
+    """Rewrite one automaton into kernel + sugar constructs."""
+    if not expr.states:
+        raise LanguageError("automaton needs at least one state")
+    index = _index_of(expr.states)
+    for state in expr.states:
+        for _, target in state.transitions:
+            if target not in index:
+                raise LanguageError(
+                    f"transition from {state.name!r} targets unknown state "
+                    f"{target!r}"
+                )
+
+    st = _fresh("st")
+    cur = _fresh("cur")
+    prev = _fresh("prev")
+    res = _fresh("res")
+
+    def branch(i: int, state: AutoStateE) -> Expr:
+        # next-state expression: first true guard wins, else stay.
+        next_expr: Expr = Const(float(i))
+        for cond, target in reversed(state.transitions):
+            next_expr = Op(
+                "if", (expand_automata(cond), Const(index[target]), next_expr)
+            )
+        body = Where(
+            Pair(Var(expr.out_name), Var("_next")),
+            (
+                Eq(expr.out_name, expand_automata(state.body)),
+                Eq("_next", next_expr),
+            ),
+        )
+        entering = Op(
+            "and",
+            (
+                Op("eq", (Var(cur), Const(float(i)))),
+                Op("ne", (Var(prev), Const(float(i)))),
+            ),
+        )
+        return Reset(body, entering)
+
+    # present cascade over the mode index
+    cascade: Expr = branch(len(expr.states) - 1, expr.states[-1])
+    for i in range(len(expr.states) - 2, -1, -1):
+        cascade = Present(
+            Op("eq", (Var(cur), Const(float(i)))),
+            branch(i, expr.states[i]),
+            cascade,
+        )
+
+    return Where(
+        Op("fst", (Var(res),)),
+        (
+            InitEq(st, Const(0.0)),
+            Eq(cur, Last(st)),
+            Eq(prev, Fby(Const(-1.0), Var(cur))),
+            Eq(res, cascade),
+            Eq(st, Op("snd", (Var(res),))),
+        ),
+    )
+
+
+def expand_automata(expr: Expr) -> Expr:
+    """Recursively rewrite every automaton in ``expr``."""
+    if isinstance(expr, AutomatonE):
+        return _expand_automaton(expr)
+    if isinstance(expr, Pair):
+        return Pair(expand_automata(expr.first), expand_automata(expr.second))
+    if isinstance(expr, Op):
+        return Op(expr.name, tuple(expand_automata(a) for a in expr.args))
+    if isinstance(expr, App):
+        return App(expr.func, expand_automata(expr.arg))
+    if isinstance(expr, Where):
+        equations = tuple(
+            eq if isinstance(eq, InitEq) else Eq(eq.name, expand_automata(eq.expr))
+            for eq in expr.equations
+        )
+        return Where(expand_automata(expr.body), equations)
+    if isinstance(expr, Present):
+        return Present(
+            expand_automata(expr.cond),
+            expand_automata(expr.then_branch),
+            expand_automata(expr.else_branch),
+        )
+    if isinstance(expr, Reset):
+        return Reset(expand_automata(expr.body), expand_automata(expr.every))
+    if isinstance(expr, Sample):
+        return Sample(expand_automata(expr.dist))
+    if isinstance(expr, Observe):
+        return Observe(expand_automata(expr.dist), expand_automata(expr.value))
+    if isinstance(expr, Factor):
+        return Factor(expand_automata(expr.score))
+    if isinstance(expr, Infer):
+        return Infer(
+            expand_automata(expr.body), expr.particles, expr.method, expr.seed
+        )
+    if isinstance(expr, Arrow):
+        return Arrow(expand_automata(expr.first), expand_automata(expr.then))
+    if isinstance(expr, PreE):
+        return PreE(expand_automata(expr.expr))
+    if isinstance(expr, Fby):
+        return Fby(expand_automata(expr.first), expand_automata(expr.then))
+    return expr
+
+
+def expand_program(program: Program) -> Program:
+    """Rewrite the automata of every node in a program."""
+    return Program(
+        tuple(
+            NodeDecl(d.name, d.param, expand_automata(d.body))
+            for d in program.decls
+        )
+    )

@@ -1,0 +1,305 @@
+"""Co-iterative reference semantics of the kernel (Fig. 8 / Fig. 9).
+
+A direct interpreter over the (prepared) kernel AST, following the
+paper's semantic equations: every expression denotes an initial state
+and a transition function; states are the nested tuples of Fig. 8.
+
+Probabilistic operators take their operational meaning from the ambient
+:class:`~repro.runtime.node.ProbCtx` — the sampling reading of the
+measure semantics (Fig. 13/14). This interpreter is the oracle for the
+semantics-preservation theorem (Theorem 4.2): on deterministic programs
+it must agree exactly with the evaluation of the compiled muF term, and
+on probabilistic programs the two must agree as samplers (same
+distributions given the same random stream shape).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.ast import (
+    App,
+    Const,
+    Eq,
+    Expr,
+    Factor,
+    Infer,
+    InitEq,
+    Last,
+    NodeDecl,
+    Observe,
+    Op,
+    Pair,
+    Present,
+    Program,
+    Reset,
+    Sample,
+    SURFACE_ONLY,
+    Var,
+    Where,
+)
+from repro.core.compiler import prepare_program
+from repro.core.kinds import check_program
+from repro.core.ops import apply_op
+from repro.errors import EvaluationError, ScopeError
+from repro.runtime.node import Node, ProbCtx, ProbNode
+from repro.symbolic import is_symbolic
+
+__all__ = ["Interpreter", "InterpretedProbNode", "InterpretedDetNode"]
+
+
+class _InferInitMarker:
+    """Pre-first-step state of an infer site (Dirac on the initial state)."""
+
+    __slots__ = ("body_state",)
+
+    def __init__(self, body_state: Any):
+        self.body_state = body_state
+
+
+class _EnvModel(ProbNode):
+    """Adapter: an expression under the current environment as a model."""
+
+    def __init__(self, interpreter: "Interpreter", body: Expr, initial_state: Any):
+        self.interpreter = interpreter
+        self.body = body
+        self.initial_state = initial_state
+        self.current_env: Dict[str, Any] = {}
+
+    def init(self) -> Any:
+        return self.initial_state
+
+    def step(self, state: Any, inp: Any, ctx: ProbCtx) -> Tuple[Any, Any]:
+        return self.interpreter.eval(self.body, self.current_env, state, ctx)
+
+
+class Interpreter:
+    """Co-iterative interpreter for a prepared kernel program."""
+
+    def __init__(self, program: Program, prepared: bool = False):
+        if not prepared:
+            program = prepare_program(program)
+        self.program = program
+        self.kinds = check_program(program)
+        self._decls: Dict[str, NodeDecl] = {d.name: d for d in program.decls}
+        # one inference engine per infer site (keyed by AST identity)
+        self._engines: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # initial states (the ⟦e⟧i of Fig. 8)
+    # ------------------------------------------------------------------
+    def init_state(self, expr: Expr) -> Any:
+        if isinstance(expr, SURFACE_ONLY):
+            raise EvaluationError("surface sugar reached the interpreter")
+        if isinstance(expr, (Const, Var, Last)):
+            return ()
+        if isinstance(expr, Pair):
+            return (self.init_state(expr.first), self.init_state(expr.second))
+        if isinstance(expr, Op):
+            return tuple(self.init_state(a) for a in expr.args)
+        if isinstance(expr, App):
+            decl = self._decl(expr.func)
+            return (self.init_state(expr.arg), self.init_state(decl.body))
+        if isinstance(expr, Where):
+            inits = [eq for eq in expr.equations if isinstance(eq, InitEq)]
+            defs = [eq for eq in expr.equations if isinstance(eq, Eq)]
+            return (
+                tuple(init.value.value for init in inits),
+                tuple(self.init_state(eq.expr) for eq in defs),
+                self.init_state(expr.body),
+            )
+        if isinstance(expr, Present):
+            return (
+                self.init_state(expr.cond),
+                self.init_state(expr.then_branch),
+                self.init_state(expr.else_branch),
+            )
+        if isinstance(expr, Reset):
+            return (
+                self.init_state(expr.body),
+                self.init_state(expr.body),
+                self.init_state(expr.every),
+            )
+        if isinstance(expr, Sample):
+            return self.init_state(expr.dist)
+        if isinstance(expr, Observe):
+            return (self.init_state(expr.dist), self.init_state(expr.value))
+        if isinstance(expr, Factor):
+            return self.init_state(expr.score)
+        if isinstance(expr, Infer):
+            return _InferInitMarker(self.init_state(expr.body))
+        raise EvaluationError(f"cannot initialize {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    # transition functions (the ⟦e⟧s of Fig. 8 / Fig. 9)
+    # ------------------------------------------------------------------
+    def eval(
+        self,
+        expr: Expr,
+        env: Dict[str, Any],
+        state: Any,
+        ctx: Optional[ProbCtx],
+    ) -> Tuple[Any, Any]:
+        if isinstance(expr, Const):
+            return expr.value, state
+        if isinstance(expr, Var):
+            if expr.name not in env:
+                raise ScopeError(f"unbound variable {expr.name!r}")
+            return env[expr.name], state
+        if isinstance(expr, Last):
+            key = f"{expr.name}_last"
+            if key not in env:
+                raise ScopeError(f"last {expr.name!r} read outside its block")
+            return env[key], state
+        if isinstance(expr, Pair):
+            s1, s2 = state
+            v1, s1 = self.eval(expr.first, env, s1, ctx)
+            v2, s2 = self.eval(expr.second, env, s2, ctx)
+            return (v1, v2), (s1, s2)
+        if isinstance(expr, Op):
+            values = []
+            next_states = []
+            for arg, sub in zip(expr.args, state):
+                v, sub = self.eval(arg, env, sub, ctx)
+                values.append(v)
+                next_states.append(sub)
+            return apply_op(expr.name, tuple(values)), tuple(next_states)
+        if isinstance(expr, App):
+            decl = self._decl(expr.func)
+            s_arg, s_node = state
+            v_arg, s_arg = self.eval(expr.arg, env, s_arg, ctx)
+            node_env = self._bind_params(decl, v_arg)
+            v, s_node = self.eval(decl.body, node_env, s_node, ctx)
+            return v, (s_arg, s_node)
+        if isinstance(expr, Where):
+            return self._eval_where(expr, env, state, ctx)
+        if isinstance(expr, Present):
+            s, s1, s2 = state
+            cond, s = self.eval(expr.cond, env, s, ctx)
+            if is_symbolic(cond) and ctx is not None:
+                cond = ctx.value(cond)
+            if cond:
+                v1, s1 = self.eval(expr.then_branch, env, s1, ctx)
+                return v1, (s, s1, s2)
+            v2, s2 = self.eval(expr.else_branch, env, s2, ctx)
+            return v2, (s, s1, s2)
+        if isinstance(expr, Reset):
+            s0, s1, s2 = state
+            every, s2 = self.eval(expr.every, env, s2, ctx)
+            chosen = s0 if every else s1
+            v1, s1 = self.eval(expr.body, env, chosen, ctx)
+            return v1, (s0, s1, s2)
+        if isinstance(expr, Sample):
+            if ctx is None:
+                raise EvaluationError("sample evaluated in a deterministic context")
+            dist, state = self.eval(expr.dist, env, state, ctx)
+            return ctx.sample(dist), state
+        if isinstance(expr, Observe):
+            if ctx is None:
+                raise EvaluationError("observe evaluated in a deterministic context")
+            s1, s2 = state
+            dist, s1 = self.eval(expr.dist, env, s1, ctx)
+            value, s2 = self.eval(expr.value, env, s2, ctx)
+            ctx.observe(dist, value)
+            return (), (s1, s2)
+        if isinstance(expr, Factor):
+            if ctx is None:
+                raise EvaluationError("factor evaluated in a deterministic context")
+            score, state = self.eval(expr.score, env, state, ctx)
+            ctx.factor(score)
+            return (), state
+        if isinstance(expr, Infer):
+            return self._eval_infer(expr, env, state)
+        raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    def _eval_where(self, expr: Where, env, state, ctx):
+        inits = [eq for eq in expr.equations if isinstance(eq, InitEq)]
+        defs = [eq for eq in expr.equations if isinstance(eq, Eq)]
+        mems, eq_states, body_state = state
+        scope = dict(env)
+        for init, mem in zip(inits, mems):
+            scope[f"{init.name}_last"] = mem
+        next_eq_states = []
+        for eq, sub in zip(defs, eq_states):
+            value, sub = self.eval(eq.expr, scope, sub, ctx)
+            scope[eq.name] = value
+            next_eq_states.append(sub)
+        body_value, body_state = self.eval(expr.body, scope, body_state, ctx)
+        next_mems = tuple(scope[init.name] for init in inits)
+        return body_value, (next_mems, tuple(next_eq_states), body_state)
+
+    def _eval_infer(self, expr: Infer, env, state):
+        from repro.inference.infer import infer as make_engine
+
+        key = id(expr)
+        if key not in self._engines:
+            model = _EnvModel(self, expr.body, self.init_state(expr.body))
+            self._engines[key] = make_engine(
+                model,
+                n_particles=expr.particles,
+                method=expr.method,
+                seed=expr.seed,
+            )
+        engine = self._engines[key]
+        if isinstance(state, _InferInitMarker):
+            state = engine.init()
+        engine.model.current_env = env
+        dist, state = engine.step(state, None)
+        return dist, state
+
+    # ------------------------------------------------------------------
+    def _decl(self, name: str) -> NodeDecl:
+        if name not in self._decls:
+            raise ScopeError(f"application of undeclared node {name!r}")
+        return self._decls[name]
+
+    def _bind_params(self, decl: NodeDecl, value: Any) -> Dict[str, Any]:
+        env: Dict[str, Any] = {}
+        params = decl.param
+        # nested right pairs, matching the compiler's input convention
+        cursor = value
+        for param in params[:-1]:
+            env[param] = cursor[0]
+            cursor = cursor[1]
+        env[params[-1]] = cursor
+        return env
+
+    # ------------------------------------------------------------------
+    def det_node(self, name: str) -> "InterpretedDetNode":
+        """A deterministic node, interpreted directly."""
+        return InterpretedDetNode(self, self._decl(name))
+
+    def prob_node(self, name: str) -> "InterpretedProbNode":
+        """A node as a probabilistic model for the inference engines."""
+        return InterpretedProbNode(self, self._decl(name))
+
+
+class InterpretedDetNode(Node):
+    """Deterministic stream node backed by the interpreter."""
+
+    def __init__(self, interpreter: Interpreter, decl: NodeDecl):
+        self.interpreter = interpreter
+        self.decl = decl
+
+    def init(self) -> Any:
+        return self.interpreter.init_state(self.decl.body)
+
+    def step(self, state: Any, inp: Any) -> Tuple[Any, Any]:
+        env = self.interpreter._bind_params(self.decl, inp)
+        return self.interpreter.eval(self.decl.body, env, state, None)
+
+
+class InterpretedProbNode(ProbNode):
+    """Probabilistic stream node backed by the interpreter."""
+
+    def __init__(self, interpreter: Interpreter, decl: NodeDecl):
+        self.interpreter = interpreter
+        self.decl = decl
+
+    def init(self) -> Any:
+        return self.interpreter.init_state(self.decl.body)
+
+    def step(self, state: Any, inp: Any, ctx: ProbCtx) -> Tuple[Any, Any]:
+        env = self.interpreter._bind_params(self.decl, inp)
+        return self.interpreter.eval(self.decl.body, env, state, ctx)

@@ -1,0 +1,143 @@
+"""Deterministic/probabilistic kind system (Fig. 7).
+
+Every expression is assigned kind ``D`` (deterministic) or ``P``
+(probabilistic). The rules enforce, in particular:
+
+* ``sample``/``observe``/``factor`` are probabilistic and their
+  arguments must be deterministic,
+* node application ``f(e)`` takes a deterministic argument and has the
+  kind of the node,
+* ``infer`` is deterministic and its body must be probabilistic (after
+  lifting via the sub-typing rule ``D <= P``),
+* probabilistic expressions only exist under an ``infer``.
+
+The checker computes the *minimal* kind bottom-up (sub-typing lifts
+``D`` to ``P`` implicitly) and raises :class:`~repro.errors.KindError`
+on violations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.ast import (
+    App,
+    Arrow,
+    Const,
+    Eq,
+    Equation,
+    Expr,
+    Factor,
+    Fby,
+    Infer,
+    InitEq,
+    Last,
+    NodeDecl,
+    Observe,
+    Op,
+    Pair,
+    PreE,
+    Present,
+    Program,
+    Reset,
+    Sample,
+    Var,
+    Where,
+)
+from repro.errors import KindError, ScopeError
+
+__all__ = ["D", "P", "kind_of_expr", "kind_of_node", "check_program"]
+
+D = "D"
+P = "P"
+
+
+def _join(*kinds: str) -> str:
+    """Least upper bound under D <= P."""
+    return P if P in kinds else D
+
+
+def _require_deterministic(kind: str, what: str) -> None:
+    if kind != D:
+        raise KindError(f"{what} must be deterministic (kind D), found kind P")
+
+
+def kind_of_expr(expr: Expr, env: Dict[str, str]) -> str:
+    """Minimal kind of ``expr`` in node-kind environment ``env``."""
+    if isinstance(expr, (Const, Var, Last)):
+        return D
+    if isinstance(expr, Pair):
+        return _join(kind_of_expr(expr.first, env), kind_of_expr(expr.second, env))
+    if isinstance(expr, Op):
+        return _join(*(kind_of_expr(a, env) for a in expr.args)) if expr.args else D
+    if isinstance(expr, App):
+        if expr.func not in env:
+            raise ScopeError(f"application of undeclared node {expr.func!r}")
+        _require_deterministic(
+            kind_of_expr(expr.arg, env), f"the argument of node {expr.func!r}"
+        )
+        return env[expr.func]
+    if isinstance(expr, Where):
+        body_kind = kind_of_expr(expr.body, env)
+        eq_kind = _join(*(kind_of_equation(e, env) for e in expr.equations)) if expr.equations else D
+        return _join(body_kind, eq_kind)
+    if isinstance(expr, Present):
+        return _join(
+            kind_of_expr(expr.cond, env),
+            kind_of_expr(expr.then_branch, env),
+            kind_of_expr(expr.else_branch, env),
+        )
+    if isinstance(expr, Reset):
+        return _join(kind_of_expr(expr.body, env), kind_of_expr(expr.every, env))
+    if isinstance(expr, Sample):
+        _require_deterministic(kind_of_expr(expr.dist, env), "the argument of sample")
+        return P
+    if isinstance(expr, Observe):
+        _require_deterministic(kind_of_expr(expr.dist, env), "the distribution of observe")
+        _require_deterministic(kind_of_expr(expr.value, env), "the value of observe")
+        return P
+    if isinstance(expr, Factor):
+        _require_deterministic(kind_of_expr(expr.score, env), "the argument of factor")
+        return P
+    if isinstance(expr, Infer):
+        # the body is probabilistic; D lifts to P by sub-typing, so any
+        # kind is acceptable here, and the result is deterministic.
+        kind_of_expr(expr.body, env)
+        return D
+    if isinstance(expr, Arrow):
+        return _join(kind_of_expr(expr.first, env), kind_of_expr(expr.then, env))
+    if isinstance(expr, PreE):
+        # `pre` delays a deterministic stream
+        _require_deterministic(kind_of_expr(expr.expr, env), "the argument of pre")
+        return D
+    if isinstance(expr, Fby):
+        return _join(kind_of_expr(expr.first, env), kind_of_expr(expr.then, env))
+    raise KindError(f"unknown expression {type(expr).__name__}")
+
+
+def kind_of_equation(equation: Equation, env: Dict[str, str]) -> str:
+    """Kind of an equation: the kind of its defining expression."""
+    if isinstance(equation, Eq):
+        return kind_of_expr(equation.expr, env)
+    if isinstance(equation, InitEq):
+        return D  # init x = c with c a constant
+    raise KindError(f"unknown equation {type(equation).__name__}")
+
+
+def kind_of_node(decl: NodeDecl, env: Dict[str, str]) -> str:
+    """Kind of a node declaration (the kind of its body)."""
+    return kind_of_expr(decl.body, env)
+
+
+def check_program(program: Program) -> Dict[str, str]:
+    """Kind-check a whole program; returns the node-kind environment.
+
+    Also enforces the global invariant that probabilistic nodes are only
+    *applied* inside ``infer`` or inside other probabilistic nodes —
+    which the rules above guarantee compositionally, since ``f(e)``
+    propagates ``P`` upward and only ``infer`` discharges it.
+    """
+    env: Dict[str, str] = {}
+    for decl in program.decls:
+        env[decl.name] = kind_of_node(decl, env)
+    return env

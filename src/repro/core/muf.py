@@ -1,0 +1,436 @@
+"""muF: the first-order functional probabilistic core calculus (Fig. 10).
+
+::
+
+    d ::= let f = e | d d
+    e ::= c | x | (e, e) | op(e) | e(e)
+        | if e then e else e | let p = e in e | fun p -> e
+        | sample(e) | observe(e, e) | factor(e) | infer((fun x -> e), e)
+    p ::= x | (p, p)
+
+The evaluator gives deterministic terms their classic strict semantics;
+probabilistic operators dispatch through a
+:class:`~repro.runtime.node.ProbCtx`, so the same compiled term runs
+under the importance sampler, the particle filter, or any delayed
+sampler — the engine choice *is* the semantics of ``infer``
+(Section 5).
+
+``infer`` is "tailored for ProbZelus and always takes two arguments: a
+transition function ... and a distribution of states": here the
+distribution of states is the inference engine's particle set, threaded
+as the deterministic state of the compiled ``infer`` expression.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.ops import apply_op
+from repro.errors import MuFRuntimeError
+from repro.runtime.node import ProbCtx, ProbNode
+
+__all__ = [
+    "MTerm",
+    "MConst",
+    "MVar",
+    "MTuple",
+    "MOp",
+    "MApp",
+    "MIf",
+    "MLet",
+    "MFun",
+    "MSample",
+    "MObserve",
+    "MFactor",
+    "MInfer",
+    "MInferInit",
+    "Pat",
+    "PVar",
+    "PTuple",
+    "Closure",
+    "MuFProgram",
+    "MLetDef",
+    "eval_term",
+    "eval_program",
+    "pretty",
+]
+
+
+# ----------------------------------------------------------------------
+# patterns
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Pat:
+    """Base class of patterns."""
+
+
+@dataclass(frozen=True)
+class PVar(Pat):
+    name: str
+
+
+@dataclass(frozen=True)
+class PTuple(Pat):
+    elems: Tuple[Pat, ...]
+
+
+def bind_pattern(pat: Pat, value: Any, env: Dict[str, Any]) -> Dict[str, Any]:
+    """Extend ``env`` with the bindings of ``pat`` matched against ``value``."""
+    if isinstance(pat, PVar):
+        new_env = dict(env)
+        new_env[pat.name] = value
+        return new_env
+    if isinstance(pat, PTuple):
+        if not isinstance(value, tuple) or len(value) != len(pat.elems):
+            raise MuFRuntimeError(
+                f"pattern arity mismatch: {pat!r} against {value!r}"
+            )
+        for sub_pat, sub_val in zip(pat.elems, value):
+            env = bind_pattern(sub_pat, sub_val, env)
+        return env
+    raise MuFRuntimeError(f"unknown pattern {pat!r}")
+
+
+# ----------------------------------------------------------------------
+# terms
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MTerm:
+    """Base class of muF terms."""
+
+
+@dataclass(frozen=True)
+class MConst(MTerm):
+    value: Any
+
+
+@dataclass(frozen=True)
+class MVar(MTerm):
+    name: str
+
+
+@dataclass(frozen=True)
+class MTuple(MTerm):
+    elems: Tuple[MTerm, ...]
+
+
+@dataclass(frozen=True)
+class MOp(MTerm):
+    name: str
+    args: Tuple[MTerm, ...]
+
+
+@dataclass(frozen=True)
+class MApp(MTerm):
+    func: MTerm
+    arg: MTerm
+
+
+@dataclass(frozen=True)
+class MIf(MTerm):
+    cond: MTerm
+    then_branch: MTerm
+    else_branch: MTerm
+
+
+@dataclass(frozen=True)
+class MLet(MTerm):
+    pat: Pat
+    bound: MTerm
+    body: MTerm
+
+
+@dataclass(frozen=True)
+class MFun(MTerm):
+    pat: Pat
+    body: MTerm
+
+
+@dataclass(frozen=True)
+class MSample(MTerm):
+    dist: MTerm
+
+
+@dataclass(frozen=True)
+class MObserve(MTerm):
+    dist: MTerm
+    value: MTerm
+
+
+@dataclass(frozen=True)
+class MFactor(MTerm):
+    score: MTerm
+
+
+_infer_site_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class MInfer(MTerm):
+    """``infer(fun x -> e, sigma)`` with engine configuration.
+
+    ``site`` identifies the syntactic infer site so the evaluator can
+    keep one engine instance (and its random stream) per site.
+    """
+
+    transition: MTerm
+    state: MTerm
+    particles: int = 100
+    method: str = "pf"
+    seed: Any = None
+    site: int = field(default_factory=lambda: next(_infer_site_counter))
+
+
+@dataclass(frozen=True)
+class MInferInit(MTerm):
+    """Allocation of an ``infer`` site's state: wraps the body's A()."""
+
+    body_init: MTerm
+    site: int
+
+
+class _InferInitValue:
+    """Runtime marker: the pre-first-step state of an infer site."""
+
+    __slots__ = ("body_state",)
+
+    def __init__(self, body_state: Any):
+        self.body_state = body_state
+
+    def __repr__(self) -> str:
+        return f"_InferInitValue({self.body_state!r})"
+
+
+class Closure:
+    """A muF function value."""
+
+    __slots__ = ("pat", "body", "env")
+
+    def __init__(self, pat: Pat, body: MTerm, env: Dict[str, Any]):
+        self.pat = pat
+        self.body = body
+        self.env = env
+
+    def __call__(self, value: Any, ctx: Optional[ProbCtx] = None) -> Any:
+        return eval_term(self.body, bind_pattern(self.pat, value, self.env), ctx)
+
+    def __repr__(self) -> str:
+        return f"Closure({self.pat!r})"
+
+
+class _ClosureModel(ProbNode):
+    """Adapter: a muF transition closure as a :class:`ProbNode`.
+
+    The closure is refreshed every step (it captures the step's
+    environment, in particular the current input of the enclosing node),
+    so the adapter holds it in a mutable slot written by the evaluator
+    just before the engine steps.
+    """
+
+    def __init__(self, initial_state: Any):
+        self.initial_state = initial_state
+        self.current_closure: Optional[Closure] = None
+
+    def init(self) -> Any:
+        return self.initial_state
+
+    def step(self, state: Any, inp: Any, ctx: ProbCtx) -> Tuple[Any, Any]:
+        if self.current_closure is None:
+            raise MuFRuntimeError("infer engine stepped without a transition closure")
+        result = self.current_closure(state, ctx)
+        if not (isinstance(result, tuple) and len(result) == 2):
+            raise MuFRuntimeError(
+                "an infer transition must return a (value, state) pair"
+            )
+        return result
+
+
+#: engine instances per infer site (keyed by (site, id(engine_registry)))
+class _EngineRegistry:
+    """Per-evaluation registry of inference engines, one per infer site."""
+
+    def __init__(self):
+        self.engines: Dict[int, Any] = {}
+
+    def engine_for(self, term: MInfer, initial_state: Any):
+        from repro.inference.infer import infer as make_engine
+
+        if term.site not in self.engines:
+            model = _ClosureModel(initial_state)
+            self.engines[term.site] = make_engine(
+                model,
+                n_particles=term.particles,
+                method=term.method,
+                seed=term.seed,
+            )
+        return self.engines[term.site]
+
+
+_GLOBAL_REGISTRY_KEY = "__engines__"
+
+
+def eval_term(term: MTerm, env: Dict[str, Any], ctx: Optional[ProbCtx] = None) -> Any:
+    """Evaluate a muF term.
+
+    ``ctx`` carries the probabilistic semantics; ``None`` means a
+    deterministic context in which ``sample``/``observe``/``factor``
+    raise.
+    """
+    if isinstance(term, MConst):
+        return term.value
+    if isinstance(term, MVar):
+        if term.name not in env:
+            raise MuFRuntimeError(f"unbound muF variable {term.name!r}")
+        return env[term.name]
+    if isinstance(term, MTuple):
+        return tuple(eval_term(e, env, ctx) for e in term.elems)
+    if isinstance(term, MOp):
+        args = tuple(eval_term(a, env, ctx) for a in term.args)
+        return apply_op(term.name, args)
+    if isinstance(term, MApp):
+        func = eval_term(term.func, env, ctx)
+        arg = eval_term(term.arg, env, ctx)
+        if not isinstance(func, Closure):
+            raise MuFRuntimeError(f"application of a non-function: {func!r}")
+        return func(arg, ctx)
+    if isinstance(term, MIf):
+        cond = eval_term(term.cond, env, ctx)
+        if ctx is not None and hasattr(ctx, "value"):
+            cond = ctx.value(cond) if _is_symbolic(cond) else cond
+        if cond:
+            return eval_term(term.then_branch, env, ctx)
+        return eval_term(term.else_branch, env, ctx)
+    if isinstance(term, MLet):
+        bound = eval_term(term.bound, env, ctx)
+        return eval_term(term.body, bind_pattern(term.pat, bound, env), ctx)
+    if isinstance(term, MFun):
+        return Closure(term.pat, term.body, env)
+    if isinstance(term, MSample):
+        if ctx is None:
+            raise MuFRuntimeError("sample outside of a probabilistic context")
+        return ctx.sample(eval_term(term.dist, env, ctx))
+    if isinstance(term, MObserve):
+        if ctx is None:
+            raise MuFRuntimeError("observe outside of a probabilistic context")
+        dist = eval_term(term.dist, env, ctx)
+        value = eval_term(term.value, env, ctx)
+        ctx.observe(dist, value)
+        return ()
+    if isinstance(term, MFactor):
+        if ctx is None:
+            raise MuFRuntimeError("factor outside of a probabilistic context")
+        ctx.factor(eval_term(term.score, env, ctx))
+        return ()
+    if isinstance(term, MInferInit):
+        return _InferInitValue(eval_term(term.body_init, env, ctx))
+    if isinstance(term, MInfer):
+        closure = eval_term(term.transition, env, ctx)
+        sigma = eval_term(term.state, env, ctx)
+        registry = env.get(_GLOBAL_REGISTRY_KEY)
+        if registry is None:
+            raise MuFRuntimeError(
+                "infer requires an engine registry; evaluate through eval_program "
+                "or provide one under the __engines__ key"
+            )
+        if isinstance(sigma, _InferInitValue):
+            engine = registry.engine_for(term, sigma.body_state)
+            sigma = engine.init()
+        else:
+            engine = registry.engine_for(term, None)
+        engine.model.current_closure = closure
+        dist, sigma_next = engine.step(sigma, None)
+        return dist, sigma_next
+    raise MuFRuntimeError(f"unknown muF term {term!r}")
+
+
+def _is_symbolic(value: Any) -> bool:
+    from repro.symbolic import is_symbolic
+
+    return is_symbolic(value)
+
+
+# ----------------------------------------------------------------------
+# programs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MLetDef:
+    """Top-level definition ``let f = e``."""
+
+    name: str
+    term: MTerm
+
+
+@dataclass(frozen=True)
+class MuFProgram:
+    """A sequence of top-level definitions."""
+
+    defs: Tuple[MLetDef, ...]
+
+
+def eval_program(
+    program: MuFProgram, ctx: Optional[ProbCtx] = None
+) -> Dict[str, Any]:
+    """Evaluate all definitions; returns the final global environment."""
+    env: Dict[str, Any] = {_GLOBAL_REGISTRY_KEY: _EngineRegistry()}
+    for definition in program.defs:
+        env[definition.name] = eval_term(definition.term, env, ctx)
+    return env
+
+
+# ----------------------------------------------------------------------
+# pretty printer
+# ----------------------------------------------------------------------
+
+def pretty(term: MTerm, indent: int = 0) -> str:
+    """Human-readable rendering of a muF term (for docs and debugging)."""
+    pad = "  " * indent
+    if isinstance(term, MConst):
+        return f"{term.value!r}"
+    if isinstance(term, MVar):
+        return term.name
+    if isinstance(term, MTuple):
+        return "(" + ", ".join(pretty(e, indent) for e in term.elems) + ")"
+    if isinstance(term, MOp):
+        return f"{term.name}(" + ", ".join(pretty(a, indent) for a in term.args) + ")"
+    if isinstance(term, MApp):
+        return f"{pretty(term.func, indent)}({pretty(term.arg, indent)})"
+    if isinstance(term, MIf):
+        return (
+            f"if {pretty(term.cond, indent)} "
+            f"then {pretty(term.then_branch, indent)} "
+            f"else {pretty(term.else_branch, indent)}"
+        )
+    if isinstance(term, MLet):
+        return (
+            f"let {pretty_pat(term.pat)} = {pretty(term.bound, indent)} in\n"
+            f"{pad}{pretty(term.body, indent)}"
+        )
+    if isinstance(term, MFun):
+        return f"fun {pretty_pat(term.pat)} ->\n{pad}  {pretty(term.body, indent + 1)}"
+    if isinstance(term, MSample):
+        return f"sample({pretty(term.dist, indent)})"
+    if isinstance(term, MObserve):
+        return f"observe({pretty(term.dist, indent)}, {pretty(term.value, indent)})"
+    if isinstance(term, MFactor):
+        return f"factor({pretty(term.score, indent)})"
+    if isinstance(term, MInfer):
+        return (
+            f"infer[{term.method},{term.particles}]"
+            f"({pretty(term.transition, indent)}, {pretty(term.state, indent)})"
+        )
+    if isinstance(term, MInferInit):
+        return f"infer_init({pretty(term.body_init, indent)})"
+    return repr(term)
+
+
+def pretty_pat(pat: Pat) -> str:
+    if isinstance(pat, PVar):
+        return pat.name
+    if isinstance(pat, PTuple):
+        return "(" + ", ".join(pretty_pat(p) for p in pat.elems) + ")"
+    return repr(pat)

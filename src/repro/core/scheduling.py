@@ -1,0 +1,254 @@
+"""Equation scheduling and causality analysis (Section 3.1).
+
+The compiler "reorders the equations according to their dependencies":
+initializations first, and an equation ``x = e`` before any equation
+whose expression reads ``x`` *instantaneously* (i.e., not under a
+``last``). Programs whose instantaneous dependencies are cyclic cannot
+be scheduled and are rejected (:class:`~repro.errors.CausalityError`),
+mirroring the Zelus causality analysis.
+
+Also implements the paper's normalization: every initialized variable
+must be defined by a subsequent equation (``init x = c`` without a
+defining ``x = e`` gets the implicit ``x = last x``), and the
+initialization analysis that every ``last x`` has a reachable ``init``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.ast import (
+    App,
+    Arrow,
+    Const,
+    Eq,
+    Equation,
+    Expr,
+    Factor,
+    Fby,
+    Infer,
+    InitEq,
+    Last,
+    NodeDecl,
+    Observe,
+    Op,
+    Pair,
+    PreE,
+    Present,
+    Reset,
+    Sample,
+    Var,
+    Where,
+)
+from repro.errors import CausalityError, InitializationError
+
+__all__ = [
+    "instantaneous_reads",
+    "last_reads",
+    "schedule_equations",
+    "schedule_expr",
+    "schedule_node",
+    "check_initialization",
+]
+
+
+def _children(expr: Expr) -> Tuple[Expr, ...]:
+    """Immediate sub-expressions of ``expr``."""
+    if isinstance(expr, Pair):
+        return (expr.first, expr.second)
+    if isinstance(expr, Op):
+        return expr.args
+    if isinstance(expr, App):
+        return (expr.arg,)
+    if isinstance(expr, Present):
+        return (expr.cond, expr.then_branch, expr.else_branch)
+    if isinstance(expr, Reset):
+        return (expr.body, expr.every)
+    if isinstance(expr, Sample):
+        return (expr.dist,)
+    if isinstance(expr, Observe):
+        return (expr.dist, expr.value)
+    if isinstance(expr, Factor):
+        return (expr.score,)
+    if isinstance(expr, Infer):
+        return (expr.body,)
+    if isinstance(expr, Arrow):
+        return (expr.first, expr.then)
+    if isinstance(expr, PreE):
+        return (expr.expr,)
+    if isinstance(expr, Fby):
+        return (expr.first, expr.then)
+    return ()
+
+
+def instantaneous_reads(expr: Expr) -> Set[str]:
+    """Variables read by ``expr`` in the current instant.
+
+    ``last x`` is not an instantaneous read. A nested ``where`` shadows
+    the names it defines. ``pre e`` delays its argument, so nothing
+    inside it is an instantaneous read (matters only before desugaring).
+    """
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, (Last, Const)):
+        return set()
+    if isinstance(expr, (PreE, Fby)):
+        # pre e / the delayed side of fby read e only at the previous
+        # instant; fby's first operand is read at the first instant only,
+        # which is still "this" instant for scheduling purposes.
+        if isinstance(expr, Fby):
+            return instantaneous_reads(expr.first)
+        return set()
+    if isinstance(expr, Arrow):
+        return instantaneous_reads(expr.first) | instantaneous_reads(expr.then)
+    if isinstance(expr, Where):
+        bound = {eq.name for eq in expr.equations if isinstance(eq, Eq)}
+        bound |= {eq.name for eq in expr.equations if isinstance(eq, InitEq)}
+        inner: Set[str] = instantaneous_reads(expr.body)
+        for eq in expr.equations:
+            if isinstance(eq, Eq):
+                inner |= instantaneous_reads(eq.expr)
+        return inner - bound
+    reads: Set[str] = set()
+    for child in _children(expr):
+        reads |= instantaneous_reads(child)
+    return reads
+
+
+def last_reads(expr: Expr) -> Set[str]:
+    """Variables read through ``last`` anywhere in ``expr`` (same scope)."""
+    if isinstance(expr, Last):
+        return {expr.name}
+    if isinstance(expr, Where):
+        bound = {eq.name for eq in expr.equations if isinstance(eq, (Eq, InitEq))}
+        inner: Set[str] = last_reads(expr.body)
+        for eq in expr.equations:
+            if isinstance(eq, Eq):
+                inner |= last_reads(eq.expr)
+        return inner - bound
+    reads: Set[str] = set()
+    for child in _children(expr):
+        reads |= last_reads(child)
+    return reads
+
+
+def schedule_equations(equations: Tuple[Equation, ...]) -> Tuple[Equation, ...]:
+    """Order equations: inits first, then a topological order of the rest.
+
+    Raises :class:`CausalityError` if the instantaneous-dependency graph
+    has a cycle. The sort is stable: among independent equations the
+    source order is preserved.
+    """
+    inits = [eq for eq in equations if isinstance(eq, InitEq)]
+    defs = [eq for eq in equations if isinstance(eq, Eq)]
+
+    # Normalization: init x = c with no defining equation for x gets the
+    # implicit x = last x (Section 3.1).
+    defined = {eq.name for eq in defs}
+    for init_eq in inits:
+        if init_eq.name not in defined:
+            defs.append(Eq(init_eq.name, Last(init_eq.name)))
+            defined.add(init_eq.name)
+
+    seen_names: Set[str] = set()
+    for eq in defs:
+        if eq.name in seen_names:
+            raise CausalityError(f"variable {eq.name!r} is defined twice")
+        seen_names.add(eq.name)
+
+    local = {eq.name for eq in defs}
+    deps: Dict[str, Set[str]] = {
+        eq.name: instantaneous_reads(eq.expr) & local for eq in defs
+    }
+    ordered: List[Eq] = []
+    placed: Set[str] = set()
+    pending = list(defs)
+    while pending:
+        progressed = False
+        remaining: List[Eq] = []
+        for eq in pending:
+            if deps[eq.name] <= placed:
+                ordered.append(eq)
+                placed.add(eq.name)
+                progressed = True
+            else:
+                remaining.append(eq)
+        if not progressed:
+            cycle = ", ".join(sorted(eq.name for eq in remaining))
+            raise CausalityError(
+                f"instantaneous dependency cycle among equations: {cycle}"
+            )
+        pending = remaining
+    return tuple(inits) + tuple(ordered)
+
+
+def schedule_expr(expr: Expr) -> Expr:
+    """Recursively schedule every ``where`` block in ``expr``."""
+    if isinstance(expr, Where):
+        equations = tuple(
+            eq if isinstance(eq, InitEq) else Eq(eq.name, schedule_expr(eq.expr))
+            for eq in expr.equations
+        )
+        return Where(schedule_expr(expr.body), schedule_equations(equations))
+    if isinstance(expr, Pair):
+        return Pair(schedule_expr(expr.first), schedule_expr(expr.second))
+    if isinstance(expr, Op):
+        return Op(expr.name, tuple(schedule_expr(a) for a in expr.args))
+    if isinstance(expr, App):
+        return App(expr.func, schedule_expr(expr.arg))
+    if isinstance(expr, Present):
+        return Present(
+            schedule_expr(expr.cond),
+            schedule_expr(expr.then_branch),
+            schedule_expr(expr.else_branch),
+        )
+    if isinstance(expr, Reset):
+        return Reset(schedule_expr(expr.body), schedule_expr(expr.every))
+    if isinstance(expr, Sample):
+        return Sample(schedule_expr(expr.dist))
+    if isinstance(expr, Observe):
+        return Observe(schedule_expr(expr.dist), schedule_expr(expr.value))
+    if isinstance(expr, Factor):
+        return Factor(schedule_expr(expr.score))
+    if isinstance(expr, Infer):
+        return Infer(
+            schedule_expr(expr.body), expr.particles, expr.method, expr.seed
+        )
+    if isinstance(expr, Arrow):
+        return Arrow(schedule_expr(expr.first), schedule_expr(expr.then))
+    if isinstance(expr, PreE):
+        return PreE(schedule_expr(expr.expr))
+    if isinstance(expr, Fby):
+        return Fby(schedule_expr(expr.first), schedule_expr(expr.then))
+    return expr
+
+
+def schedule_node(decl: NodeDecl) -> NodeDecl:
+    """Schedule every ``where`` block of a node's body."""
+    return NodeDecl(decl.name, decl.param, schedule_expr(decl.body))
+
+
+def check_initialization(expr: Expr, initialized: Set[str] = None) -> None:
+    """Verify that every ``last x`` has an ``init x`` in scope.
+
+    ``initialized`` carries the init-equations of enclosing blocks.
+    """
+    if initialized is None:
+        initialized = set()
+    if isinstance(expr, Last):
+        if expr.name not in initialized:
+            raise InitializationError(
+                f"last {expr.name!r} used without an init equation in scope"
+            )
+        return
+    if isinstance(expr, Where):
+        inner = initialized | {
+            eq.name for eq in expr.equations if isinstance(eq, InitEq)
+        }
+        check_initialization(expr.body, inner)
+        for eq in expr.equations:
+            if isinstance(eq, Eq):
+                check_initialization(eq.expr, inner)
+        return
+    for child in _children(expr):
+        check_initialization(child, initialized)

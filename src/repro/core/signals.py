@@ -1,0 +1,60 @@
+"""Optional signals and the binding form of ``present`` (Fig. 5).
+
+The robot example conditions on GPS fixes only when they arrive::
+
+    present gps(p_obs) -> observe(gaussian(p, p_noise), p_obs) else ()
+
+A *signal* is a stream of optional values — ``None`` when absent, the
+payload when present. The binding ``present`` tests for presence and
+binds the payload in the then-branch. It is pure sugar::
+
+    present_signal(s, "x", e1, e2)
+      ==  present is_present(s) -> (e1 where rec x = get(s)) else e2
+
+built on two external operators registered here: ``is_present`` and
+``get`` (which raises on an absent signal — unreachable under the
+encoding).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.ast import Const, Eq, Expr, Last, Op, Present, Var, Where
+from repro.core.ops import register
+from repro.errors import EvaluationError, LanguageError
+
+__all__ = ["present_signal", "ABSENT"]
+
+#: the absent signal value
+ABSENT = None
+
+
+def _is_present(value: Any) -> bool:
+    return value is not None
+
+
+def _get(value: Any) -> Any:
+    if value is None:
+        raise EvaluationError("get() of an absent signal")
+    return value
+
+
+register("is_present", _is_present)
+register("get", _get)
+
+
+def present_signal(signal: Expr, binder: str, then_branch: Expr, else_branch: Expr) -> Expr:
+    """``present signal(binder) -> then_branch else else_branch``.
+
+    ``signal`` must be a variable (or ``last``/constant): the encoding
+    duplicates the signal expression in the condition and the binding,
+    so a stateful signal expression would advance its state twice.
+    """
+    if not isinstance(signal, (Var, Last, Const)):
+        raise LanguageError(
+            "the signal of a binding present must be a variable; "
+            "name the signal with an equation first"
+        )
+    bound_then = Where(then_branch, (Eq(binder, Op("get", (signal,))),))
+    return Present(Op("is_present", (signal,)), bound_then, else_branch)

@@ -1,0 +1,387 @@
+"""Data-type analysis (Section 3.2).
+
+A small monomorphic type system with unification covering the kernel:
+
+* base types ``float``, ``bool``, ``int``, ``unit``, ``vec`` (numeric
+  vectors), pairs, and the distribution type constructor ``T dist``,
+* the probabilistic rules of Section 3.2::
+
+      e : T dist |- sample(e) : T
+      e1 : T dist, e2 : T |- observe(e1, e2) : unit
+      e : float |- factor(e) : unit
+      e : T |- infer(e) : T dist
+
+Node signatures are inferred (fresh type variables for parameters,
+unified against the body). The checker raises
+:class:`~repro.errors.TypeCheckError` on inconsistencies and returns the
+inferred signatures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.ast import (
+    App,
+    Arrow,
+    Const,
+    Eq,
+    Expr,
+    Factor,
+    Fby,
+    Infer,
+    InitEq,
+    Last,
+    NodeDecl,
+    Observe,
+    Op,
+    Pair,
+    PreE,
+    Present,
+    Program,
+    Reset,
+    Sample,
+    Var,
+    Where,
+)
+from repro.errors import ScopeError, TypeCheckError
+
+__all__ = [
+    "Type",
+    "TCon",
+    "TPair",
+    "TDist",
+    "TVar",
+    "FLOAT",
+    "BOOL",
+    "INT",
+    "UNIT",
+    "VEC",
+    "TypeChecker",
+    "check_types",
+]
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of types."""
+
+
+@dataclass(frozen=True)
+class TCon(Type):
+    """Base type constructor (float, bool, int, unit, vec)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TPair(Type):
+    first: Type
+    second: Type
+
+    def __repr__(self) -> str:
+        return f"({self.first!r} * {self.second!r})"
+
+
+@dataclass(frozen=True)
+class TDist(Type):
+    elem: Type
+
+    def __repr__(self) -> str:
+        return f"{self.elem!r} dist"
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    uid: int
+
+    def __repr__(self) -> str:
+        return f"'t{self.uid}"
+
+
+FLOAT = TCon("float")
+BOOL = TCon("bool")
+INT = TCon("int")
+UNIT = TCon("unit")
+VEC = TCon("vec")
+
+_tvar_counter = itertools.count()
+
+
+def fresh_tvar() -> TVar:
+    return TVar(next(_tvar_counter))
+
+
+#: operator signatures: name -> (argument types, result type); called with
+#: fresh instantiation where type variables appear.
+def _op_signatures() -> Dict[str, Tuple[Tuple[Type, ...], Type]]:
+    a = fresh_tvar()
+    return {
+        "add": ((FLOAT, FLOAT), FLOAT),
+        "sub": ((FLOAT, FLOAT), FLOAT),
+        "mul": ((FLOAT, FLOAT), FLOAT),
+        "div": ((FLOAT, FLOAT), FLOAT),
+        "neg": ((FLOAT,), FLOAT),
+        "exp": ((FLOAT,), FLOAT),
+        "log": ((FLOAT,), FLOAT),
+        "abs": ((FLOAT,), FLOAT),
+        "sqrt": ((FLOAT,), FLOAT),
+        "min": ((FLOAT, FLOAT), FLOAT),
+        "max": ((FLOAT, FLOAT), FLOAT),
+        "gt": ((FLOAT, FLOAT), BOOL),
+        "lt": ((FLOAT, FLOAT), BOOL),
+        "ge": ((FLOAT, FLOAT), BOOL),
+        "le": ((FLOAT, FLOAT), BOOL),
+        "eq": ((a, a), BOOL),
+        "ne": ((a, a), BOOL),
+        "and": ((BOOL, BOOL), BOOL),
+        "or": ((BOOL, BOOL), BOOL),
+        "not": ((BOOL,), BOOL),
+        "matvec": ((VEC, VEC), VEC),
+        "getitem": ((VEC, INT), FLOAT),
+        "gaussian": ((FLOAT, FLOAT), TDist(FLOAT)),
+        "mv_gaussian": ((VEC, VEC), TDist(VEC)),
+        "beta": ((FLOAT, FLOAT), TDist(FLOAT)),
+        "bernoulli": ((FLOAT,), TDist(BOOL)),
+        "binomial": ((INT, FLOAT), TDist(INT)),
+        "gamma": ((FLOAT, FLOAT), TDist(FLOAT)),
+        "poisson": ((FLOAT,), TDist(INT)),
+        "exponential": ((FLOAT,), TDist(FLOAT)),
+        "uniform": ((FLOAT, FLOAT), TDist(FLOAT)),
+        "mean": ((TDist(a),), a),
+        "mean_float": ((TDist(FLOAT),), FLOAT),
+        "variance": ((TDist(FLOAT),), FLOAT),
+    }
+
+
+class TypeChecker:
+    """Unification-based type checker for kernel (and surface) programs."""
+
+    def __init__(self):
+        self.subst: Dict[int, Type] = {}
+
+    # -- unification ----------------------------------------------------
+    def resolve(self, t: Type) -> Type:
+        while isinstance(t, TVar) and t.uid in self.subst:
+            t = self.subst[t.uid]
+        return t
+
+    def deep_resolve(self, t: Type) -> Type:
+        """Resolve through constructors (pairs, dist)."""
+        t = self.resolve(t)
+        if isinstance(t, TPair):
+            return TPair(self.deep_resolve(t.first), self.deep_resolve(t.second))
+        if isinstance(t, TDist):
+            return TDist(self.deep_resolve(t.elem))
+        return t
+
+    def _occurs(self, var: TVar, t: Type) -> bool:
+        t = self.resolve(t)
+        if isinstance(t, TVar):
+            return t.uid == var.uid
+        if isinstance(t, TPair):
+            return self._occurs(var, t.first) or self._occurs(var, t.second)
+        if isinstance(t, TDist):
+            return self._occurs(var, t.elem)
+        return False
+
+    def unify(self, t1: Type, t2: Type, where: str = "") -> None:
+        t1, t2 = self.resolve(t1), self.resolve(t2)
+        if isinstance(t1, TVar):
+            if isinstance(t2, TVar) and t1.uid == t2.uid:
+                return
+            if self._occurs(t1, t2):
+                raise TypeCheckError(f"occurs check failed {t1!r} ~ {t2!r} {where}")
+            self.subst[t1.uid] = t2
+            return
+        if isinstance(t2, TVar):
+            self.unify(t2, t1, where)
+            return
+        if isinstance(t1, TCon) and isinstance(t2, TCon):
+            if t1.name != t2.name:
+                # int is promoted to float in arithmetic positions
+                if {t1.name, t2.name} == {"int", "float"}:
+                    return
+                raise TypeCheckError(f"type mismatch {t1!r} vs {t2!r} {where}")
+            return
+        if isinstance(t1, TPair) and isinstance(t2, TPair):
+            self.unify(t1.first, t2.first, where)
+            self.unify(t1.second, t2.second, where)
+            return
+        if isinstance(t1, TDist) and isinstance(t2, TDist):
+            self.unify(t1.elem, t2.elem, where)
+            return
+        raise TypeCheckError(f"type mismatch {t1!r} vs {t2!r} {where}")
+
+    # -- typing ----------------------------------------------------------
+    def type_const(self, value: Any) -> Type:
+        if isinstance(value, bool):
+            return BOOL
+        if isinstance(value, int):
+            return INT
+        if isinstance(value, float):
+            return FLOAT
+        if value == () or value is None:
+            return UNIT
+        if isinstance(value, tuple) and len(value) == 2:
+            return TPair(self.type_const(value[0]), self.type_const(value[1]))
+        if hasattr(value, "ndim"):
+            return VEC
+        return fresh_tvar()
+
+    def type_expr(
+        self,
+        expr: Expr,
+        env: Dict[str, Type],
+        nodes: Dict[str, Tuple[Type, Type]],
+    ) -> Type:
+        if isinstance(expr, Const):
+            return self.type_const(expr.value)
+        if isinstance(expr, Var):
+            if expr.name not in env:
+                raise ScopeError(f"unbound variable {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, Last):
+            if expr.name not in env:
+                raise ScopeError(f"last of unbound variable {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, Pair):
+            return TPair(
+                self.type_expr(expr.first, env, nodes),
+                self.type_expr(expr.second, env, nodes),
+            )
+        if isinstance(expr, Op):
+            return self._type_op(expr, env, nodes)
+        if isinstance(expr, App):
+            if expr.func not in nodes:
+                raise ScopeError(f"application of undeclared node {expr.func!r}")
+            param_t, result_t = nodes[expr.func]
+            arg_t = self.type_expr(expr.arg, env, nodes)
+            self.unify(param_t, arg_t, f"in application of {expr.func!r}")
+            return result_t
+        if isinstance(expr, Where):
+            scope = dict(env)
+            inits = [eq for eq in expr.equations if isinstance(eq, InitEq)]
+            defs = [eq for eq in expr.equations if isinstance(eq, Eq)]
+            for eq in defs:
+                scope.setdefault(eq.name, fresh_tvar())
+            for init in inits:
+                scope.setdefault(init.name, fresh_tvar())
+                self.unify(
+                    scope[init.name],
+                    self.type_const(init.value.value),
+                    f"in init {init.name!r}",
+                )
+            for eq in defs:
+                self.unify(
+                    scope[eq.name],
+                    self.type_expr(eq.expr, scope, nodes),
+                    f"in equation {eq.name!r}",
+                )
+            return self.type_expr(expr.body, scope, nodes)
+        if isinstance(expr, Present):
+            cond_t = self.type_expr(expr.cond, env, nodes)
+            self.unify(cond_t, BOOL, "in present condition")
+            t1 = self.type_expr(expr.then_branch, env, nodes)
+            t2 = self.type_expr(expr.else_branch, env, nodes)
+            self.unify(t1, t2, "in present branches")
+            return t1
+        if isinstance(expr, Reset):
+            every_t = self.type_expr(expr.every, env, nodes)
+            self.unify(every_t, BOOL, "in reset condition")
+            return self.type_expr(expr.body, env, nodes)
+        if isinstance(expr, Sample):
+            dist_t = self.type_expr(expr.dist, env, nodes)
+            elem = fresh_tvar()
+            self.unify(dist_t, TDist(elem), "in sample")
+            return elem
+        if isinstance(expr, Observe):
+            dist_t = self.type_expr(expr.dist, env, nodes)
+            value_t = self.type_expr(expr.value, env, nodes)
+            self.unify(dist_t, TDist(value_t), "in observe")
+            return UNIT
+        if isinstance(expr, Factor):
+            self.unify(
+                self.type_expr(expr.score, env, nodes), FLOAT, "in factor"
+            )
+            return UNIT
+        if isinstance(expr, Infer):
+            return TDist(self.type_expr(expr.body, env, nodes))
+        if isinstance(expr, Arrow):
+            t1 = self.type_expr(expr.first, env, nodes)
+            t2 = self.type_expr(expr.then, env, nodes)
+            self.unify(t1, t2, "in ->")
+            return t1
+        if isinstance(expr, PreE):
+            return self.type_expr(expr.expr, env, nodes)
+        if isinstance(expr, Fby):
+            t1 = self.type_expr(expr.first, env, nodes)
+            t2 = self.type_expr(expr.then, env, nodes)
+            self.unify(t1, t2, "in fby")
+            return t1
+        raise TypeCheckError(f"cannot type {type(expr).__name__}")
+
+    def _type_op(self, expr: Op, env, nodes) -> Type:
+        if expr.name == "if":
+            cond_t = self.type_expr(expr.args[0], env, nodes)
+            self.unify(cond_t, BOOL, "in if condition")
+            t1 = self.type_expr(expr.args[1], env, nodes)
+            t2 = self.type_expr(expr.args[2], env, nodes)
+            self.unify(t1, t2, "in if branches")
+            return t1
+        if expr.name == "fst":
+            pair_t = self.type_expr(expr.args[0], env, nodes)
+            first, second = fresh_tvar(), fresh_tvar()
+            self.unify(pair_t, TPair(first, second), "in fst")
+            return first
+        if expr.name == "snd":
+            pair_t = self.type_expr(expr.args[0], env, nodes)
+            first, second = fresh_tvar(), fresh_tvar()
+            self.unify(pair_t, TPair(first, second), "in snd")
+            return second
+        signatures = _op_signatures()
+        if expr.name not in signatures:
+            # unknown external operator: fresh result, arguments unchecked
+            for arg in expr.args:
+                self.type_expr(arg, env, nodes)
+            return fresh_tvar()
+        arg_types, result_t = signatures[expr.name]
+        if len(arg_types) != len(expr.args):
+            raise TypeCheckError(
+                f"operator {expr.name!r} expects {len(arg_types)} arguments, "
+                f"got {len(expr.args)}"
+            )
+        for arg, expected in zip(expr.args, arg_types):
+            actual = self.type_expr(arg, env, nodes)
+            self.unify(actual, expected, f"in operator {expr.name!r}")
+        return result_t
+
+    def type_node(
+        self, decl: NodeDecl, nodes: Dict[str, Tuple[Type, Type]]
+    ) -> Tuple[Type, Type]:
+        env: Dict[str, Type] = {p: fresh_tvar() for p in decl.param}
+        if len(decl.param) == 1:
+            param_t: Type = env[decl.param[0]]
+        else:
+            param_t = env[decl.param[-1]]
+            for p in reversed(decl.param[:-1]):
+                param_t = TPair(env[p], param_t)
+        body_t = self.type_expr(decl.body, env, nodes)
+        return param_t, body_t
+
+
+def check_types(program: Program) -> Dict[str, Tuple[Type, Type]]:
+    """Type-check a program; returns inferred (input, output) signatures."""
+    checker = TypeChecker()
+    nodes: Dict[str, Tuple[Type, Type]] = {}
+    for decl in program.decls:
+        nodes[decl.name] = checker.type_node(decl, nodes)
+    return {
+        name: (checker.deep_resolve(p), checker.deep_resolve(r))
+        for name, (p, r) in nodes.items()
+    }

@@ -1,0 +1,155 @@
+"""Graph nodes for delayed sampling.
+
+A node represents one random variable and is always in one of three
+states (Section 5.2 of the paper):
+
+* **initialized** — carries a conditional distribution ``p(x | parent)``
+  whose parent has not been realized,
+* **marginalized** — carries a marginal distribution ``p(x)`` that
+  incorporates the distributions of its ancestors (and, as observations
+  arrive, conditioning information),
+* **realized** — carries a concrete value, assigned by sampling or by
+  observation.
+
+State changes are monotone: initialized -> marginalized -> realized.
+Which pointer fields a node *retains* in each state is the difference
+between the original delayed-sampling graph and the paper's
+pointer-minimal streaming implementation; the nodes themselves are
+shared and the two graph classes manage the fields.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, List, Optional
+
+from repro.delayed.conjugacy import ConditionalDist
+from repro.dists import (
+    Beta,
+    Dirichlet,
+    Distribution,
+    Gamma,
+    Gaussian,
+    InverseGamma,
+    MvGaussian,
+)
+
+__all__ = ["NodeState", "DSNode", "family_of_dist"]
+
+_uid_counter = itertools.count()
+
+
+class NodeState(enum.Enum):
+    """Lifecycle state of a delayed-sampling node."""
+
+    INITIALIZED = "initialized"
+    MARGINALIZED = "marginalized"
+    REALIZED = "realized"
+
+
+_FAMILY_BY_TYPE = {
+    Gaussian: "gaussian",
+    MvGaussian: "mv_gaussian",
+    Beta: "beta",
+    Gamma: "gamma",
+    Dirichlet: "dirichlet",
+    InverseGamma: "inverse_gamma",
+}
+
+
+def family_of_dist(dist: Distribution) -> str:
+    """Conjugacy family tag of a concrete distribution (or "opaque")."""
+    return _FAMILY_BY_TYPE.get(type(dist), "opaque")
+
+
+class DSNode:
+    """One random variable in a delayed-sampling graph.
+
+    Fields (not all populated in all states / graph flavors):
+
+    * ``parent`` — backward pointer to the parent node,
+    * ``children`` — forward pointers to child nodes,
+    * ``marginal_child`` — the unique marginalized child (M-path edge),
+    * ``cdistr`` — conditional ``p(self | parent)``; retained after
+      realization because the *parent's* (possibly deferred) conditioning
+      reads it,
+    * ``marginal`` — current marginal when marginalized,
+    * ``value`` — concrete value when realized,
+    * ``folded`` — set once a realized node's evidence has been absorbed
+      into its parent's marginal (used by deferred conditioning).
+    """
+
+    __slots__ = (
+        "uid",
+        "name",
+        "state",
+        "family",
+        "parent",
+        "children",
+        "marginal_child",
+        "cdistr",
+        "marginal",
+        "value",
+        "folded",
+    )
+
+    def __init__(
+        self,
+        state: NodeState,
+        family: str,
+        parent: Optional["DSNode"] = None,
+        cdistr: Optional[ConditionalDist] = None,
+        marginal: Optional[Distribution] = None,
+        name: str = "",
+    ):
+        self.uid = next(_uid_counter)
+        self.name = name
+        self.state = state
+        self.family = family
+        self.parent = parent
+        self.children: List[DSNode] = []
+        self.marginal_child: Optional[DSNode] = None
+        self.cdistr = cdistr
+        self.marginal = marginal
+        self.value: Any = None
+        self.folded = False
+
+    @property
+    def dim(self) -> Optional[int]:
+        """Dimension of a vector-valued node (None for scalars).
+
+        Used by the affine analysis to build one-hot projections for
+        ``x[i]`` expressions on multivariate Gaussian variables.
+        """
+        if isinstance(self.marginal, MvGaussian):
+            return self.marginal.dim
+        cdistr = self.cdistr
+        if cdistr is not None and getattr(cdistr, "a", None) is not None:
+            a = getattr(cdistr, "a")
+            if hasattr(a, "shape") and getattr(a, "ndim", 0) == 2:
+                return a.shape[0]
+        return None
+
+    def memory_words(self) -> int:
+        """Approximate heap footprint in abstract words.
+
+        Counts the node header plus the payload distributions it keeps
+        alive; pointer fields are counted by the graph traversal.
+        """
+        words = 8
+        if self.marginal is not None:
+            words += self.marginal.memory_words()
+        if self.cdistr is not None:
+            words += 4
+        if self.value is not None:
+            words += 1
+        return words
+
+    def __repr__(self) -> str:
+        label = self.name or f"#{self.uid}"
+        if self.state is NodeState.REALIZED:
+            return f"DSNode({label}, realized={self.value!r})"
+        if self.state is NodeState.MARGINALIZED:
+            return f"DSNode({label}, marginalized={self.marginal!r})"
+        return f"DSNode({label}, initialized, cdistr={self.cdistr!r})"

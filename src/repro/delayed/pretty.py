@@ -1,0 +1,52 @@
+"""Textual rendering of delayed-sampling graphs.
+
+Renders the live portion of a graph the way the paper draws Fig. 3 and
+Fig. 15: one line per node with its state, distribution/value, and the
+pointers it retains. Used by the examples and handy when debugging
+conjugacy chains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.delayed.graph import reachable_nodes
+from repro.delayed.node import DSNode, NodeState
+
+__all__ = ["render_graph", "node_summary"]
+
+_STATE_GLYPH = {
+    NodeState.INITIALIZED: "init",
+    NodeState.MARGINALIZED: "marg",
+    NodeState.REALIZED: "real",
+}
+
+
+def node_summary(node: DSNode) -> str:
+    """One-line description of a node."""
+    label = node.name or f"#{node.uid}"
+    state = _STATE_GLYPH[node.state]
+    if node.state is NodeState.REALIZED:
+        payload = f"value={node.value!r}"
+    elif node.state is NodeState.MARGINALIZED:
+        payload = f"marginal={node.marginal!r}"
+    else:
+        payload = f"cond={node.cdistr!r}"
+    pointers = []
+    if node.parent is not None:
+        pointers.append(f"parent->{node.parent.name or node.parent.uid}")
+    for child in node.children:
+        pointers.append(f"child->{child.name or child.uid}")
+    live_mc = node.marginal_child
+    if live_mc is not None and live_mc.state is NodeState.MARGINALIZED:
+        pointers.append(f"mchild->{live_mc.name or live_mc.uid}")
+    pointer_text = " ".join(pointers) if pointers else "(no pointers)"
+    return f"{label:>8} [{state}] {payload}  {pointer_text}"
+
+
+def render_graph(roots: Iterable[DSNode]) -> str:
+    """Render every node reachable from ``roots``, stable order by uid."""
+    nodes: List[DSNode] = sorted(reachable_nodes(roots), key=lambda n: n.uid)
+    if not nodes:
+        return "(empty graph)"
+    return "\n".join(node_summary(n) for n in nodes)

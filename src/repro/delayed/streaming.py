@@ -1,0 +1,85 @@
+"""Pointer-minimal streaming delayed-sampling graph (Section 5.3, Fig. 15).
+
+The streaming implementation differs from the original graph in exactly
+the ways the paper describes:
+
+* **initialized nodes only keep a pointer to their parent** — needed to
+  follow the ancestor chain during marginalization; the parent does not
+  learn about the child yet,
+* **marginalization turns the backward pointer into a forward pointer**:
+  when a child is marginalized it drops its parent pointer and the
+  parent records the child,
+* **conditioning a parent on a realized child is deferred** until the
+  parent's marginal is next needed (when a new child is marginalized
+  against it, when its posterior is inspected, or when it is itself
+  realized). The parent finds the realized child through its forward
+  pointer, folds the evidence into its marginal, and drops the pointer.
+
+The payoff: once the program stops referencing an old time step's
+variable, nothing in the graph points *backwards* at it, so an ordinary
+garbage collector reclaims the whole prefix of the chain. Memory stays
+constant over time for state-space models (Fig. 4 / Fig. 19).
+"""
+
+from __future__ import annotations
+
+from repro.delayed.graph import BaseGraph
+from repro.delayed.node import DSNode, NodeState
+from repro.dists import Distribution
+from repro.errors import GraphError
+
+__all__ = ["StreamingGraph"]
+
+
+class StreamingGraph(BaseGraph):
+    """Pointer-minimal delayed-sampling graph (the paper's SDS graph)."""
+
+    pointer_minimal = True
+
+    def posterior_marginal(self, node: DSNode) -> Distribution:
+        """Fold pending evidence from realized children, then report.
+
+        This is the deferred-conditioning step: every realized,
+        not-yet-folded child found through a forward pointer updates the
+        marginal, after which the pointer is dropped so the child can be
+        collected.
+        """
+        if node.state is not NodeState.MARGINALIZED:
+            raise GraphError("posterior_marginal expects a marginalized node")
+        if node.children:
+            remaining = []
+            for child in node.children:
+                if child.state is NodeState.REALIZED and not child.folded:
+                    node.marginal = child.cdistr.posterior(node.marginal, child.value)
+                    child.folded = True
+                elif child.state is not NodeState.REALIZED:
+                    remaining.append(child)
+            node.children = remaining
+        return node.marginal
+
+    def _on_assume_edge(self, parent: DSNode, child: DSNode) -> None:
+        # Backward pointer only: the child was given `parent` at
+        # construction; the parent records nothing.
+        pass
+
+    def _on_marginalize_edge(self, parent: DSNode, child: DSNode) -> None:
+        # Flip the edge: forward pointer in, backward pointer out.
+        parent.children.append(child)
+        child.parent = None
+
+    def _on_realize(self, node: DSNode) -> None:
+        # Parent conditioning is deferred: the parent still holds a
+        # forward pointer to this node and will fold its value in when
+        # its own marginal is next requested. The realized node keeps
+        # only `value` and `cdistr` (read by the parent's fold).
+        #
+        # If this node was realized *while still holding a parent
+        # pointer* it would mean realize() was called on an initialized
+        # node, which graft() prevents; marginalized nodes already
+        # dropped their parent pointer.
+        if node.parent is not None:
+            raise GraphError("streaming marginalized node still has a parent pointer")
+        # Forward pointers to children are dropped; initialized children
+        # keep their backward pointer to this (now realized) node and
+        # collapse to marginalized roots lazily, in marginalize().
+        node.children = []

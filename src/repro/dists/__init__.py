@@ -1,0 +1,37 @@
+"""Probability distributions used throughout the reproduction.
+
+This package is the numerical substrate of ProbZelus' ``sample`` /
+``observe`` operators and of the delayed-sampling conjugacy machinery.
+"""
+
+from repro.dists.base import Distribution, ScalarDistribution
+from repro.dists.bernoulli import Bernoulli, Binomial
+from repro.dists.beta import Beta
+from repro.dists.categorical import Categorical, Dirichlet, Empirical
+from repro.dists.gaussian import Gaussian
+from repro.dists.mixture import Mixture, TupleDist
+from repro.dists.mv_gaussian import MvGaussian
+from repro.dists.simple import Delta, Exponential, Gamma, Poisson, Uniform
+from repro.dists.student import InverseGamma, StudentT
+
+__all__ = [
+    "Distribution",
+    "ScalarDistribution",
+    "Gaussian",
+    "MvGaussian",
+    "Beta",
+    "Bernoulli",
+    "Binomial",
+    "Uniform",
+    "Delta",
+    "Gamma",
+    "Poisson",
+    "InverseGamma",
+    "StudentT",
+    "Exponential",
+    "Categorical",
+    "Dirichlet",
+    "Empirical",
+    "Mixture",
+    "TupleDist",
+]

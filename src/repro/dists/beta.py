@@ -1,0 +1,72 @@
+"""Beta distribution.
+
+Prior of the Coin benchmark (Appendix B.2) and of the Outlier benchmark's
+invalid-reading probability (Appendix B.3). Conjugate to Bernoulli and
+Binomial likelihoods via ``repro.delayed.conjugacy``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dists.base import ScalarDistribution, require_positive
+
+__all__ = ["Beta"]
+
+
+class Beta(ScalarDistribution):
+    """Beta distribution with shape parameters ``alpha``, ``beta``."""
+
+    __slots__ = ("alpha", "beta")
+
+    def __init__(self, alpha: float, beta: float):
+        self.alpha = require_positive("alpha", alpha)
+        self.beta = require_positive("beta", beta)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return rng.beta(self.alpha, self.beta)
+
+    def log_pdf(self, value: float) -> float:
+        value = float(value)
+        if not 0.0 < value < 1.0:
+            # The density is defined on the open interval; the endpoints
+            # have density 0 (alpha, beta > 1) or are improper.
+            if value in (0.0, 1.0):
+                return -math.inf
+            return -math.inf
+        log_norm = (
+            math.lgamma(self.alpha + self.beta)
+            - math.lgamma(self.alpha)
+            - math.lgamma(self.beta)
+        )
+        return (
+            log_norm
+            + (self.alpha - 1.0) * math.log(value)
+            + (self.beta - 1.0) * math.log1p(-value)
+        )
+
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    def variance(self) -> float:
+        total = self.alpha + self.beta
+        return self.alpha * self.beta / (total * total * (total + 1.0))
+
+    def with_counts(self, successes: int, failures: int) -> "Beta":
+        """Posterior after observing Bernoulli/Binomial counts."""
+        return Beta(self.alpha + successes, self.beta + failures)
+
+    def __repr__(self) -> str:
+        return f"Beta(alpha={self.alpha:.6g}, beta={self.beta:.6g})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Beta)
+            and self.alpha == other.alpha
+            and self.beta == other.beta
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Beta", self.alpha, self.beta))

@@ -1,0 +1,75 @@
+"""Univariate Gaussian distribution.
+
+The workhorse of the paper's benchmarks: the Kalman and Outlier models are
+chains of Gaussians, and the linear-Gaussian conjugacy used by delayed
+sampling (``repro.delayed.conjugacy``) manipulates these objects
+symbolically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dists.base import ScalarDistribution, require_positive
+
+__all__ = ["Gaussian"]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+class Gaussian(ScalarDistribution):
+    """Normal distribution ``N(mu, var)`` parameterized by mean and variance.
+
+    The paper writes ``gaussian(mu, sigma2)`` with a variance second
+    argument (e.g. ``N(0, 100)`` for the Kalman prior); we follow that
+    convention.
+    """
+
+    __slots__ = ("mu", "var")
+
+    def __init__(self, mu: float, var: float):
+        self.mu = float(mu)
+        self.var = require_positive("var", var)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return rng.normal(self.mu, math.sqrt(self.var))
+
+    def log_pdf(self, value: float) -> float:
+        diff = float(value) - self.mu
+        return -0.5 * (_LOG_2PI + math.log(self.var) + diff * diff / self.var)
+
+    def mean(self) -> float:
+        return self.mu
+
+    def variance(self) -> float:
+        return self.var
+
+    def affine(self, a: float, b: float) -> "Gaussian":
+        """Distribution of ``a*X + b`` for ``X ~ self`` (``a`` nonzero)."""
+        return Gaussian(a * self.mu + b, a * a * self.var)
+
+    def posterior_given_obs(self, obs: float, obs_var: float) -> "Gaussian":
+        """Posterior of ``X`` after observing ``Y = obs`` with ``Y|X ~ N(X, obs_var)``.
+
+        The scalar Kalman measurement update; used directly by tests as a
+        ground-truth oracle and indirectly by the conjugacy machinery.
+        """
+        precision = 1.0 / self.var + 1.0 / obs_var
+        post_var = 1.0 / precision
+        post_mu = post_var * (self.mu / self.var + float(obs) / obs_var)
+        return Gaussian(post_mu, post_var)
+
+    def __repr__(self) -> str:
+        return f"Gaussian(mu={self.mu:.6g}, var={self.var:.6g})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Gaussian)
+            and self.mu == other.mu
+            and self.var == other.var
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Gaussian", self.mu, self.var))

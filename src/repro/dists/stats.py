@@ -1,0 +1,66 @@
+"""Distribution statistics helpers.
+
+The paper's robot controller uses ``probability(p_dist, target, epsilon)``
+— the posterior probability that the position lies within ``epsilon`` of
+the target — to decide a mode switch (Fig. 5). These helpers compute
+interval probabilities and CDFs across the distribution zoo, including
+the mixtures produced by SDS.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.dists.base import Distribution
+from repro.dists.categorical import Empirical
+from repro.dists.gaussian import Gaussian
+from repro.dists.mixture import Mixture
+from repro.dists.simple import Delta, Uniform
+from repro.errors import DistributionError
+
+__all__ = ["cdf", "prob_in_interval", "probability"]
+
+
+def cdf(dist: Distribution, x: float) -> float:
+    """P(X <= x) for scalar distributions."""
+    if isinstance(dist, Gaussian):
+        z = (float(x) - dist.mu) / math.sqrt(2.0 * dist.var)
+        return 0.5 * (1.0 + math.erf(z))
+    if isinstance(dist, Uniform):
+        if x < dist.lo:
+            return 0.0
+        if x > dist.hi:
+            return 1.0
+        return (float(x) - dist.lo) / (dist.hi - dist.lo)
+    if isinstance(dist, Delta):
+        return 1.0 if float(np.asarray(dist.value)) <= float(x) else 0.0
+    if isinstance(dist, Empirical):
+        mass = 0.0
+        for value, weight in zip(dist.values, dist.weights):
+            if float(np.asarray(value)) <= float(x):
+                mass += weight
+        return float(mass)
+    if isinstance(dist, Mixture):
+        return float(
+            sum(w * cdf(c, x) for c, w in zip(dist.components, dist.weights))
+        )
+    raise DistributionError(f"cdf not available for {type(dist).__name__}")
+
+
+def prob_in_interval(dist: Distribution, lo: float, hi: float) -> float:
+    """P(lo <= X <= hi)."""
+    if hi < lo:
+        raise DistributionError("interval bounds out of order")
+    return max(0.0, cdf(dist, hi) - cdf(dist, lo))
+
+
+def probability(dist: Distribution, target: float, epsilon: float) -> float:
+    """The paper's ``probability(p_dist, target, epsilon)``.
+
+    Posterior probability that the value lies in
+    ``[target - epsilon, target + epsilon]``.
+    """
+    return prob_in_interval(dist, target - epsilon, target + epsilon)

@@ -1,0 +1,253 @@
+"""Ergonomic builders for kernel programs.
+
+A thin layer over :mod:`repro.core.ast` that makes embedded programs read
+close to the paper's concrete syntax. The Section-2 HMM::
+
+    let node hmm y = x where
+      rec x = sample (gaussian (0 -> pre x, speed_x))
+      and () = observe (gaussian (x, noise_x), y)
+
+becomes::
+
+    hmm = node("hmm", "y", where_(
+        var("x"),
+        eq("x", sample(gaussian(arrow(const(0.0), pre(var("x"))), const(speed_x)))),
+        eq("_", observe(gaussian(var("x"), const(noise_x)), var("y"))),
+    ))
+
+Build a :func:`program` from node declarations, then ``load`` it
+(compile to muF) or interpret it co-iteratively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.core.ast import (
+    App,
+    Arrow,
+    Const,
+    Eq,
+    Equation,
+    Expr,
+    Factor,
+    Fby,
+    Infer,
+    InitEq,
+    Last,
+    NodeDecl,
+    Observe,
+    Op,
+    Pair,
+    PreE,
+    Present,
+    Program,
+    Reset,
+    Sample,
+    Var,
+    Where,
+)
+
+__all__ = [
+    "const",
+    "var",
+    "last",
+    "pair",
+    "op",
+    "app",
+    "where_",
+    "eq",
+    "init",
+    "present",
+    "reset",
+    "arrow",
+    "pre",
+    "fby",
+    "if_",
+    "sample",
+    "observe",
+    "factor",
+    "infer_",
+    "gaussian",
+    "mv_gaussian",
+    "beta",
+    "bernoulli",
+    "uniform",
+    "mean_float",
+    "automaton_",
+    "state_",
+    "node",
+    "program",
+]
+
+ExprLike = Union[Expr, int, float, bool]
+
+
+def _e(value: ExprLike) -> Expr:
+    """Coerce Python literals into constants."""
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+def const(value: Any) -> Const:
+    """A constant expression."""
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    """A variable reference."""
+    return Var(name)
+
+
+def last(name: str) -> Last:
+    """``last x``."""
+    return Last(name)
+
+
+def pair(first: ExprLike, second: ExprLike) -> Pair:
+    """``(e1, e2)``."""
+    return Pair(_e(first), _e(second))
+
+
+def op(name: str, *args: ExprLike) -> Op:
+    """External operator application."""
+    return Op(name, tuple(_e(a) for a in args))
+
+
+def app(func: str, *args: ExprLike) -> App:
+    """Node application; multiple arguments nest into right pairs."""
+    if not args:
+        arg: Expr = Const(())
+    elif len(args) == 1:
+        arg = _e(args[0])
+    else:
+        arg = _e(args[-1])
+        for a in reversed(args[:-1]):
+            arg = Pair(_e(a), arg)
+    return App(func, arg)
+
+
+def where_(body: ExprLike, *equations: Equation) -> Where:
+    """``e where rec E and ...``."""
+    return Where(_e(body), tuple(equations))
+
+
+def eq(name: str, expr: ExprLike) -> Eq:
+    """Equation ``x = e``."""
+    return Eq(name, _e(expr))
+
+
+def init(name: str, value: Any) -> InitEq:
+    """Initialization ``init x = c``."""
+    return InitEq(name, Const(value))
+
+
+def present(cond: ExprLike, then_branch: ExprLike, else_branch: ExprLike) -> Present:
+    """``present c -> e1 else e2``."""
+    return Present(_e(cond), _e(then_branch), _e(else_branch))
+
+
+def reset(body: ExprLike, every: ExprLike) -> Reset:
+    """``reset e1 every e2``."""
+    return Reset(_e(body), _e(every))
+
+
+def arrow(first: ExprLike, then: ExprLike) -> Arrow:
+    """Initialization operator ``e1 -> e2``."""
+    return Arrow(_e(first), _e(then))
+
+
+def pre(expr: ExprLike) -> PreE:
+    """Unit delay ``pre e``."""
+    return PreE(_e(expr))
+
+
+def fby(first: ExprLike, then: ExprLike) -> Fby:
+    """``e1 fby e2``."""
+    return Fby(_e(first), _e(then))
+
+
+def if_(cond: ExprLike, then_branch: ExprLike, else_branch: ExprLike) -> Op:
+    """Strict conditional (an external operator, paper footnote 3)."""
+    return Op("if", (_e(cond), _e(then_branch), _e(else_branch)))
+
+
+def sample(dist: ExprLike) -> Sample:
+    """``sample(e)``."""
+    return Sample(_e(dist))
+
+
+def observe(dist: ExprLike, value: ExprLike) -> Observe:
+    """``observe(e1, e2)``."""
+    return Observe(_e(dist), _e(value))
+
+
+def factor(score: ExprLike) -> Factor:
+    """``factor(e)``."""
+    return Factor(_e(score))
+
+
+def infer_(
+    body: ExprLike, particles: int = 100, method: str = "pf", seed: Any = None
+) -> Infer:
+    """``infer(e)`` with engine configuration."""
+    return Infer(_e(body), particles, method, seed)
+
+
+def gaussian(mu: ExprLike, variance: ExprLike) -> Op:
+    """``gaussian(mu, var)`` distribution constructor."""
+    return op("gaussian", mu, variance)
+
+
+def mv_gaussian(mu: ExprLike, cov: ExprLike) -> Op:
+    """``mv_gaussian(mu, cov)`` distribution constructor."""
+    return op("mv_gaussian", mu, cov)
+
+
+def beta(alpha: ExprLike, b: ExprLike) -> Op:
+    """``beta(alpha, beta)`` distribution constructor."""
+    return op("beta", alpha, b)
+
+
+def bernoulli(p: ExprLike) -> Op:
+    """``bernoulli(p)`` distribution constructor."""
+    return op("bernoulli", p)
+
+
+def uniform(lo: ExprLike, hi: ExprLike) -> Op:
+    """``uniform(lo, hi)`` distribution constructor."""
+    return op("uniform", lo, hi)
+
+
+def mean_float(dist: ExprLike) -> Op:
+    """``mean_float(d)``: posterior mean of a float distribution."""
+    return op("mean_float", dist)
+
+
+def automaton_(*states, out_name: str = "o"):
+    """A hierarchical automaton expression (first state is initial)."""
+    from repro.core.automata import AutomatonE
+
+    return AutomatonE(tuple(states), out_name=out_name)
+
+
+def state_(name: str, body: ExprLike, *transitions) -> "AutoStateE":
+    """One automaton mode: ``state_("Go", body, (cond, "Task"), ...)``."""
+    from repro.core.automata import AutoStateE
+
+    return AutoStateE(
+        name, _e(body), tuple((_e(c), target) for c, target in transitions)
+    )
+
+
+def node(name: str, params: Union[str, tuple], body: Expr) -> NodeDecl:
+    """``let node name params = body``."""
+    if isinstance(params, str):
+        params = (params,)
+    return NodeDecl(name, tuple(params), body)
+
+
+def program(*decls: NodeDecl) -> Program:
+    """A program from node declarations (dependency order)."""
+    return Program(tuple(decls))

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the language front end, the compiler, or the
+inference runtime derives from :class:`ReproError` so that callers can
+catch the whole family with a single handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this package."""
+
+
+class LanguageError(ReproError):
+    """Base class of static (compile-time) language errors."""
+
+
+class KindError(LanguageError):
+    """A deterministic/probabilistic kind rule was violated (Fig. 7).
+
+    Examples: ``sample`` outside of ``infer``, a probabilistic expression
+    used where a deterministic one is required.
+    """
+
+
+class TypeCheckError(LanguageError):
+    """A data-type rule was violated (Section 3.2)."""
+
+
+class CausalityError(LanguageError):
+    """The equations of a ``where rec`` block cannot be scheduled.
+
+    Raised when the instantaneous-dependency graph has a cycle that is not
+    broken by a ``last`` (unit delay), mirroring the Zelus causality
+    analysis.
+    """
+
+
+class InitializationError(LanguageError):
+    """A ``last x`` is used but ``x`` has no ``init`` equation."""
+
+
+class ScopeError(LanguageError):
+    """An expression refers to a variable or node that is not defined."""
+
+
+class CompilationError(LanguageError):
+    """Internal error while compiling the kernel to muF."""
+
+
+class EvaluationError(ReproError):
+    """Base class of runtime evaluation errors."""
+
+
+class MuFRuntimeError(EvaluationError):
+    """A muF term evaluation failed (wrong arity, unbound name, ...)."""
+
+
+class SymbolicError(EvaluationError):
+    """A symbolic expression could not be manipulated as requested.
+
+    For example: extracting an affine form from a non-affine expression,
+    or evaluating a symbolic term with unrealized random variables in a
+    strict context.
+    """
+
+
+class GraphError(EvaluationError):
+    """A delayed-sampling graph invariant was violated."""
+
+
+class InferenceError(EvaluationError):
+    """An inference engine was misused or reached an invalid state."""
+
+
+class DistributionError(EvaluationError):
+    """Invalid distribution parameters or unsupported operation."""

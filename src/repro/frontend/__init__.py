@@ -1,0 +1,13 @@
+"""Concrete-syntax front end: lexer and parser for ProbZélus-like sources."""
+
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.parser import ParseError, parse_expr, parse_program
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexError",
+    "parse_program",
+    "parse_expr",
+    "ParseError",
+]

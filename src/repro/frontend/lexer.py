@@ -1,0 +1,182 @@
+"""Lexer for the concrete ProbZélus-like surface syntax.
+
+Tokenizes the OCaml-flavoured syntax the paper uses::
+
+    let node hmm y = x where
+      rec x = sample (gaussian (0. -> pre x, speed_x))
+      and () = observe (gaussian (x, noise_x), y)
+
+Comments are OCaml-style ``(* ... *)`` (nestable). Floats accept the
+OCaml trailing-dot form (``0.``), and the OCaml float operators
+``+. -. *. /.`` are accepted as synonyms of the plain ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import LanguageError
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+
+class LexError(LanguageError):
+    """Invalid input at the character level."""
+
+
+KEYWORDS = {
+    "let",
+    "node",
+    "where",
+    "rec",
+    "and",
+    "init",
+    "if",
+    "then",
+    "else",
+    "present",
+    "reset",
+    "every",
+    "last",
+    "pre",
+    "fby",
+    "sample",
+    "observe",
+    "factor",
+    "infer",
+    "true",
+    "false",
+    "automaton",
+    "until",
+    "do",
+    "done",
+    "in",
+}
+
+# multi-character symbols first (longest match wins)
+_SYMBOLS = [
+    "->",
+    "+.",
+    "-.",
+    "*.",
+    "/.",
+    "<=",
+    ">=",
+    "<>",
+    "(",
+    ")",
+    ",",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "<",
+    ">",
+    "|",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/col)."""
+
+    kind: str  # "ident", "keyword", "number", "symbol", "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}:{self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; always ends with an ``eof`` token."""
+    tokens: List[Token] = []
+    pos, line, col = 0, 1, 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(count):
+            if source[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < n:
+        ch = source[pos]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # nested comments (* ... *)
+        if source.startswith("(*", pos):
+            depth = 0
+            start_line, start_col = line, col
+            while pos < n:
+                if source.startswith("(*", pos):
+                    depth += 1
+                    advance(2)
+                elif source.startswith("*)", pos):
+                    depth -= 1
+                    advance(2)
+                    if depth == 0:
+                        break
+                else:
+                    advance(1)
+            if depth != 0:
+                raise LexError(
+                    f"unterminated comment starting at {start_line}:{start_col}"
+                )
+            continue
+        # numbers: 123, 1.5, 0., .5 is not allowed (OCaml style)
+        if ch.isdigit():
+            start = pos
+            start_line, start_col = line, col
+            while pos < n and source[pos].isdigit():
+                advance(1)
+            is_float = False
+            if pos < n and source[pos] == ".":
+                # not part of a float operator like "1.+"? OCaml allows 0.
+                is_float = True
+                advance(1)
+                while pos < n and source[pos].isdigit():
+                    advance(1)
+            if pos < n and source[pos] in "eE":
+                is_float = True
+                advance(1)
+                if pos < n and source[pos] in "+-":
+                    advance(1)
+                while pos < n and source[pos].isdigit():
+                    advance(1)
+            text = source[start:pos]
+            tokens.append(Token("number", text, start_line, start_col))
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = pos
+            start_line, start_col = line, col
+            while pos < n and (source[pos].isalnum() or source[pos] in "_'"):
+                advance(1)
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        # symbols
+        for sym in _SYMBOLS:
+            if source.startswith(sym, pos):
+                start_line, start_col = line, col
+                advance(len(sym))
+                # normalize OCaml float operators
+                text = sym[0] if sym in ("+.", "-.", "*.", "/.") else sym
+                tokens.append(Token("symbol", text, start_line, start_col))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at {line}:{col}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,47 @@
+"""Streaming inference: engines, contexts, resampling, metrics."""
+
+from repro.inference.contexts import DelayedCtx, SamplingCtx
+from repro.inference.engine import (
+    BoundedDelayedSampler,
+    ImportanceSampler,
+    InferenceEngine,
+    OriginalDelayedSampler,
+    ParticleFilter,
+    StreamingDelayedSampler,
+)
+from repro.inference.infer import ENGINES, infer
+from repro.inference.metrics import MseTracker, dist_mean, mse_of_run
+from repro.inference.particles import Particle, clone_particle, state_words
+from repro.inference.resampling import (
+    RESAMPLERS,
+    ess,
+    multinomial_indices,
+    normalize_log_weights,
+    stratified_indices,
+    systematic_indices,
+)
+
+__all__ = [
+    "infer",
+    "ENGINES",
+    "InferenceEngine",
+    "ImportanceSampler",
+    "ParticleFilter",
+    "BoundedDelayedSampler",
+    "StreamingDelayedSampler",
+    "OriginalDelayedSampler",
+    "SamplingCtx",
+    "DelayedCtx",
+    "Particle",
+    "clone_particle",
+    "state_words",
+    "normalize_log_weights",
+    "ess",
+    "systematic_indices",
+    "stratified_indices",
+    "multinomial_indices",
+    "RESAMPLERS",
+    "dist_mean",
+    "MseTracker",
+    "mse_of_run",
+]

@@ -1,0 +1,307 @@
+"""Streaming inference engines.
+
+``infer`` turns a probabilistic node into a deterministic stream node
+whose output at each step is the *distribution* of the model's outputs
+given all observations so far (Section 3.3). Every engine here
+implements exactly that shape — :class:`InferenceEngine` is itself a
+:class:`~repro.runtime.node.Node`, so inference runs in lock step with
+deterministic nodes and its results can feed controllers
+("inference-in-the-loop", Section 2.4).
+
+Engines:
+
+* :class:`ImportanceSampler` — Fig. 13: weights accumulate forever and
+  are never reset; impractical for reactive programs (the paper's
+  motivation for resampling) but the simplest semantics.
+* :class:`ParticleFilter` — importance sampling + resampling at every
+  step (Section 5.1).
+* :class:`BoundedDelayedSampler` (BDS) — delayed sampling within a step,
+  forced realization at the end of each step (Section 5.2).
+* :class:`StreamingDelayedSampler` (SDS) — delayed sampling with the
+  pointer-minimal graph maintained across steps (Section 5.3).
+* :class:`OriginalDelayedSampler` (DS) — the Murray et al. graph
+  maintained across steps; the baseline whose memory and latency grow
+  with time (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.delayed.graph import DelayedGraph, graph_memory_words
+from repro.delayed.interface import lift_distribution, value_expr
+from repro.delayed.streaming import StreamingGraph
+from repro.dists import Distribution, Empirical, Mixture
+from repro.errors import InferenceError
+from repro.inference.contexts import DelayedCtx, SamplingCtx
+from repro.inference.particles import (
+    Particle,
+    clone_particle,
+    clone_state_concrete,
+    state_words,
+)
+from repro.inference.resampling import RESAMPLERS, ess, normalize_log_weights
+from repro.runtime.node import Node, ProbNode
+from repro.symbolic import free_rvars
+
+__all__ = [
+    "InferenceEngine",
+    "ImportanceSampler",
+    "ParticleFilter",
+    "BoundedDelayedSampler",
+    "StreamingDelayedSampler",
+    "OriginalDelayedSampler",
+]
+
+
+class InferenceEngine(Node):
+    """Base class: a deterministic node wrapping a probabilistic model.
+
+    State is the particle list; ``step`` advances every particle one
+    synchronous instant and returns the posterior distribution over the
+    model's output.
+    """
+
+    #: graph class for delayed engines; None for concrete sampling.
+    graph_cls = None
+    #: keep the graph in the particle state between steps.
+    persistent_graph = False
+    #: force symbolic values to concrete ones at the end of each step.
+    force_step_end = False
+    #: resample after every step.
+    resample = True
+
+    def __init__(
+        self,
+        model: ProbNode,
+        n_particles: int = 100,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        resampler: str = "systematic",
+        resample_threshold: Optional[float] = None,
+        clone_on_resample: str = "all",
+    ):
+        if n_particles < 1:
+            raise InferenceError("need at least one particle")
+        if resampler not in RESAMPLERS:
+            raise InferenceError(
+                f"unknown resampler {resampler!r}; choose from {sorted(RESAMPLERS)}"
+            )
+        if clone_on_resample not in ("all", "duplicates"):
+            raise InferenceError(
+                "clone_on_resample must be 'all' or 'duplicates', "
+                f"got {clone_on_resample!r}"
+            )
+        self.model = model
+        self.n_particles = int(n_particles)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.resampler = RESAMPLERS[resampler]
+        self.resample_threshold = resample_threshold
+        self.clone_on_resample = clone_on_resample
+        #: diagnostics of the most recent step (StepStats or None)
+        self.last_stats = None
+
+    # ------------------------------------------------------------------
+    def init(self) -> List[Particle]:
+        particles = []
+        for _ in range(self.n_particles):
+            graph = self._fresh_graph() if self.persistent_graph else None
+            particles.append(Particle(self.model.init(), graph, 0.0))
+        return particles
+
+    def step(self, particles: List[Particle], inp: Any) -> Tuple[Distribution, List[Particle]]:
+        outs: List[Any] = []
+        log_weights: List[float] = []
+        step_log_weights: List[float] = []
+        stepped: List[Particle] = []
+        for particle in particles:
+            out, new_particle, step_logw = self._step_particle(particle, inp)
+            outs.append(out)
+            log_weights.append(new_particle.log_weight + step_logw)
+            step_log_weights.append(step_logw)
+            stepped.append(new_particle)
+        weights = normalize_log_weights(log_weights)
+        self._record_stats(
+            [p.log_weight for p in stepped], step_log_weights, weights
+        )
+        output = self._output_distribution(outs, weights)
+        if self.resample and self._should_resample(weights):
+            stepped = self._resample(stepped, weights)
+        else:
+            for particle, logw in zip(stepped, log_weights):
+                particle.log_weight = logw
+        return output, stepped
+
+    def _record_stats(self, prev_log_weights, step_log_weights, weights) -> None:
+        """Update :attr:`last_stats` with this step's diagnostics.
+
+        The incremental evidence is the previous-weight-weighted mean of
+        the step likelihoods: ``log sum_i prev_w_i * exp(step_logw_i)``
+        (with uniform previous weights after a resample, this is the
+        classic ``log mean w``).
+        """
+        from repro.inference.diagnostics import StepStats
+        from repro.inference.resampling import ess as ess_of
+
+        prev_w = normalize_log_weights(prev_log_weights)
+        step_logw = np.asarray(step_log_weights, dtype=float)
+        with np.errstate(divide="ignore"):
+            combined = np.log(prev_w) + step_logw
+        top = combined.max()
+        if np.isneginf(top) or np.isnan(top):
+            evidence = float("-inf")
+        else:
+            evidence = float(top + np.log(np.sum(np.exp(combined - top))))
+        self.last_stats = StepStats(evidence, ess_of(weights), self.n_particles)
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def _fresh_graph(self):
+        return self.graph_cls(rng=self.rng)
+
+    def _step_particle(self, particle: Particle, inp: Any):
+        raise NotImplementedError
+
+    def _output_distribution(self, outs: List[Any], weights) -> Distribution:
+        return Empirical(outs, weights)
+
+    # ------------------------------------------------------------------
+    def _should_resample(self, weights) -> bool:
+        if self.resample_threshold is None:
+            return True
+        return ess(weights) < self.resample_threshold * self.n_particles
+
+    def _resample(self, particles: List[Particle], weights) -> List[Particle]:
+        """Resample: selected particles are duplicated by cloning state.
+
+        With ``clone_on_resample="all"`` (the default) every selected
+        particle is cloned, so the per-step resampling cost is
+        proportional to the total live state — the cost model of the
+        paper's runtime, where each step copies/garbage-collects the
+        particles' heap. ``"duplicates"`` clones only the second and
+        later occurrences of a particle (a sharing optimization that
+        changes no results, only the latency profile).
+        """
+        indices = self.resampler(weights, self.n_particles, self.rng)
+        clone_all = self.clone_on_resample == "all"
+        used = set()
+        resampled: List[Particle] = []
+        for idx in indices:
+            idx = int(idx)
+            source = particles[idx]
+            if clone_all or idx in used:
+                new_particle = clone_particle(source)
+            else:
+                used.add(idx)
+                new_particle = source
+            new_particle.log_weight = 0.0
+            resampled.append(new_particle)
+        return resampled
+
+    # ------------------------------------------------------------------
+    def memory_words(self, particles: List[Particle]) -> int:
+        """Ideal memory: live abstract words held by the particle set.
+
+        This is the reproduction of the paper's live-heap-words metric
+        (Section 6.3): model state plus every graph node reachable from
+        it through the pointers the graph implementation retains.
+        """
+        total = 0
+        for particle in particles:
+            total += state_words(particle.state) + 2
+            if particle.graph is not None:
+                roots = [rv.node for rv in free_rvars(particle.state)]
+                total += graph_memory_words(roots)
+        return total
+
+
+class ImportanceSampler(InferenceEngine):
+    """Pure importance sampling: no resampling, weights accumulate.
+
+    As the paper notes, "the probability of each individual path quickly
+    collapses to 0 after a few steps", which is why the particle filter
+    exists; this engine is the semantic baseline.
+    """
+
+    resample = False
+
+    def _step_particle(self, particle: Particle, inp: Any):
+        ctx = SamplingCtx(self.rng)
+        out, new_state = self.model.step(particle.state, inp, ctx)
+        return out, Particle(new_state, None, particle.log_weight), ctx.log_weight
+
+
+class ParticleFilter(InferenceEngine):
+    """Bootstrap particle filter: sampling semantics + resampling."""
+
+    def _step_particle(self, particle: Particle, inp: Any):
+        ctx = SamplingCtx(self.rng)
+        out, new_state = self.model.step(particle.state, inp, ctx)
+        return out, Particle(new_state, None, particle.log_weight), ctx.log_weight
+
+
+class BoundedDelayedSampler(InferenceEngine):
+    """Bounded delayed sampling (BDS, Section 5.2).
+
+    Each step runs under a fresh graph, so conjugacy *within* the step is
+    exploited (the HMM's observation conditions the position before it
+    is sampled), and every symbolic value is forced at the end of the
+    instant — the graph never survives a step, so memory is bounded by
+    the per-step variable count for any model.
+    """
+
+    graph_cls = StreamingGraph
+    persistent_graph = False
+    force_step_end = True
+
+    def _step_particle(self, particle: Particle, inp: Any):
+        graph = self._fresh_graph()
+        ctx = DelayedCtx(graph)
+        out, new_state = self.model.step(particle.state, inp, ctx)
+        # End of the instant: delay expires, every symbolic term is
+        # realized so nothing references the step's graph afterwards.
+        out = value_expr(graph, out)
+        new_state = value_expr(graph, new_state)
+        return out, Particle(new_state, None, particle.log_weight), ctx.log_weight
+
+
+class _PersistentDelayedEngine(InferenceEngine):
+    """Shared implementation of SDS and DS (graph kept across steps)."""
+
+    persistent_graph = True
+
+    def _step_particle(self, particle: Particle, inp: Any):
+        ctx = DelayedCtx(particle.graph)
+        out, new_state = self.model.step(particle.state, inp, ctx)
+        out_dist = lift_distribution(particle.graph, out)
+        new_particle = Particle(new_state, particle.graph, particle.log_weight)
+        return out_dist, new_particle, ctx.log_weight
+
+    def _output_distribution(self, outs: List[Any], weights) -> Distribution:
+        return Mixture(outs, weights)
+
+
+class StreamingDelayedSampler(_PersistentDelayedEngine):
+    """Streaming delayed sampling (SDS, Section 5.3).
+
+    The pointer-minimal graph persists across steps: conjugacy chains
+    spanning time steps stay exact (e.g. the full Kalman posterior), and
+    nodes the program no longer references become unreachable, keeping
+    memory constant for state-space models.
+    """
+
+    graph_cls = StreamingGraph
+
+
+class OriginalDelayedSampler(_PersistentDelayedEngine):
+    """Original delayed sampling (DS) maintained across steps.
+
+    Identical inference results to SDS, but the graph keeps backward
+    pointers between marginalized nodes, so the live graph — and with it
+    per-step clone cost — grows linearly with time (Fig. 18, Fig. 19).
+    """
+
+    graph_cls = DelayedGraph

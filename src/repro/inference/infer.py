@@ -1,0 +1,60 @@
+"""The ``infer`` operator: engine construction by name.
+
+``infer particles model`` in ProbZelus returns a stream of distributions;
+here :func:`infer` returns the corresponding :class:`InferenceEngine`
+(itself a deterministic stream node). The default method is the particle
+filter, matching the paper's default operational semantics; the delayed
+samplers are selected by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.inference.engine import (
+    BoundedDelayedSampler,
+    ImportanceSampler,
+    InferenceEngine,
+    OriginalDelayedSampler,
+    ParticleFilter,
+    StreamingDelayedSampler,
+)
+from repro.runtime.node import ProbNode
+
+__all__ = ["infer", "ENGINES"]
+
+ENGINES = {
+    "importance": ImportanceSampler,
+    "is": ImportanceSampler,
+    "pf": ParticleFilter,
+    "particle_filter": ParticleFilter,
+    "bds": BoundedDelayedSampler,
+    "sds": StreamingDelayedSampler,
+    "ds": OriginalDelayedSampler,
+}
+
+
+def infer(
+    model: ProbNode,
+    n_particles: int = 100,
+    method: str = "pf",
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> InferenceEngine:
+    """Build an inference engine for ``model``.
+
+    ``method`` is one of ``"pf"`` (particle filter, the default),
+    ``"importance"``, ``"bds"``, ``"sds"``, or ``"ds"``. Additional
+    keyword arguments are forwarded to the engine constructor
+    (``resampler``, ``resample_threshold``).
+    """
+    key = method.lower()
+    if key not in ENGINES:
+        raise InferenceError(
+            f"unknown inference method {method!r}; choose from {sorted(set(ENGINES))}"
+        )
+    return ENGINES[key](model, n_particles=n_particles, seed=seed, rng=rng, **kwargs)

@@ -1,0 +1,56 @@
+"""Error metrics and observers for evaluating inference output.
+
+The paper's benchmarks report the mean squared error over time between
+the latent truth and the posterior expectation (Section 6.1); the
+``main`` driver of Appendix B is reproduced here as :class:`MseTracker`,
+a deterministic node that folds the running MSE exactly like the
+ProbZelus code::
+
+    let rec total_error = error -> (pre total_error) +. error in
+    let mse = total_error /. t
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.dists import Distribution
+from repro.runtime.node import Node
+
+__all__ = ["dist_mean", "MseTracker", "mse_of_run"]
+
+
+def dist_mean(dist: Distribution) -> Any:
+    """Posterior mean of an inference output distribution."""
+    return dist.mean()
+
+
+class MseTracker(Node):
+    """Running mean squared error between estimates and ground truth.
+
+    Input is a ``(estimate, truth)`` pair per step; output is the MSE
+    over all steps so far.
+    """
+
+    def init(self) -> Tuple[float, int]:
+        return 0.0, 0
+
+    def step(self, state: Tuple[float, int], inp: Tuple[Any, Any]):
+        total_error, t = state
+        estimate, truth = inp
+        diff = np.asarray(estimate, dtype=float) - np.asarray(truth, dtype=float)
+        total_error = total_error + float(np.sum(diff * diff))
+        t += 1
+        return total_error / t, (total_error, t)
+
+
+def mse_of_run(estimates, truths) -> float:
+    """Final running MSE of two equal-length sequences."""
+    tracker = MseTracker()
+    state = tracker.init()
+    mse = 0.0
+    for estimate, truth in zip(estimates, truths):
+        mse, state = tracker.step(state, (estimate, truth))
+    return mse

@@ -1,0 +1,90 @@
+"""Resampling schemes and weight utilities for particle methods.
+
+The particle filter "periodically re-samples the set of particles"
+(Section 5.1); systematic resampling is the default, with multinomial
+and stratified variants for completeness. Log-weight normalization is
+shared by every engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InferenceError
+
+__all__ = [
+    "normalize_log_weights",
+    "ess",
+    "systematic_indices",
+    "stratified_indices",
+    "multinomial_indices",
+    "RESAMPLERS",
+]
+
+
+def normalize_log_weights(log_weights: Sequence[float]) -> np.ndarray:
+    """Normalized linear weights from log weights.
+
+    Degenerate inputs (all ``-inf``: every particle scored zero
+    likelihood) fall back to uniform weights rather than dying, which is
+    what a streaming filter must do to keep running.
+    """
+    logw = np.asarray(log_weights, dtype=float)
+    if logw.size == 0:
+        raise InferenceError("cannot normalize an empty weight vector")
+    top = logw.max()
+    if np.isneginf(top) or np.isnan(top):
+        return np.full(logw.size, 1.0 / logw.size)
+    w = np.exp(logw - top)
+    total = w.sum()
+    if not total > 0:
+        return np.full(logw.size, 1.0 / logw.size)
+    return w / total
+
+
+def ess(weights: Sequence[float]) -> float:
+    """Effective sample size ``1 / sum(w_i^2)`` of normalized weights."""
+    w = np.asarray(weights, dtype=float)
+    denom = float(np.sum(w * w))
+    if denom <= 0.0:
+        return 0.0
+    return 1.0 / denom
+
+
+def systematic_indices(
+    weights: Sequence[float], n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Systematic resampling: one uniform offset, ``n`` evenly spaced picks."""
+    w = np.asarray(weights, dtype=float)
+    positions = (rng.random() + np.arange(n)) / n
+    cumulative = np.cumsum(w)
+    cumulative[-1] = 1.0  # guard against round-off
+    return np.searchsorted(cumulative, positions).astype(int)
+
+
+def stratified_indices(
+    weights: Sequence[float], n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Stratified resampling: one uniform draw per stratum."""
+    w = np.asarray(weights, dtype=float)
+    positions = (rng.random(n) + np.arange(n)) / n
+    cumulative = np.cumsum(w)
+    cumulative[-1] = 1.0
+    return np.searchsorted(cumulative, positions).astype(int)
+
+
+def multinomial_indices(
+    weights: Sequence[float], n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Plain multinomial resampling."""
+    w = np.asarray(weights, dtype=float)
+    return rng.choice(w.size, size=n, p=w).astype(int)
+
+
+RESAMPLERS = {
+    "systematic": systematic_indices,
+    "stratified": stratified_indices,
+    "multinomial": multinomial_indices,
+}

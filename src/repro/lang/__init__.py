@@ -1,0 +1,35 @@
+"""Model-facing vocabulary: lifted distribution constructors."""
+
+from repro.lang.lifted import (
+    SymDist,
+    bernoulli,
+    beta,
+    binomial,
+    categorical,
+    delta,
+    dirichlet,
+    exponential,
+    gamma,
+    gaussian,
+    inverse_gamma,
+    mv_gaussian,
+    poisson,
+    uniform,
+)
+
+__all__ = [
+    "SymDist",
+    "gaussian",
+    "mv_gaussian",
+    "beta",
+    "bernoulli",
+    "binomial",
+    "gamma",
+    "inverse_gamma",
+    "poisson",
+    "exponential",
+    "uniform",
+    "categorical",
+    "dirichlet",
+    "delta",
+]

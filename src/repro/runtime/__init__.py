@@ -1,0 +1,58 @@
+"""Synchronous stream runtime: nodes, drivers, stdlib blocks, automata."""
+
+from repro.runtime.automaton import Automaton, AutoState
+from repro.runtime.node import (
+    FunNode,
+    FunProbNode,
+    Node,
+    NodeInstance,
+    ProbCtx,
+    ProbNode,
+)
+from repro.runtime.stdlib import (
+    Counter,
+    Deriv,
+    Edge,
+    Fby,
+    Integr,
+    Pid,
+    Pre,
+    SampleHold,
+)
+from repro.runtime.streams import (
+    constant,
+    feedback,
+    iterate,
+    lift,
+    parallel,
+    run,
+    run_n,
+    serial,
+)
+
+__all__ = [
+    "Node",
+    "ProbNode",
+    "ProbCtx",
+    "FunNode",
+    "FunProbNode",
+    "NodeInstance",
+    "run",
+    "run_n",
+    "iterate",
+    "lift",
+    "constant",
+    "serial",
+    "parallel",
+    "feedback",
+    "Pre",
+    "Fby",
+    "Integr",
+    "Deriv",
+    "Counter",
+    "Edge",
+    "SampleHold",
+    "Pid",
+    "Automaton",
+    "AutoState",
+]

@@ -1,0 +1,79 @@
+"""Hierarchical automata as a runtime combinator.
+
+Zelus' ``automaton`` construct (Section 2.4, Fig. 5) is compiled away to
+``present`` and ``reset`` (Colaço et al. 2006). At the runtime level we
+provide the equivalent combinator directly: a mode machine whose states
+carry nodes, with *weak* transitions (``until c then S``: the body runs
+this instant, the transition takes effect next instant) and entry-reset
+of the target state's node.
+
+The robot example's ``Go``/``Task`` controller (Fig. 5) is built on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import InferenceError
+from repro.runtime.node import Node
+
+__all__ = ["AutoState", "Automaton"]
+
+
+@dataclass
+class AutoState:
+    """One automaton mode.
+
+    ``body`` is the node active in this mode. ``transitions`` is an
+    ordered list of ``(condition, target)`` pairs; ``condition`` is
+    evaluated on the mode's output each instant (weak preemption). The
+    first true condition wins.
+    """
+
+    name: str
+    body: Node
+    transitions: List[Tuple[Callable[[Any], bool], str]] = field(default_factory=list)
+
+
+class Automaton(Node):
+    """A mode machine over :class:`AutoState` values.
+
+    State is ``(mode_name, mode_state)``; entering a mode (including
+    re-entry) resets the mode's node state, which is the ``reset ...
+    every`` semantics of the kernel encoding.
+    """
+
+    def __init__(self, states: List[AutoState]):
+        if not states:
+            raise InferenceError("automaton needs at least one state")
+        self.states: Dict[str, AutoState] = {}
+        for st in states:
+            if st.name in self.states:
+                raise InferenceError(f"duplicate automaton state {st.name!r}")
+            self.states[st.name] = st
+        for st in states:
+            for _, target in st.transitions:
+                if target not in self.states:
+                    raise InferenceError(
+                        f"transition from {st.name!r} targets unknown state {target!r}"
+                    )
+        self.initial = states[0].name
+
+    def init(self) -> Tuple[str, Any]:
+        return self.initial, self.states[self.initial].body.init()
+
+    def step(self, state: Tuple[str, Any], inp: Any):
+        mode_name, mode_state = state
+        mode = self.states[mode_name]
+        out, mode_state = mode.body.step(mode_state, inp)
+        # Weak transitions: the body ran this instant; a satisfied guard
+        # switches (and resets) the target for the *next* instant.
+        for condition, target in mode.transitions:
+            if condition(out):
+                return out, (target, self.states[target].body.init())
+        return out, (mode_name, mode_state)
+
+    def mode_of(self, state: Tuple[str, Any]) -> str:
+        """Current mode name of an automaton state (for observers)."""
+        return state[0]

@@ -1,0 +1,132 @@
+"""Stream node protocol: the co-iterative transition-function interface.
+
+The paper compiles every expression to a pair (initial state, transition
+function) — ``CoNode(T, T', S) = S x (S -> T -> T' x S)`` (Section 3.3).
+This module fixes that interface for Python:
+
+* :class:`Node` — a deterministic stream function,
+* :class:`ProbNode` — a probabilistic stream function whose transition
+  additionally threads a :class:`ProbCtx` providing ``sample`` /
+  ``observe`` / ``factor`` / ``value``,
+* :class:`ProbCtx` — the operator protocol each inference engine
+  implements (the operational semantics of the probabilistic operators
+  is engine-specific: Fig. 13 for the importance sampler, Fig. 14 for
+  the delayed samplers).
+
+State is externalized exactly as in the compiled form (Section 5.1):
+``step`` receives the previous state and returns the next one, which is
+what allows an inference engine to clone a particle mid-execution by
+duplicating its state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Tuple
+
+__all__ = ["Node", "ProbNode", "ProbCtx", "FunNode", "FunProbNode", "NodeInstance"]
+
+
+class Node(abc.ABC):
+    """A deterministic stream function (the paper's ``node`` of kind D)."""
+
+    @abc.abstractmethod
+    def init(self) -> Any:
+        """Initial state."""
+
+    @abc.abstractmethod
+    def step(self, state: Any, inp: Any) -> Tuple[Any, Any]:
+        """One synchronous step: ``(output, next_state)``."""
+
+    def instance(self) -> "NodeInstance":
+        """A stateful handle that threads the state automatically."""
+        return NodeInstance(self)
+
+
+class ProbNode(abc.ABC):
+    """A probabilistic stream function (kind P): a model for ``infer``."""
+
+    @abc.abstractmethod
+    def init(self) -> Any:
+        """Initial state."""
+
+    @abc.abstractmethod
+    def step(self, state: Any, inp: Any, ctx: "ProbCtx") -> Tuple[Any, Any]:
+        """One synchronous step under a probabilistic context."""
+
+
+class ProbCtx(abc.ABC):
+    """Operator protocol given to probabilistic transition functions.
+
+    Engines provide concrete semantics: a particle-filter context draws
+    values and accumulates log-weights; a delayed-sampling context builds
+    symbolic terms against a graph.
+    """
+
+    @abc.abstractmethod
+    def sample(self, dist: Any) -> Any:
+        """Draw from a distribution (possibly returning a symbolic value)."""
+
+    @abc.abstractmethod
+    def observe(self, dist: Any, value: Any) -> None:
+        """Condition the execution on ``value`` being drawn from ``dist``."""
+
+    @abc.abstractmethod
+    def factor(self, log_score: float) -> None:
+        """Multiply the execution's weight by ``exp(log_score)``."""
+
+    @abc.abstractmethod
+    def value(self, expr: Any) -> Any:
+        """Force a (possibly symbolic) value to a concrete one.
+
+        Exposed to the programmer, per Section 5.3, to bound the symbolic
+        graph by force-realizing trailing variables.
+        """
+
+
+class FunNode(Node):
+    """Deterministic node built from an initial state and a step function."""
+
+    def __init__(self, init_state: Any, step_fn: Callable[[Any, Any], Tuple[Any, Any]]):
+        self._init_state = init_state
+        self._step_fn = step_fn
+
+    def init(self) -> Any:
+        return self._init_state
+
+    def step(self, state: Any, inp: Any) -> Tuple[Any, Any]:
+        return self._step_fn(state, inp)
+
+
+class FunProbNode(ProbNode):
+    """Probabilistic node built from an initial state and a step function."""
+
+    def __init__(
+        self,
+        init_state: Any,
+        step_fn: Callable[[Any, Any, ProbCtx], Tuple[Any, Any]],
+    ):
+        self._init_state = init_state
+        self._step_fn = step_fn
+
+    def init(self) -> Any:
+        return self._init_state
+
+    def step(self, state: Any, inp: Any, ctx: ProbCtx) -> Tuple[Any, Any]:
+        return self._step_fn(state, inp, ctx)
+
+
+class NodeInstance:
+    """Imperative wrapper around a :class:`Node` that owns its state."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.state = node.init()
+
+    def step(self, inp: Any = None) -> Any:
+        out, self.state = self.node.step(self.state, inp)
+        return out
+
+    def reset(self) -> None:
+        """Re-initialize the node's state (the ``reset`` construct)."""
+        self.state = self.node.init()

@@ -1,0 +1,149 @@
+"""Standard synchronous blocks.
+
+The control-engineering vocabulary of Lustre/Zelus programs, implemented
+as :class:`~repro.runtime.node.Node` values: unit delays, initialization,
+integrators (the paper's very first example), counters, edge detectors,
+and a PID controller for the robot example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.runtime.node import FunNode, Node
+
+__all__ = [
+    "Pre",
+    "Fby",
+    "Integr",
+    "Deriv",
+    "Counter",
+    "Edge",
+    "SampleHold",
+    "Pid",
+]
+
+
+class Pre(Node):
+    """Initialized unit delay: emits ``init_value`` then the previous input.
+
+    Equivalent to ``init_value fby x`` = ``init_value -> pre x``.
+    """
+
+    def __init__(self, init_value: Any):
+        self._init_value = init_value
+
+    def init(self) -> Any:
+        return self._init_value
+
+    def step(self, state: Any, inp: Any) -> Tuple[Any, Any]:
+        return state, inp
+
+
+# ``fby`` ("followed by") is the classic name for the initialized delay.
+Fby = Pre
+
+
+class Integr(Node):
+    """Backward Euler integrator (the paper's introductory example).
+
+    ``x0 = xo; xn = x(n-1) + x'n * h``. Input is the derivative stream;
+    ``xo`` is the initial value and ``h`` the step size.
+    """
+
+    def __init__(self, xo: float, h: float = 1.0):
+        self.xo = float(xo)
+        self.h = float(h)
+
+    def init(self) -> Any:
+        return None  # None marks the very first instant
+
+    def step(self, state: Any, derivative: float) -> Tuple[float, Any]:
+        if state is None:
+            out = self.xo
+        else:
+            out = state + float(derivative) * self.h
+        return out, out
+
+
+class Deriv(Node):
+    """Backward difference: ``(x_n - x_(n-1)) / h``; 0 at the first instant."""
+
+    def __init__(self, h: float = 1.0):
+        self.h = float(h)
+
+    def init(self) -> Any:
+        return None
+
+    def step(self, state: Any, inp: float) -> Tuple[float, Any]:
+        if state is None:
+            out = 0.0
+        else:
+            out = (float(inp) - state) / self.h
+        return out, float(inp)
+
+
+class Counter(Node):
+    """Counts the instants: 0, 1, 2, ..."""
+
+    def init(self) -> int:
+        return 0
+
+    def step(self, state: int, inp: Any) -> Tuple[int, int]:
+        return state, state + 1
+
+
+class Edge(Node):
+    """Rising-edge detector on a boolean stream (true on false->true)."""
+
+    def init(self) -> bool:
+        return False
+
+    def step(self, state: bool, inp: bool) -> Tuple[bool, bool]:
+        inp = bool(inp)
+        return inp and not state, inp
+
+
+class SampleHold(Node):
+    """Holds the last present value of an optional stream.
+
+    Input is ``None`` (absent) or a value (present); output is the last
+    present value, starting from ``initial``. This models the paper's
+    ``present gps(p_obs) -> ...`` signal handling at the runtime level.
+    """
+
+    def __init__(self, initial: Any):
+        self._initial = initial
+
+    def init(self) -> Any:
+        return self._initial
+
+    def step(self, state: Any, inp: Any) -> Tuple[Any, Any]:
+        held = state if inp is None else inp
+        return held, held
+
+
+class Pid(Node):
+    """Discrete PID controller.
+
+    Input is the error signal; output is the command. The classic block
+    the paper's introduction cites as "very well adapted" to synchronous
+    dataflow.
+    """
+
+    def __init__(self, kp: float, ki: float = 0.0, kd: float = 0.0, h: float = 1.0):
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.h = float(h)
+
+    def init(self) -> Tuple[float, Any]:
+        return 0.0, None  # (integral, previous error)
+
+    def step(self, state: Tuple[float, Any], error: float):
+        integral, prev_error = state
+        error = float(error)
+        integral = integral + error * self.h
+        derivative = 0.0 if prev_error is None else (error - prev_error) / self.h
+        command = self.kp * error + self.ki * integral + self.kd * derivative
+        return command, (integral, error)

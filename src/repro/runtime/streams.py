@@ -1,0 +1,99 @@
+"""Stream drivers and combinators over :class:`~repro.runtime.node.Node`.
+
+Utilities for running synchronous nodes over finite prefixes of their
+(conceptually infinite) input streams, plus the classic dataflow
+combinators — serial/parallel composition, feedback, lifting — that the
+examples use to assemble controllers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.runtime.node import FunNode, Node
+
+__all__ = [
+    "run",
+    "run_n",
+    "iterate",
+    "lift",
+    "constant",
+    "serial",
+    "parallel",
+    "feedback",
+]
+
+
+def run(node: Node, inputs: Iterable[Any]) -> List[Any]:
+    """Run ``node`` over ``inputs`` and collect the outputs."""
+    state = node.init()
+    outputs: List[Any] = []
+    for inp in inputs:
+        out, state = node.step(state, inp)
+        outputs.append(out)
+    return outputs
+
+
+def run_n(node: Node, steps: int, inp: Any = None) -> List[Any]:
+    """Run ``node`` for ``steps`` steps with a constant (default unit) input."""
+    return run(node, [inp] * steps)
+
+
+def iterate(node: Node, inputs: Iterable[Any]):
+    """Generator form of :func:`run` for unbounded streams."""
+    state = node.init()
+    for inp in inputs:
+        out, state = node.step(state, inp)
+        yield out
+
+
+def lift(fn: Callable[[Any], Any]) -> Node:
+    """Stateless node applying ``fn`` pointwise (a combinational block)."""
+    return FunNode(None, lambda state, inp: (fn(inp), state))
+
+
+def constant(value: Any) -> Node:
+    """Node emitting ``value`` at every step."""
+    return FunNode(None, lambda state, inp: (value, state))
+
+
+def serial(first: Node, second: Node) -> Node:
+    """Serial composition: the output of ``first`` feeds ``second``."""
+
+    def step(state: Tuple[Any, Any], inp: Any) -> Tuple[Any, Tuple[Any, Any]]:
+        s1, s2 = state
+        mid, s1 = first.step(s1, inp)
+        out, s2 = second.step(s2, mid)
+        return out, (s1, s2)
+
+    return FunNode((first.init(), second.init()), step)
+
+
+def parallel(left: Node, right: Node) -> Node:
+    """Parallel composition over paired inputs, producing paired outputs."""
+
+    def step(state: Tuple[Any, Any], inp: Tuple[Any, Any]):
+        s1, s2 = state
+        in1, in2 = inp
+        out1, s1 = left.step(s1, in1)
+        out2, s2 = right.step(s2, in2)
+        return (out1, out2), (s1, s2)
+
+    return FunNode((left.init(), right.init()), step)
+
+
+def feedback(node: Node, initial: Any) -> Node:
+    """Close a feedback loop with a unit delay.
+
+    ``node`` maps ``(inp, fed_back)`` pairs to outputs; the output of the
+    previous step (starting from ``initial``) is fed back as the second
+    component. This is the ``rec``/``pre`` pattern of the paper's robot
+    controller, where the previous command feeds the motion model.
+    """
+
+    def step(state: Tuple[Any, Any], inp: Any):
+        inner_state, prev_out = state
+        out, inner_state = node.step(inner_state, (inp, prev_out))
+        return out, (inner_state, out)
+
+    return FunNode((node.init(), initial), step)

@@ -1,0 +1,30 @@
+"""Symbolic expression terms and affine analysis for delayed sampling."""
+
+from repro.symbolic.affine import AffineForm, extract_affine
+from repro.symbolic.expr import (
+    App,
+    RVar,
+    SymExpr,
+    app,
+    eval_expr,
+    free_rvars,
+    is_symbolic,
+    map_structure,
+    register_op,
+    structure_rvars,
+)
+
+__all__ = [
+    "SymExpr",
+    "RVar",
+    "App",
+    "app",
+    "is_symbolic",
+    "free_rvars",
+    "eval_expr",
+    "map_structure",
+    "register_op",
+    "structure_rvars",
+    "AffineForm",
+    "extract_affine",
+]

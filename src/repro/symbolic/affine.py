@@ -1,0 +1,171 @@
+"""Affine-form extraction from symbolic expressions.
+
+Conjugacy detection at ``assume`` time (Section 5.2) needs to recognize
+expressions of the shape ``a * X + b`` for a *single* random variable
+``X`` — the linear-Gaussian relationships of the Kalman and Outlier
+benchmarks — and the multivariate analogue ``A @ X + b`` used by the
+robot example. Anything else is non-affine and forces realization of the
+referenced variables ("dependencies are broken by realizing the random
+variables", Section 5.2).
+
+:func:`extract_affine` returns an :class:`AffineForm` or ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.symbolic.expr import App, RVar, SymExpr
+
+__all__ = ["AffineForm", "extract_affine"]
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """Normalized affine form ``coeff * rv + const``.
+
+    ``coeff`` may be a scalar (scalar variable), a matrix (vector-to-vector
+    map), or a row vector (vector-to-scalar projection such as
+    ``x[i]``). ``rv`` is the single random-variable node involved; a pure
+    constant has ``rv is None`` and ``coeff == 0``.
+    """
+
+    rv: Optional[Any]  # the graph node, or None for a pure constant
+    coeff: Any
+    const: Any
+
+    def is_constant(self) -> bool:
+        return self.rv is None
+
+    def is_identity(self) -> bool:
+        """True when the form is exactly the variable itself."""
+        if self.rv is None:
+            return False
+        if isinstance(self.coeff, np.ndarray):
+            return (
+                self.coeff.ndim == 2
+                and self.coeff.shape[0] == self.coeff.shape[1]
+                and np.array_equal(self.coeff, np.eye(self.coeff.shape[0]))
+                and np.all(np.asarray(self.const) == 0.0)
+            )
+        return self.coeff == 1.0 and (
+            np.all(np.asarray(self.const) == 0.0)
+            if isinstance(self.const, np.ndarray)
+            else self.const == 0.0
+        )
+
+
+def _combine_add(a: AffineForm, b: AffineForm, sign: float) -> Optional[AffineForm]:
+    """Affine form of ``a + sign*b``, or None if two distinct variables meet."""
+    if a.rv is not None and b.rv is not None:
+        if a.rv is not b.rv:
+            return None
+        coeff = a.coeff + sign * b.coeff
+        const = a.const + sign * b.const
+        if np.all(np.asarray(coeff) == 0.0):
+            return AffineForm(None, 0.0, const)
+        return AffineForm(a.rv, coeff, const)
+    if b.rv is not None:
+        return AffineForm(b.rv, sign * b.coeff, a.const + sign * b.const)
+    return AffineForm(a.rv, a.coeff, a.const + sign * b.const)
+
+
+def _combine_mul(a: AffineForm, b: AffineForm) -> Optional[AffineForm]:
+    """Affine form of ``a * b``; only valid when one side is constant."""
+    if a.rv is not None and b.rv is not None:
+        return None  # quadratic
+    if a.rv is None:
+        scale, form = a.const, b
+    else:
+        scale, form = b.const, a
+    return AffineForm(form.rv, scale * form.coeff, scale * form.const)
+
+
+def extract_affine(expr: Any) -> Optional[AffineForm]:
+    """Extract the affine form of ``expr``, or None if it is not affine.
+
+    Concrete values yield constant forms. Division by a constant, matrix
+    application to a vector variable, and component extraction
+    (``x[i]`` as a one-hot row projection) are all supported.
+    """
+    if isinstance(expr, RVar):
+        return AffineForm(expr.node, 1.0, 0.0)
+    if not isinstance(expr, SymExpr):
+        return AffineForm(None, 0.0, expr)
+    if not isinstance(expr, App):
+        return None
+    op, args = expr.op, expr.args
+    if op in ("add", "sub"):
+        left = extract_affine(args[0])
+        right = extract_affine(args[1])
+        if left is None or right is None:
+            return None
+        return _combine_add(left, right, 1.0 if op == "add" else -1.0)
+    if op == "mul":
+        left = extract_affine(args[0])
+        right = extract_affine(args[1])
+        if left is None or right is None:
+            return None
+        return _combine_mul(left, right)
+    if op == "div":
+        left = extract_affine(args[0])
+        right = extract_affine(args[1])
+        if left is None or right is None or right.rv is not None:
+            return None
+        return _combine_mul(left, AffineForm(None, 0.0, 1.0 / right.const))
+    if op == "neg":
+        inner = extract_affine(args[0])
+        if inner is None:
+            return None
+        return AffineForm(inner.rv, -inner.coeff, -np.asarray(inner.const) * 1.0
+                          if isinstance(inner.const, np.ndarray) else -inner.const)
+    if op == "matvec":
+        matrix, vector = args[0], args[1]
+        if isinstance(matrix, SymExpr):
+            return None  # symbolic matrix: not affine in a single variable
+        inner = extract_affine(vector)
+        if inner is None:
+            return None
+        matrix = np.asarray(matrix, dtype=float)
+        if inner.rv is None:
+            return AffineForm(None, 0.0, matrix @ np.asarray(inner.const))
+        coeff = matrix @ np.atleast_2d(inner.coeff) if np.ndim(inner.coeff) == 2 else (
+            matrix * inner.coeff
+        )
+        const = matrix @ np.asarray(inner.const) if np.ndim(inner.const) >= 1 else (
+            matrix @ (np.zeros(matrix.shape[1]) + inner.const)
+        )
+        return AffineForm(inner.rv, coeff, const)
+    if op == "getitem":
+        vector, index = args[0], args[1]
+        if isinstance(index, SymExpr):
+            return None
+        inner = extract_affine(vector)
+        if inner is None or inner.rv is None:
+            return None
+        # Represent x[i] as the one-hot row projection e_i^T applied to
+        # the (possibly already transformed) vector form.
+        if np.ndim(inner.coeff) == 2:
+            row = np.asarray(inner.coeff)[index, :]
+        elif np.ndim(inner.coeff) == 0 and inner.coeff == 1.0:
+            dim = _node_dim(inner.rv)
+            if dim is None:
+                return None
+            row = np.zeros(dim)
+            row[index] = 1.0
+        else:
+            return None
+        const = inner.const[index] if np.ndim(inner.const) >= 1 else inner.const
+        return AffineForm(inner.rv, row, const)
+    return None
+
+
+def _node_dim(node: Any) -> Optional[int]:
+    """Dimension of a vector-valued graph node, if it advertises one."""
+    dim = getattr(node, "dim", None)
+    if isinstance(dim, int) and dim > 0:
+        return dim
+    return None

@@ -1,0 +1,111 @@
+"""The evaluation harness: sweeps, profiles, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    KalmanModel,
+    Quantiles,
+    accuracy_sweep,
+    format_profile,
+    format_sweep,
+    kalman_data,
+    latency_sweep,
+    memory_profile,
+    particles_to_match,
+    run_mse,
+    step_latency_profile,
+    summarize_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return kalman_data(15, seed=2)
+
+
+class TestQuantiles:
+    def test_of_ordered_values(self):
+        q = Quantiles.of(list(range(101)))
+        assert q.median == pytest.approx(50.0)
+        assert q.q10 == pytest.approx(10.0)
+        assert q.q90 == pytest.approx(90.0)
+
+
+class TestRunMse:
+    def test_sds_single_particle_mse_finite(self, data):
+        mse = run_mse(KalmanModel, "sds", 1, data, seed=0)
+        assert 0.0 < mse < 10.0
+
+    def test_same_seed_reproducible(self, data):
+        a = run_mse(KalmanModel, "pf", 5, data, seed=3)
+        b = run_mse(KalmanModel, "pf", 5, data, seed=3)
+        assert a == b
+
+
+class TestSweeps:
+    def test_accuracy_sweep_shape(self, data):
+        result = accuracy_sweep(
+            KalmanModel, data, particle_counts=[1, 5], methods=["pf", "sds"],
+            runs=3,
+        )
+        assert set(result.cells) == {"pf", "sds"}
+        assert set(result.cells["pf"]) == {1, 5}
+        q = result.get("sds", 1)
+        assert q.q10 <= q.median <= q.q90
+
+    def test_sds_flat_in_particles(self, data):
+        result = accuracy_sweep(
+            KalmanModel, data, particle_counts=[1, 10], methods=["sds"], runs=3
+        )
+        assert result.get("sds", 1).median == pytest.approx(
+            result.get("sds", 10).median, rel=1e-9
+        )
+
+    def test_latency_sweep_positive(self, data):
+        result = latency_sweep(
+            KalmanModel, data, particle_counts=[1, 4], methods=["pf"], runs=1
+        )
+        assert result.get("pf", 4).median > 0.0
+
+    def test_particles_to_match(self, data):
+        sweep = accuracy_sweep(
+            KalmanModel, data, particle_counts=[1, 2, 20, 80],
+            methods=["pf", "sds"], runs=5,
+        )
+        needed = particles_to_match(sweep, "sds", "pf", slack=1.5)
+        assert needed in (1, 2, 20, 80, -1)
+        # with 80 particles PF should be within 1.5x of exact on this data
+        assert needed != -1
+
+
+class TestProfiles:
+    def test_memory_profile_orders_engines(self, data):
+        result = memory_profile(
+            KalmanModel, data, n_particles=3, methods=["sds", "ds"]
+        )
+        summary = summarize_profile(result)
+        assert summary["ds"]["growth"] > 2.0
+        assert summary["sds"]["growth"] < 1.5
+
+    def test_step_latency_profile_shape(self, data):
+        result = step_latency_profile(
+            KalmanModel, data, n_particles=2, methods=["pf"]
+        )
+        assert len(result.series["pf"]) == len(data.observations)
+
+
+class TestReporting:
+    def test_format_sweep_contains_all_cells(self, data):
+        sweep = accuracy_sweep(
+            KalmanModel, data, particle_counts=[1], methods=["sds"], runs=2
+        )
+        text = format_sweep(sweep, "title")
+        assert "title" in text
+        assert "sds" in text
+        assert "1" in text
+
+    def test_format_profile_truncates(self, data):
+        profile = memory_profile(KalmanModel, data, n_particles=1, methods=["pf"])
+        text = format_profile(profile, "mem", max_rows=5)
+        assert text.count("\n") < 15

@@ -1,0 +1,78 @@
+"""Benchmark models and data generation."""
+
+import numpy as np
+import pytest
+
+from repro.bench.data import coin_data, kalman_data, outlier_data
+from repro.bench.models import CoinModel, HmmModel, KalmanModel, OutlierModel
+from repro.inference import infer
+
+
+class TestDataGeneration:
+    def test_kalman_deterministic_by_seed(self):
+        a = kalman_data(20, seed=3)
+        b = kalman_data(20, seed=3)
+        assert a.observations == b.observations
+        assert a.truths == b.truths
+
+    def test_different_seeds_differ(self):
+        assert kalman_data(20, seed=1).observations != kalman_data(20, seed=2).observations
+
+    def test_coin_truth_is_constant_bias(self):
+        data = coin_data(30, seed=5)
+        assert len(set(data.truths)) == 1
+        assert 0.0 < data.truths[0] < 1.0
+        assert all(isinstance(o, bool) for o in data.observations)
+
+    def test_outlier_rate_near_prior_mean(self):
+        # with alpha=100, beta=1000 roughly 9% of readings are invalid
+        data = outlier_data(3000, seed=7)
+        far = sum(
+            1 for o, t in zip(data.observations, data.truths) if abs(o - t) > 5
+        )
+        assert 0.02 < far / len(data) < 0.2
+
+    def test_lengths(self):
+        data = kalman_data(17, seed=0)
+        assert len(data) == 17
+        assert len(data.truths) == len(data.observations)
+
+
+class TestModelShapes:
+    @pytest.mark.parametrize("method", ["pf", "bds", "sds", "ds", "importance"])
+    @pytest.mark.parametrize(
+        "model_cls,datagen",
+        [
+            (KalmanModel, kalman_data),
+            (CoinModel, coin_data),
+            (OutlierModel, outlier_data),
+        ],
+    )
+    def test_every_model_runs_under_every_engine(self, model_cls, datagen, method):
+        data = datagen(10, seed=1)
+        engine = infer(model_cls(), n_particles=5, method=method, seed=0)
+        state = engine.init()
+        for obs in data.observations:
+            dist, state = engine.step(state, obs)
+            assert np.isfinite(float(np.asarray(dist.mean())))
+
+
+class TestHmmModel:
+    def test_section2_constants(self):
+        model = HmmModel(speed_x=2.0, noise_x=0.5)
+        assert model.motion_var == 2.0
+        assert model.obs_var == 0.5
+
+    def test_hmm_sds_matches_kalman_recursion(self):
+        model = HmmModel(speed_x=1.0, noise_x=1.0)
+        engine = infer(model, n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        mu, var = 0.0, 1.0
+        for t, obs in enumerate([0.4, 0.9, 1.3]):
+            if t > 0:
+                var += 1.0
+            gain = var / (var + 1.0)
+            mu = mu + gain * (obs - mu)
+            var = (1 - gain) * var
+            dist, state = engine.step(state, obs)
+            assert dist.mean() == pytest.approx(mu, rel=1e-12)

@@ -1,0 +1,96 @@
+"""The robot example substrate: model, environment, closed loop."""
+
+import numpy as np
+import pytest
+
+from repro.bench.robot import (
+    RobotConfig,
+    RobotEnv,
+    RobotModel,
+    reached_target,
+    robot_matrices,
+)
+from repro.dists import Gaussian, Mixture
+from repro.inference import infer
+from repro.runtime import Pid
+
+
+class TestMatrices:
+    def test_dynamics_shapes(self):
+        f, b, q = robot_matrices(RobotConfig())
+        assert f.shape == (3, 3)
+        assert b.shape == (3,)
+        assert q.shape == (3, 3)
+
+    def test_position_integrates_velocity(self):
+        config = RobotConfig(dt=0.5)
+        f, _, _ = robot_matrices(config)
+        z = np.array([1.0, 2.0, 0.0])
+        z_next = f @ z
+        assert z_next[0] == pytest.approx(1.0 + 2.0 * 0.5)
+
+
+class TestModel:
+    def test_sds_output_is_gaussian_mixture(self):
+        engine = infer(RobotModel(), n_particles=2, method="sds", seed=0)
+        state = engine.init()
+        dist, state = engine.step(state, (0.0, 0.0, 0.0))
+        assert isinstance(dist, Mixture)
+        assert all(isinstance(c, Gaussian) for c in dist.components)
+
+    def test_gps_fix_shrinks_position_variance(self):
+        engine = infer(RobotModel(), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        dist_no_gps, state = engine.step(state, (0.0, None, 0.0))
+        dist_gps, state = engine.step(state, (0.0, 0.0, 0.0))
+        assert dist_gps.variance() < dist_no_gps.variance()
+
+    def test_dead_reckoning_variance_grows(self):
+        engine = infer(RobotModel(), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        _, state = engine.step(state, (0.0, 0.0, 0.0))  # anchor with GPS
+        variances = []
+        for _ in range(5):
+            dist, state = engine.step(state, (0.0, None, 0.0))
+            variances.append(dist.variance())
+        assert variances == sorted(variances)
+
+    def test_runs_under_particle_filter_too(self):
+        engine = infer(RobotModel(), n_particles=30, method="pf", seed=0)
+        state = engine.init()
+        for _ in range(5):
+            dist, state = engine.step(state, (0.0, 0.0, 0.0))
+        assert abs(dist.mean()) < 3.0
+
+
+class TestEnvironment:
+    def test_env_reproducible(self):
+        a, b = RobotEnv(seed=1), RobotEnv(seed=1)
+        assert a.step(1.0) == b.step(1.0)
+
+    def test_gps_period(self):
+        config = RobotConfig(gps_period=3)
+        env = RobotEnv(config, seed=0)
+        fixes = [env.step(0.0)[1] is not None for _ in range(9)]
+        assert fixes == [True, False, False] * 3
+
+
+class TestClosedLoop:
+    def test_robot_reaches_target(self):
+        """Inference in the loop: the SDS posterior drives the PID."""
+        config = RobotConfig()
+        env = RobotEnv(config, seed=3)
+        engine = infer(RobotModel(config), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        pid = Pid(kp=2.0, kd=4.0, h=config.dt).instance()
+        cmd = 0.0
+        reached_step = None
+        for t in range(400):
+            a_obs, gps, true_p = env.step(cmd)
+            dist, state = engine.step(state, (a_obs, gps, cmd))
+            cmd = max(-5.0, min(5.0, pid.step(config.target - dist.mean())))
+            if reached_target(dist, config):
+                reached_step = t
+                break
+        assert reached_step is not None
+        assert abs(true_p - config.target) < 2.0

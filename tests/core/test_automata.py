@@ -1,0 +1,133 @@
+"""Language-level automata: the present/reset encoding (Section 3.1)."""
+
+import pytest
+
+from repro.core import Interpreter, load
+from repro.core.automata import AutomatonE, AutoStateE, expand_automata
+from repro.dsl import arrow, const, eq, node, op, pre, program, var, where_
+from repro.errors import LanguageError
+from repro.runtime import run
+
+
+def counter_body():
+    """A body that counts 0, 1, 2, ... from each (re-)entry."""
+    return where_(
+        var("c"), eq("c", arrow(const(0.0), pre(var("c")) + const(1.0)))
+    )
+
+
+def two_state(threshold: float):
+    """Go counts until `threshold`, then Task counts afresh."""
+    return AutomatonE(
+        states=(
+            AutoStateE(
+                "Go",
+                counter_body(),
+                ((op("ge", var("o"), const(threshold)), "Task"),),
+            ),
+            AutoStateE("Task", counter_body()),
+        ),
+    )
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(LanguageError):
+            expand_automata(AutomatonE(states=()))
+
+    def test_duplicate_state_rejected(self):
+        auto = AutomatonE(states=(
+            AutoStateE("A", const(1.0)),
+            AutoStateE("A", const(2.0)),
+        ))
+        with pytest.raises(LanguageError):
+            expand_automata(auto)
+
+    def test_unknown_target_rejected(self):
+        auto = AutomatonE(states=(
+            AutoStateE("A", const(1.0), ((const(True), "Ghost"),)),
+        ))
+        with pytest.raises(LanguageError):
+            expand_automata(auto)
+
+
+class TestExecution:
+    def test_single_state_runs_body(self):
+        prog = program(node("n", "u", AutomatonE(states=(
+            AutoStateE("Only", counter_body()),
+        ))))
+        outputs = run(load(prog).det_node("n"), [None] * 4)
+        assert outputs == [0.0, 1.0, 2.0, 3.0]
+
+    def test_weak_transition_next_instant(self):
+        prog = program(node("n", "u", two_state(threshold=1.0)))
+        outputs = run(load(prog).det_node("n"), [None] * 5)
+        # Go emits 0, 1 (guard fires on 1); Task starts fresh
+        assert outputs == [0.0, 1.0, 0.0, 1.0, 2.0]
+
+    def test_reentry_resets_state(self):
+        # ping-pong: each state leaves immediately; bodies always fresh
+        auto = AutomatonE(states=(
+            AutoStateE("A", counter_body(), ((const(True), "B"),)),
+            AutoStateE("B", counter_body(), ((const(True), "A"),)),
+        ))
+        prog = program(node("n", "u", auto))
+        outputs = run(load(prog).det_node("n"), [None] * 6)
+        assert outputs == [0.0] * 6
+
+    def test_guard_reads_mode_output(self):
+        """Guards reference the body's value through `out_name`."""
+        auto = AutomatonE(
+            states=(
+                AutoStateE(
+                    "Up",
+                    counter_body(),
+                    ((op("ge", var("val"), const(2.0)), "Down"),),
+                ),
+                AutoStateE("Down", const(-1.0)),
+            ),
+            out_name="val",
+        )
+        prog = program(node("n", "u", auto))
+        outputs = run(load(prog).det_node("n"), [None] * 5)
+        assert outputs == [0.0, 1.0, 2.0, -1.0, -1.0]
+
+    def test_guard_reads_enclosing_input(self):
+        """Guards can also read the node input (enclosing scope)."""
+        auto = AutomatonE(states=(
+            AutoStateE("Wait", const(0.0), ((var("go"), "Run"),)),
+            AutoStateE("Run", counter_body()),
+        ))
+        prog = program(node("n", "go", auto))
+        outputs = run(load(prog).det_node("n"), [False, False, True, False, False])
+        assert outputs == [0.0, 0.0, 0.0, 0.0, 1.0]
+
+    def test_three_states_chain(self):
+        auto = AutomatonE(states=(
+            AutoStateE("A", const(10.0), ((const(True), "B"),)),
+            AutoStateE("B", const(20.0), ((const(True), "C"),)),
+            AutoStateE("C", const(30.0)),
+        ))
+        prog = program(node("n", "u", auto))
+        outputs = run(load(prog).det_node("n"), [None] * 4)
+        assert outputs == [10.0, 20.0, 30.0, 30.0]
+
+    def test_compiled_equals_interpreted(self):
+        prog = program(node("n", "u", two_state(threshold=2.0)))
+        compiled = run(load(prog).det_node("n"), [None] * 7)
+        interpreted = run(Interpreter(prog).det_node("n"), [None] * 7)
+        assert compiled == interpreted
+
+    def test_matches_runtime_automaton(self):
+        """The AST encoding agrees with the runtime combinator."""
+        from repro.runtime import Automaton, AutoState
+        from repro.runtime.stdlib import Counter
+
+        runtime_auto = Automaton([
+            AutoState("Go", Counter(), [(lambda out: out >= 1, "Task")]),
+            AutoState("Task", Counter()),
+        ])
+        ast_prog = program(node("n", "u", two_state(threshold=1.0)))
+        runtime_out = [float(v) for v in run(runtime_auto, [None] * 6)]
+        ast_out = run(load(ast_prog).det_node("n"), [None] * 6)
+        assert runtime_out == ast_out

@@ -1,0 +1,101 @@
+"""The co-iterative interpreter: states, scoping, and error paths."""
+
+import pytest
+
+from repro.core import Interpreter
+from repro.dsl import (
+    app,
+    arrow,
+    const,
+    eq,
+    gaussian,
+    init,
+    last,
+    node,
+    pair,
+    pre,
+    program,
+    sample,
+    var,
+    where_,
+)
+from repro.errors import EvaluationError, ScopeError
+from repro.runtime import run
+
+
+class TestStates:
+    def test_initial_state_shape_of_where(self):
+        prog = program(node("n", "u", where_(
+            var("x"),
+            init("x", 5.0),
+            eq("x", last("x") + const(1.0)),
+        )))
+        interp = Interpreter(prog)
+        mems, eq_states, body_state = interp.det_node("n").init()
+        assert mems == (5.0,)
+
+    def test_state_is_immutable_nested_tuples(self):
+        prog = program(node("n", "u", where_(
+            var("x"), eq("x", arrow(const(0.0), pre(var("x")) + const(1.0)))
+        )))
+        n = Interpreter(prog).det_node("n")
+        state = n.init()
+        _, state2 = n.step(state, None)
+        # stepping must not mutate the old state (pure transition)
+        _, state3 = n.step(state, None)
+        assert state2 == state3
+
+
+class TestScoping:
+    def test_unbound_variable(self):
+        prog = program(node("n", "u", var("ghost")))
+        n = Interpreter(prog).det_node("n")
+        with pytest.raises(ScopeError):
+            n.step(n.init(), 1.0)
+
+    def test_node_scope_is_not_dynamic(self):
+        """A node body cannot see the caller's locals."""
+        callee = node("callee", "a", var("secret"))
+        caller = node("caller", "u", where_(
+            app("callee", var("u")),
+            eq("secret", const(42.0)),
+        ))
+        n = Interpreter(program(callee, caller)).det_node("caller")
+        with pytest.raises(ScopeError):
+            n.step(n.init(), 1.0)
+
+    def test_undeclared_node_application(self):
+        prog = program(node("n", "u", app("missing_node", var("u"))))
+        with pytest.raises(ScopeError):
+            Interpreter(prog).det_node("n").init()
+
+
+class TestDeterministicContext:
+    def test_sample_without_ctx_raises(self):
+        prog = program(node("n", "u", sample(gaussian(const(0.0), const(1.0)))))
+        interp = Interpreter(prog)
+        n = interp.det_node("n")
+        with pytest.raises(EvaluationError):
+            n.step(n.init(), None)
+
+    def test_prob_node_runs_with_ctx(self, rng):
+        from repro.inference.contexts import SamplingCtx
+
+        prog = program(node("n", "u", sample(gaussian(const(0.0), const(1.0)))))
+        model = Interpreter(prog).prob_node("n")
+        ctx = SamplingCtx(rng)
+        value, _ = model.step(model.init(), None, ctx)
+        assert isinstance(value, float)
+
+
+class TestMultiParam:
+    def test_nested_pair_binding(self):
+        three = node("f", ("a", "b", "c"), var("a") + var("b") * var("c"))
+        n = Interpreter(program(three)).det_node("f")
+        out, _ = n.step(n.init(), (1.0, (2.0, 3.0)))
+        assert out == 7.0
+
+    def test_pair_outputs(self):
+        prog = program(node("n", "u", pair(var("u"), var("u") + const(1.0))))
+        outputs = run(Interpreter(prog).det_node("n"), [1.0, 2.0])
+        assert outputs == [(1.0, 2.0), (2.0, 3.0)]

@@ -1,0 +1,95 @@
+"""infer inside compiled programs: engine plumbing and configuration."""
+
+import pytest
+
+from repro.core import Interpreter, load
+from repro.dsl import (
+    app,
+    arrow,
+    const,
+    eq,
+    gaussian,
+    infer_,
+    node,
+    observe,
+    op,
+    pre,
+    program,
+    sample,
+    var,
+    where_,
+)
+from repro.errors import CompilationError
+from repro.runtime import run
+
+
+def hmm_main(method="sds", particles=1):
+    hmm = node("hmm", "y", where_(
+        var("x"),
+        eq("x", sample(gaussian(arrow(const(0.0), pre(var("x"))), const(1.0)))),
+        eq("_u", observe(gaussian(var("x"), const(1.0)), var("y"))),
+    ))
+    main = node("main", "y",
+                infer_(app("hmm", var("y")), particles=particles,
+                       method=method, seed=0))
+    return program(hmm, main)
+
+
+class TestCompiledInfer:
+    @pytest.mark.parametrize("method", ["pf", "bds", "sds", "ds"])
+    def test_all_methods_run_compiled(self, method):
+        module = load(hmm_main(method=method, particles=5))
+        main = module.det_node("main")
+        outputs = run(main, [0.5, 1.0, 1.5])
+        assert all(hasattr(d, "mean") for d in outputs)
+
+    def test_two_instances_have_independent_state(self):
+        module = load(hmm_main())
+        main = module.det_node("main")
+        s1, s2 = main.init(), main.init()
+        d1, s1 = main.step(s1, 10.0)
+        d2, s2 = main.step(s2, -10.0)
+        assert d1.mean() > 0 > d2.mean()
+
+    def test_prob_node_of_deterministic_allowed(self):
+        """Kind D lifts to P: any node can serve as a model."""
+        prog = program(node("n", "x", var("x") + const(1.0)))
+        module = load(prog)
+        model = module.prob_node("n")
+        from repro.inference import infer
+
+        engine = infer(model, n_particles=2, method="pf", seed=0)
+        state = engine.init()
+        dist, _ = engine.step(state, 1.0)
+        assert dist.mean() == pytest.approx(2.0)
+
+    def test_det_node_of_probabilistic_rejected(self):
+        module = load(hmm_main())
+        with pytest.raises(CompilationError):
+            module.det_node("hmm")
+
+    def test_node_names_and_kinds(self):
+        module = load(hmm_main())
+        assert module.node_names() == ["hmm", "main"]
+        assert module.kind("hmm") == "P"
+        assert module.kind("main") == "D"
+
+
+class TestInterpretedInfer:
+    def test_interpreter_prob_node_under_engine(self):
+        from repro.inference import infer
+
+        prog = hmm_main()
+        interp = Interpreter(prog)
+        model = interp.prob_node("hmm")
+        engine = infer(model, n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        dist, state = engine.step(state, 0.5)
+        assert dist.mean() == pytest.approx(0.25)  # N(0,1) prior, obs var 1
+
+    def test_nested_infer_inside_deterministic_node(self):
+        prog = hmm_main()
+        interp = Interpreter(prog)
+        main = interp.det_node("main")
+        outputs = run(main, [0.5, 1.5])
+        assert outputs[1].mean() != outputs[0].mean()

@@ -1,0 +1,182 @@
+"""Theorem 4.2: the compiled muF term and the co-iterative semantics agree.
+
+Deterministic programs must agree *exactly*, step for step. Probabilistic
+programs must agree as inference processes: with delayed sampling the
+posterior is deterministic given the observations, so SDS posteriors
+through both paths must be identical.
+"""
+
+import pytest
+
+from repro.core import Interpreter, load
+from repro.dsl import (
+    app,
+    arrow,
+    const,
+    eq,
+    fby,
+    gaussian,
+    if_,
+    infer_,
+    init,
+    last,
+    node,
+    observe,
+    op,
+    pair,
+    pre,
+    present,
+    program,
+    reset,
+    sample,
+    var,
+    where_,
+)
+from repro.runtime import run
+
+
+def both_nodes(prog, name):
+    return load(prog).det_node(name), Interpreter(prog).det_node(name)
+
+
+def assert_equivalent(prog, name, inputs):
+    compiled, interpreted = both_nodes(prog, name)
+    out_c = run(compiled, inputs)
+    out_i = run(interpreted, inputs)
+    assert out_c == out_i
+    return out_c
+
+
+class TestDeterministicEquivalence:
+    def test_counter(self):
+        counter = node("counter", "u", where_(
+            var("x"), eq("x", arrow(const(0.0), pre(var("x")) + const(1.0)))
+        ))
+        outputs = assert_equivalent(program(counter), "counter", [None] * 6)
+        assert outputs == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_integr_backward_euler(self):
+        """The paper's very first example: backward Euler integration."""
+        integr = node("integr", ("xo", "xp"), where_(
+            var("x"),
+            eq("x", arrow(var("xo"), pre(var("x")) + var("xp") * const(0.5))),
+        ))
+        outputs = assert_equivalent(
+            program(integr), "integr", [(2.0, 1.0)] * 4
+        )
+        assert outputs == [2.0, 2.5, 3.0, 3.5]
+
+    def test_node_application(self):
+        inner = node("double", "x", var("x") * const(2.0))
+        outer = node("main", "y", app("double", var("y")) + const(1.0))
+        outputs = assert_equivalent(program(inner, outer), "main", [1.0, 2.0])
+        assert outputs == [3.0, 5.0]
+
+    def test_stateful_subnode(self):
+        counter = node("counter", "u", where_(
+            var("x"), eq("x", arrow(const(0.0), pre(var("x")) + const(1.0)))
+        ))
+        main = node("main", "u", app("counter", var("u")) * const(10.0))
+        outputs = assert_equivalent(program(counter, main), "main", [None] * 3)
+        assert outputs == [0.0, 10.0, 20.0]
+
+    def test_present_lazy_branches(self):
+        """present executes only the selected branch's state."""
+        prog = program(node("n", "c", where_(
+            var("out"),
+            eq("out", present(
+                var("c"),
+                where_(var("a"), eq("a", arrow(const(100.0), pre(var("a")) + const(1.0)))),
+                const(-1.0),
+            )),
+        )))
+        outputs = assert_equivalent(prog, "n", [True, False, True, True])
+        # the then-branch's counter only advances when selected
+        assert outputs == [100.0, -1.0, 101.0, 102.0]
+
+    def test_if_strict_both_branches(self):
+        """if (an external op) advances both branches' state."""
+        prog = program(node("n", "c", where_(
+            var("out"),
+            eq("cnt", arrow(const(0.0), pre(var("cnt")) + const(1.0))),
+            eq("out", if_(var("c"), var("cnt"), const(-1.0))),
+        )))
+        outputs = assert_equivalent(prog, "n", [True, False, True])
+        assert outputs == [0.0, -1.0, 2.0]
+
+    def test_reset_reinitializes(self):
+        prog = program(node("n", "r", where_(
+            var("out"),
+            eq("out", reset(
+                where_(var("x"), eq("x", arrow(const(0.0), pre(var("x")) + const(1.0)))),
+                var("r"),
+            )),
+        )))
+        outputs = assert_equivalent(prog, "n", [False, False, True, False, True])
+        assert outputs == [0.0, 1.0, 0.0, 1.0, 0.0]
+
+    def test_pairs_and_projections(self):
+        prog = program(node("n", "u", where_(
+            op("fst", var("p")) + op("snd", var("p")),
+            eq("p", pair(const(1.0), const(2.0))),
+        )))
+        outputs = assert_equivalent(prog, "n", [None])
+        assert outputs == [3.0]
+
+    def test_fby_chains(self):
+        prog = program(node("n", "u", where_(
+            var("y"),
+            eq("x", fby(const(1.0), var("x") + const(1.0))),
+            eq("y", fby(const(10.0), var("x"))),
+        )))
+        outputs = assert_equivalent(prog, "n", [None] * 4)
+        assert outputs == [10.0, 1.0, 2.0, 3.0]
+
+    def test_last_with_init(self):
+        prog = program(node("n", "u", where_(
+            var("x"),
+            init("x", 5.0),
+            eq("x", last("x") + const(1.0)),
+        )))
+        outputs = assert_equivalent(prog, "n", [None] * 3)
+        assert outputs == [6.0, 7.0, 8.0]
+
+
+class TestProbabilisticEquivalence:
+    def hmm_program(self, method):
+        hmm = node("hmm", "y", where_(
+            var("x"),
+            eq("x", sample(gaussian(arrow(const(0.0), pre(var("x"))), const(1.0)))),
+            eq("_u", observe(gaussian(var("x"), const(1.0)), var("y"))),
+        ))
+        main = node(
+            "main", "y",
+            op("mean_float", infer_(app("hmm", var("y")), particles=1,
+                                    method=method, seed=0)),
+        )
+        return program(hmm, main)
+
+    def test_sds_posterior_identical_through_both_paths(self):
+        observations = [0.5, 1.0, 1.5, 0.7]
+        prog = self.hmm_program("sds")
+        compiled = load(prog).det_node("main")
+        interpreted = Interpreter(prog).det_node("main")
+        out_c = run(compiled, observations)
+        out_i = run(interpreted, observations)
+        assert out_c == pytest.approx(out_i, rel=1e-12)
+
+    def test_sds_posterior_matches_kalman_oracle(self):
+        observations = [0.5, 1.0, 1.5, 0.7]
+        prog = self.hmm_program("sds")
+        compiled = load(prog).det_node("main")
+        # oracle: scalar Kalman with prior N(0, 1), motion 1, obs 1
+        mu, var = 0.0, 1.0
+        state = compiled.init()
+        for t, obs in enumerate(observations):
+            if t > 0:
+                var += 1.0
+            gain = var / (var + 1.0)
+            mu = mu + gain * (obs - mu)
+            var = (1.0 - gain) * var
+            out, state = compiled.step(state, obs)
+            assert out == pytest.approx(mu, rel=1e-12)

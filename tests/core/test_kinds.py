@@ -1,0 +1,119 @@
+"""The kind system of Fig. 7: D/P assignment and rule violations."""
+
+import pytest
+
+from repro.core import D, P, check_program, kind_of_expr
+from repro.dsl import (
+    app,
+    arrow,
+    const,
+    eq,
+    factor,
+    gaussian,
+    infer_,
+    node,
+    observe,
+    pre,
+    program,
+    sample,
+    var,
+    where_,
+)
+from repro.errors import KindError, ScopeError
+
+
+class TestBasicKinds:
+    def test_constants_and_variables_are_d(self):
+        assert kind_of_expr(const(1.0), {}) == D
+        assert kind_of_expr(var("x"), {}) == D
+
+    def test_sample_is_p(self):
+        assert kind_of_expr(sample(gaussian(0.0, 1.0)), {}) == P
+
+    def test_observe_is_p(self):
+        assert kind_of_expr(observe(gaussian(0.0, 1.0), const(1.0)), {}) == P
+
+    def test_factor_is_p(self):
+        assert kind_of_expr(factor(const(-1.0)), {}) == P
+
+    def test_infer_is_d(self):
+        assert kind_of_expr(infer_(sample(gaussian(0.0, 1.0))), {}) == D
+
+    def test_infer_of_deterministic_allowed(self):
+        # D lifts to P by sub-typing, so infer(det) is well-kinded
+        assert kind_of_expr(infer_(const(1.0)), {}) == D
+
+
+class TestPropagation:
+    def test_op_joins_kinds(self):
+        assert kind_of_expr(sample(gaussian(0.0, 1.0)) + const(1.0), {}) == P
+        assert kind_of_expr(const(1.0) + const(2.0), {}) == D
+
+    def test_where_propagates_equation_kind(self):
+        expr = where_(var("x"), eq("x", sample(gaussian(0.0, 1.0))))
+        assert kind_of_expr(expr, {}) == P
+
+    def test_application_takes_node_kind(self):
+        env = {"f": P, "g": D}
+        assert kind_of_expr(app("f", const(1.0)), env) == P
+        assert kind_of_expr(app("g", const(1.0)), env) == D
+
+    def test_surface_sugar_kinds(self):
+        assert kind_of_expr(arrow(const(0.0), pre(var("x"))), {}) == D
+        assert kind_of_expr(arrow(const(0.0), sample(gaussian(0.0, 1.0))), {}) == P
+
+
+class TestViolations:
+    def test_sample_of_probabilistic_arg_rejected(self):
+        inner = sample(gaussian(0.0, 1.0))
+        with pytest.raises(KindError):
+            kind_of_expr(sample(gaussian(inner, 1.0)), {})
+
+    def test_observe_of_probabilistic_value_rejected(self):
+        with pytest.raises(KindError):
+            kind_of_expr(
+                observe(gaussian(0.0, 1.0), sample(gaussian(0.0, 1.0))), {}
+            )
+
+    def test_probabilistic_node_argument_rejected(self):
+        env = {"f": D}
+        with pytest.raises(KindError):
+            kind_of_expr(app("f", sample(gaussian(0.0, 1.0))), env)
+
+    def test_undeclared_node_rejected(self):
+        with pytest.raises(ScopeError):
+            kind_of_expr(app("missing", const(1.0)), {})
+
+    def test_pre_of_probabilistic_rejected(self):
+        with pytest.raises(KindError):
+            kind_of_expr(pre(sample(gaussian(0.0, 1.0))), {})
+
+
+class TestProgramChecking:
+    def test_program_kinds(self):
+        hmm = node("hmm", "y", where_(
+            var("x"),
+            eq("x", sample(gaussian(0.0, 1.0))),
+        ))
+        main = node("main", "y", infer_(app("hmm", var("y"))))
+        kinds = check_program(program(hmm, main))
+        assert kinds == {"hmm": P, "main": D}
+
+    def test_deterministic_program(self):
+        counter = node("counter", "u", where_(
+            var("x"),
+            eq("x", arrow(const(0.0), pre(var("x")) + const(1.0))),
+        ))
+        kinds = check_program(program(counter))
+        assert kinds == {"counter": D}
+
+    def test_probabilistic_node_used_deterministically(self):
+        """A P node applied inside a D node without infer propagates P.
+
+        The result is that the outer node is itself P — probabilistic
+        kinds only discharge through infer.
+        """
+        prob = node("prob", "u", sample(gaussian(0.0, 1.0)))
+        outer = node("outer", "u", app("prob", var("u")) + const(1.0))
+        kinds = check_program(program(prob, outer))
+        assert kinds["outer"] == P

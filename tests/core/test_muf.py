@@ -1,0 +1,119 @@
+"""muF core calculus: evaluation, patterns, probabilistic operators."""
+
+import pytest
+
+from repro.core.muf import (
+    Closure,
+    MApp,
+    MConst,
+    MFactor,
+    MFun,
+    MIf,
+    MLet,
+    MObserve,
+    MOp,
+    MSample,
+    MTuple,
+    MVar,
+    PTuple,
+    PVar,
+    bind_pattern,
+    eval_term,
+    pretty,
+)
+from repro.dists import Gaussian
+from repro.errors import MuFRuntimeError
+from repro.inference.contexts import SamplingCtx
+
+
+class TestPatterns:
+    def test_var_binding(self):
+        env = bind_pattern(PVar("x"), 42, {})
+        assert env["x"] == 42
+
+    def test_tuple_binding(self):
+        pat = PTuple((PVar("a"), PTuple((PVar("b"), PVar("c")))))
+        env = bind_pattern(pat, (1, (2, 3)), {})
+        assert (env["a"], env["b"], env["c"]) == (1, 2, 3)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(MuFRuntimeError):
+            bind_pattern(PTuple((PVar("a"), PVar("b"))), (1, 2, 3), {})
+
+
+class TestEvaluation:
+    def test_const_var(self):
+        assert eval_term(MConst(5), {}) == 5
+        assert eval_term(MVar("x"), {"x": 7}) == 7
+
+    def test_unbound_var(self):
+        with pytest.raises(MuFRuntimeError):
+            eval_term(MVar("missing"), {})
+
+    def test_tuple_and_op(self):
+        term = MTuple((MOp("add", (MConst(1.0), MConst(2.0))), MConst(0)))
+        assert eval_term(term, {}) == (3.0, 0)
+
+    def test_if_strict(self):
+        term = MIf(MConst(True), MConst(1), MConst(2))
+        assert eval_term(term, {}) == 1
+
+    def test_let_and_fun(self):
+        # let f = fun x -> x + 1 in f 41
+        term = MLet(
+            PVar("f"),
+            MFun(PVar("x"), MOp("add", (MVar("x"), MConst(1)))),
+            MApp(MVar("f"), MConst(41)),
+        )
+        assert eval_term(term, {}) == 42
+
+    def test_closure_captures_env(self):
+        term = MLet(
+            PVar("y"),
+            MConst(10),
+            MLet(
+                PVar("f"),
+                MFun(PVar("x"), MOp("add", (MVar("x"), MVar("y")))),
+                MLet(PVar("y"), MConst(999), MApp(MVar("f"), MConst(1))),
+            ),
+        )
+        assert eval_term(term, {}) == 11  # lexical scoping
+
+    def test_apply_non_function(self):
+        with pytest.raises(MuFRuntimeError):
+            eval_term(MApp(MConst(1), MConst(2)), {})
+
+
+class TestProbabilisticOps:
+    def test_sample_without_ctx_raises(self):
+        with pytest.raises(MuFRuntimeError):
+            eval_term(MSample(MConst(Gaussian(0.0, 1.0))), {})
+
+    def test_sample_with_ctx(self, rng):
+        ctx = SamplingCtx(rng)
+        value = eval_term(MSample(MConst(Gaussian(0.0, 1.0))), {}, ctx)
+        assert isinstance(value, float)
+
+    def test_observe_updates_weight(self, rng):
+        ctx = SamplingCtx(rng)
+        eval_term(MObserve(MConst(Gaussian(0.0, 1.0)), MConst(0.5)), {}, ctx)
+        assert ctx.log_weight == pytest.approx(Gaussian(0.0, 1.0).log_pdf(0.5))
+
+    def test_factor_updates_weight(self, rng):
+        ctx = SamplingCtx(rng)
+        eval_term(MFactor(MConst(-2.0)), {}, ctx)
+        assert ctx.log_weight == -2.0
+
+
+class TestPretty:
+    def test_renders_terms(self):
+        term = MLet(
+            PVar("x"), MConst(1), MOp("add", (MVar("x"), MConst(2)))
+        )
+        text = pretty(term)
+        assert "let x" in text
+        assert "add" in text
+
+    def test_renders_fun(self):
+        text = pretty(MFun(PTuple((PVar("s"), PVar("x"))), MVar("s")))
+        assert "fun (s, x)" in text

@@ -1,0 +1,83 @@
+"""The external operator table shared by both evaluators."""
+
+import pytest
+
+from repro.core.ops import OPS, apply_op, register
+from repro.dists import Gaussian
+from repro.errors import EvaluationError
+from repro.symbolic import App, RVar
+
+
+class FakeNode:
+    family = "gaussian"
+
+
+class TestArithmetic:
+    def test_concrete_arithmetic(self):
+        assert apply_op("add", (1.0, 2.0)) == 3.0
+        assert apply_op("div", (6.0, 3.0)) == 2.0
+        assert apply_op("neg", (5.0,)) == -5.0
+
+    def test_symbolic_arguments_build_trees(self):
+        x = RVar(FakeNode())
+        result = apply_op("add", (x, 1.0))
+        assert isinstance(result, App)
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvaluationError):
+            apply_op("quux", (1.0,))
+
+
+class TestControl:
+    def test_if_selects_value(self):
+        assert apply_op("if", (True, 1.0, 2.0)) == 1.0
+        assert apply_op("if", (False, 1.0, 2.0)) == 2.0
+
+    def test_if_symbolic_condition_rejected(self):
+        x = RVar(FakeNode())
+        with pytest.raises(EvaluationError):
+            apply_op("if", (x, 1.0, 2.0))
+
+    def test_comparisons_concrete_only(self):
+        assert apply_op("gt", (2.0, 1.0)) is True
+        x = RVar(FakeNode())
+        with pytest.raises(EvaluationError):
+            apply_op("lt", (x, 1.0))
+
+    def test_logic(self):
+        assert apply_op("and", (True, False)) is False
+        assert apply_op("or", (True, False)) is True
+        assert apply_op("not", (False,)) is True
+
+
+class TestPairsAndDists:
+    def test_fst_snd(self):
+        assert apply_op("fst", ((1, 2),)) == 1
+        assert apply_op("snd", ((1, 2),)) == 2
+
+    def test_distribution_constructors(self):
+        dist = apply_op("gaussian", (0.0, 2.0))
+        assert isinstance(dist, Gaussian)
+        assert dist.var == 2.0
+
+    def test_mean_accessors(self):
+        dist = Gaussian(1.5, 1.0)
+        assert apply_op("mean", (dist,)) == 1.5
+        assert apply_op("mean_float", (dist,)) == 1.5
+        assert apply_op("variance", (dist,)) == 1.0
+
+    def test_signal_operators_registered(self):
+        import repro.core.signals  # noqa: F401 — registers is_present/get
+
+        assert apply_op("is_present", (None,)) is False
+        assert apply_op("is_present", (3.0,)) is True
+        assert apply_op("get", (3.0,)) == 3.0
+        with pytest.raises(EvaluationError):
+            apply_op("get", (None,))
+
+
+class TestRegistration:
+    def test_register_new_operator(self):
+        register("triple", lambda v: v * 3)
+        assert apply_op("triple", (4.0,)) == 12.0
+        del OPS["triple"]

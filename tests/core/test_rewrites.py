@@ -1,0 +1,103 @@
+"""Source-to-source rewrites: ->, pre, fby elimination (Section 3.1)."""
+
+import pytest
+
+from repro.core.ast import Arrow, Eq, Fby, InitEq, Last, Op, PreE, Where
+from repro.core.rewrites import desugar_expr, desugar_node, has_surface_sugar
+from repro.dsl import arrow, const, eq, fby, node, pre, sample, gaussian, var, where_
+from repro.runtime import run
+
+
+class TestDetection:
+    def test_detects_sugar(self):
+        assert has_surface_sugar(arrow(const(0.0), var("x")))
+        assert has_surface_sugar(pre(var("x")))
+        assert has_surface_sugar(fby(const(0.0), var("x")))
+        assert has_surface_sugar(where_(var("x"), eq("x", pre(var("y")))))
+
+    def test_kernel_is_sugar_free(self):
+        assert not has_surface_sugar(var("x") + const(1.0))
+
+
+class TestDesugaring:
+    def test_result_is_kernel_only(self):
+        expr = where_(
+            var("x"),
+            eq("x", arrow(const(0.0), pre(var("x")) + const(1.0))),
+        )
+        result = desugar_expr(expr)
+        assert not has_surface_sugar(result)
+
+    def test_arrow_becomes_if_on_first_flag(self):
+        expr = where_(var("x"), eq("x", arrow(const(1.0), const(2.0))))
+        result = desugar_expr(expr)
+        (def_eq,) = [
+            e for e in result.equations if isinstance(e, Eq) and e.name == "x"
+        ]
+        assert isinstance(def_eq.expr, Op)
+        assert def_eq.expr.name == "if"
+        assert isinstance(def_eq.expr.args[0], Last)
+
+    def test_pre_introduces_init_and_equation(self):
+        expr = where_(var("x"), eq("x", pre(var("y")) ), eq("y", const(1.0)))
+        result = desugar_expr(expr)
+        inits = [e for e in result.equations if isinstance(e, InitEq)]
+        assert len(inits) == 1  # the fresh pre variable
+
+    def test_arrows_share_one_flag_per_block(self):
+        expr = where_(
+            var("x") + var("y"),
+            eq("x", arrow(const(0.0), const(1.0))),
+            eq("y", arrow(const(5.0), const(6.0))),
+        )
+        result = desugar_expr(expr)
+        inits = [e for e in result.equations if isinstance(e, InitEq)]
+        # one shared fst flag, no pre variables
+        assert len(inits) == 1
+
+    def test_bare_expression_wrapped_in_where(self):
+        result = desugar_expr(arrow(const(1.0), const(2.0)))
+        assert isinstance(result, Where)
+
+    def test_fby_equals_arrow_pre(self):
+        """e1 fby e2 and e1 -> pre e2 compute the same stream."""
+        from repro.core import load
+        from repro.dsl import program
+
+        n1 = node("a", "u", where_(
+            var("x"), eq("x", fby(const(0.0), var("x") + const(1.0)))
+        ))
+        n2 = node("a", "u", where_(
+            var("x"), eq("x", arrow(const(0.0), pre(var("x") + const(1.0))))
+        ))
+        out1 = run(load(program(n1)).det_node("a"), [None] * 6)
+        out2 = run(load(program(n2)).det_node("a"), [None] * 6)
+        assert out1 == out2 == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestPaperExample:
+    def test_counter_example_from_section_3_1(self):
+        """x = 0 -> pre x + 1 counts 0, 1, 2, ..."""
+        from repro.core import load
+        from repro.dsl import program
+
+        counter = node("counter", "u", where_(
+            var("x"),
+            eq("x", arrow(const(0.0), pre(var("x")) + const(1.0))),
+        ))
+        outputs = run(load(program(counter)).det_node("counter"), [None] * 5)
+        assert outputs == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_desugared_node_equivalent(self):
+        from repro.core import load
+        from repro.dsl import program
+
+        source = node("n", "u", where_(
+            var("x"),
+            eq("x", arrow(const(0.0), pre(var("x")) + const(2.0))),
+        ))
+        desugared = desugar_node(source)
+        assert not has_surface_sugar(desugared.body)
+        out_src = run(load(program(source)).det_node("n"), [None] * 4)
+        out_des = run(load(program(desugared)).det_node("n"), [None] * 4)
+        assert out_src == out_des

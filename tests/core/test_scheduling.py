@@ -1,0 +1,126 @@
+"""Equation scheduling and causality analysis (Section 3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ast import Eq, InitEq, Const, Last, Var, Op
+from repro.core.scheduling import (
+    check_initialization,
+    instantaneous_reads,
+    last_reads,
+    schedule_equations,
+)
+from repro.dsl import const, eq, init, last, op, sample, var, where_, gaussian
+from repro.errors import CausalityError, InitializationError
+
+
+class TestInstantaneousReads:
+    def test_var_is_instantaneous(self):
+        assert instantaneous_reads(var("x")) == {"x"}
+
+    def test_last_is_not(self):
+        assert instantaneous_reads(last("x")) == set()
+
+    def test_nested_where_shadows(self):
+        inner = where_(var("a") + var("outer"), eq("a", const(1.0)))
+        assert instantaneous_reads(inner) == {"outer"}
+
+    def test_op_collects_all(self):
+        expr = op("add", var("a"), op("mul", var("b"), last("c")))
+        assert instantaneous_reads(expr) == {"a", "b"}
+
+
+class TestLastReads:
+    def test_collects_last(self):
+        expr = op("add", var("a"), last("c"))
+        assert last_reads(expr) == {"c"}
+
+
+class TestSchedule:
+    def test_orders_by_dependency(self):
+        eqs = (
+            eq("y", var("x") + const(1.0)),
+            eq("x", const(2.0)),
+        )
+        ordered = schedule_equations(eqs)
+        names = [e.name for e in ordered]
+        assert names.index("x") < names.index("y")
+
+    def test_inits_come_first(self):
+        eqs = (
+            eq("x", last("x") + const(1.0)),
+            init("x", 0.0),
+        )
+        ordered = schedule_equations(eqs)
+        assert isinstance(ordered[0], InitEq)
+
+    def test_last_breaks_cycles(self):
+        eqs = (
+            init("x", 0.0),
+            eq("x", var("y")),
+            eq("y", last("x") + const(1.0)),
+        )
+        ordered = schedule_equations(eqs)
+        names = [e.name for e in ordered if isinstance(e, Eq)]
+        assert names.index("y") < names.index("x")
+
+    def test_instantaneous_cycle_rejected(self):
+        eqs = (
+            eq("x", var("y")),
+            eq("y", var("x")),
+        )
+        with pytest.raises(CausalityError):
+            schedule_equations(eqs)
+
+    def test_self_cycle_rejected(self):
+        with pytest.raises(CausalityError):
+            schedule_equations((eq("x", var("x") + const(1.0)),))
+
+    def test_duplicate_definition_rejected(self):
+        eqs = (eq("x", const(1.0)), eq("x", const(2.0)))
+        with pytest.raises(CausalityError):
+            schedule_equations(eqs)
+
+    def test_missing_definition_gets_implicit_last(self):
+        """init x = c with no defining equation adds x = last x."""
+        ordered = schedule_equations((init("x", 1.0),))
+        defs = [e for e in ordered if isinstance(e, Eq)]
+        assert len(defs) == 1
+        assert isinstance(defs[0].expr, Last)
+
+    def test_stable_among_independent(self):
+        eqs = (eq("a", const(1.0)), eq("b", const(2.0)), eq("c", const(3.0)))
+        ordered = schedule_equations(eqs)
+        assert [e.name for e in ordered] == ["a", "b", "c"]
+
+    @given(n=st.integers(min_value=2, max_value=12), seed=st.integers(0, 1000))
+    def test_random_chains_schedule_correctly(self, n, seed):
+        """A random permutation of a dependency chain always schedules."""
+        import random
+
+        rnd = random.Random(seed)
+        eqs = [eq("x0", const(0.0))]
+        for i in range(1, n):
+            eqs.append(eq(f"x{i}", var(f"x{i-1}") + const(1.0)))
+        rnd.shuffle(eqs)
+        ordered = schedule_equations(tuple(eqs))
+        positions = {e.name: i for i, e in enumerate(ordered)}
+        for i in range(1, n):
+            assert positions[f"x{i-1}"] < positions[f"x{i}"]
+
+
+class TestInitializationAnalysis:
+    def test_last_without_init_rejected(self):
+        expr = where_(last("x"), eq("x", const(1.0)))
+        with pytest.raises(InitializationError):
+            check_initialization(expr)
+
+    def test_last_with_init_accepted(self):
+        expr = where_(last("x"), init("x", 0.0), eq("x", const(1.0)))
+        check_initialization(expr)
+
+    def test_init_scope_extends_to_nested_blocks(self):
+        inner = where_(last("x"), eq("y", const(1.0)))
+        outer = where_(inner, init("x", 0.0), eq("x", const(2.0)))
+        check_initialization(outer)

@@ -1,0 +1,114 @@
+"""Optional signals and the binding present (Fig. 5's GPS conditioning)."""
+
+import pytest
+
+from repro.core import Interpreter, load
+from repro.core.signals import present_signal
+from repro.dsl import (
+    app,
+    arrow,
+    const,
+    eq,
+    gaussian,
+    infer_,
+    node,
+    observe,
+    pre,
+    program,
+    sample,
+    var,
+    where_,
+)
+from repro.errors import LanguageError
+from repro.runtime import run
+
+
+class TestEncoding:
+    def test_signal_must_be_variable(self):
+        with pytest.raises(LanguageError):
+            present_signal(const(1.0) + const(2.0), "x", const(0.0), const(1.0))
+
+    def test_binds_payload_when_present(self):
+        body = present_signal(var("s"), "payload", var("payload"), const(-1.0))
+        prog = program(node("n", "s", body))
+        outputs = run(load(prog).det_node("n"), [None, 2.5, None, 7.0])
+        assert outputs == [-1.0, 2.5, -1.0, 7.0]
+
+    def test_else_branch_state_preserved(self):
+        """Stateful then-branch only advances on present instants."""
+        counter = where_(
+            var("c"), eq("c", arrow(const(0.0), pre(var("c")) + const(1.0)))
+        )
+        body = present_signal(var("s"), "p", counter + var("p"), const(-1.0))
+        prog = program(node("n", "s", body))
+        outputs = run(load(prog).det_node("n"), [10.0, None, 10.0, 10.0])
+        assert outputs == [10.0, -1.0, 11.0, 12.0]
+
+    def test_compiled_equals_interpreted(self):
+        body = present_signal(var("s"), "x", var("x") * const(2.0), const(0.0))
+        prog = program(node("n", "s", body))
+        inputs = [None, 1.0, 3.0, None]
+        assert run(load(prog).det_node("n"), inputs) == run(
+            Interpreter(prog).det_node("n"), inputs
+        )
+
+
+class TestGpsConditioning:
+    def test_intermittent_observation_model(self):
+        """The gps_acc_tracker pattern: condition only on present fixes."""
+        model = node("tracker", ("gps", "y"), where_(
+            var("x"),
+            eq("x", sample(gaussian(arrow(const(0.0), pre(var("x"))), const(1.0)))),
+            eq("_a", observe(gaussian(var("x"), const(1.0)), var("y"))),
+            eq("_g", present_signal(
+                var("gps"),
+                "fix",
+                observe(gaussian(var("x"), const(0.25)), var("fix")),
+                const(()),
+            )),
+        ))
+        main = node("main", ("gps", "y"),
+                    infer_(app("tracker", var("gps"), var("y")),
+                           particles=1, method="sds", seed=0))
+        module = load(program(model, main))
+        n = module.det_node("main")
+        state = n.init()
+        # without a fix
+        d1, state = n.step(state, (None, 1.0))
+        # with a precise fix at 2.0: posterior must move toward it and tighten
+        d2, state = n.step(state, (2.0, 1.0))
+        assert d2.variance() < d1.variance()
+        assert abs(d2.mean() - 2.0) < abs(d1.mean() - 2.0)
+
+    def test_sds_matches_kalman_with_intermittent_updates(self):
+        """Oracle check: Kalman filter with occasional extra updates."""
+        from repro.dists import Gaussian
+
+        model = node("tracker", ("gps", "y"), where_(
+            var("x"),
+            eq("x", sample(gaussian(arrow(const(0.0), pre(var("x"))), const(1.0)))),
+            eq("_a", observe(gaussian(var("x"), const(1.0)), var("y"))),
+            eq("_g", present_signal(
+                var("gps"), "fix",
+                observe(gaussian(var("x"), const(0.25)), var("fix")),
+                const(()),
+            )),
+        ))
+        main = node("main", ("gps", "y"),
+                    infer_(app("tracker", var("gps"), var("y")),
+                           particles=1, method="sds", seed=0))
+        n = load(program(model, main)).det_node("main")
+        state = n.init()
+
+        oracle_mu, oracle_var = 0.0, 1.0
+        inputs = [(None, 0.5), (1.2, 0.8), (None, 1.0), (0.9, 1.1)]
+        for t, (gps, y) in enumerate(inputs):
+            if t > 0:
+                oracle_var += 1.0
+            post = Gaussian(oracle_mu, oracle_var).posterior_given_obs(y, 1.0)
+            if gps is not None:
+                post = post.posterior_given_obs(gps, 0.25)
+            oracle_mu, oracle_var = post.mu, post.var
+            dist, state = n.step(state, (gps, y))
+            assert dist.mean() == pytest.approx(oracle_mu, rel=1e-9)
+            assert dist.variance() == pytest.approx(oracle_var, rel=1e-9)

@@ -1,0 +1,101 @@
+"""Data-type analysis (Section 3.2)."""
+
+import pytest
+
+from repro.core import check_types, prepare_program
+from repro.core.types import BOOL, FLOAT, TDist, UNIT
+from repro.dsl import (
+    app,
+    arrow,
+    bernoulli,
+    const,
+    eq,
+    factor,
+    gaussian,
+    infer_,
+    node,
+    observe,
+    pre,
+    program,
+    sample,
+    var,
+    where_,
+)
+from repro.errors import TypeCheckError
+
+
+class TestProbabilisticRules:
+    def test_sample_strips_dist(self):
+        prog = program(node("n", "u", sample(gaussian(const(0.0), const(1.0)))))
+        sigs = check_types(prog)
+        assert sigs["n"][1] == FLOAT
+
+    def test_sample_bernoulli_is_bool(self):
+        prog = program(node("n", "u", sample(bernoulli(const(0.5)))))
+        assert check_types(prog)["n"][1] == BOOL
+
+    def test_observe_is_unit(self):
+        prog = program(
+            node("n", "y", observe(gaussian(const(0.0), const(1.0)), var("y")))
+        )
+        sigs = check_types(prog)
+        assert sigs["n"][1] == UNIT
+        assert sigs["n"][0] == FLOAT  # inferred from the observation
+
+    def test_factor_requires_float(self):
+        prog = program(node("n", "u", factor(const(True))))
+        with pytest.raises(TypeCheckError):
+            check_types(prog)
+
+    def test_infer_wraps_dist(self):
+        inner = node("m", "u", sample(gaussian(const(0.0), const(1.0))))
+        outer = node("n", "u", infer_(app("m", var("u"))))
+        sigs = check_types(program(inner, outer))
+        assert sigs["n"][1] == TDist(FLOAT)
+
+    def test_observe_type_mismatch(self):
+        prog = program(
+            node("n", "u", observe(bernoulli(const(0.5)), const(1.5)))
+        )
+        with pytest.raises(TypeCheckError):
+            check_types(prog)
+
+
+class TestDeterministicRules:
+    def test_arithmetic_is_float(self):
+        prog = program(node("n", "x", var("x") + const(1.0)))
+        sigs = check_types(prog)
+        assert sigs["n"] == (FLOAT, FLOAT)
+
+    def test_bool_plus_float_rejected(self):
+        prog = program(node("n", "u", const(True) + const(1.0)))
+        with pytest.raises(TypeCheckError):
+            check_types(prog)
+
+    def test_arrow_unifies_branches(self):
+        prog = program(node("n", "u", arrow(const(True), const(1.0))))
+        with pytest.raises(TypeCheckError):
+            check_types(prog)
+
+    def test_node_application_propagates(self):
+        double = node("double", "x", var("x") * const(2.0))
+        main = node("main", "u", app("double", const(True)))
+        with pytest.raises(TypeCheckError):
+            check_types(program(double, main))
+
+    def test_where_equation_unification(self):
+        prog = program(node("n", "u", where_(
+            var("x") + var("u"),
+            eq("x", const(1.0)),
+        )))
+        sigs = check_types(prog)
+        assert sigs["n"] == (FLOAT, FLOAT)
+
+    def test_prepared_program_still_types(self):
+        """Desugaring preserves typability (fresh flags are booleans)."""
+        counter = node("counter", "u", where_(
+            var("x"),
+            eq("x", arrow(const(0.0), pre(var("x")) + const(1.0))),
+        ))
+        sigs = check_types(prepare_program(program(counter)))
+        assert sigs["counter"][1] == FLOAT

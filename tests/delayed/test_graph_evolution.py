@@ -1,0 +1,73 @@
+"""Fig. 3 vs Fig. 15: live-node counts along the HMM's execution."""
+
+import pytest
+
+from repro.delayed import DelayedGraph, StreamingGraph, graph_memory_words, reachable_nodes
+from repro.delayed.conjugacy import AffineGaussian
+from repro.dists import Gaussian
+
+
+def hmm_step(graph, prev, obs):
+    if prev is None:
+        x = graph.assume_root(Gaussian(0.0, 100.0), name="x")
+    else:
+        x = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), prev, name="x")
+    y = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), x, name="y")
+    graph.observe(y, obs)
+    return x
+
+
+class TestFig3OriginalGraph:
+    def test_live_set_grows_linearly(self, rng):
+        graph = DelayedGraph(rng=rng)
+        prev = None
+        counts = []
+        for t in range(10):
+            prev = hmm_step(graph, prev, float(t))
+            counts.append(len(reachable_nodes([prev])))
+        # one marginalized node per step stays reachable
+        assert counts == list(range(1, 11))
+
+    def test_memory_words_grow(self, rng):
+        graph = DelayedGraph(rng=rng)
+        prev = None
+        words = []
+        for t in range(20):
+            prev = hmm_step(graph, prev, float(t))
+            words.append(graph_memory_words([prev]))
+        assert words[-1] > 2 * words[4]
+
+
+class TestFig15StreamingGraph:
+    def test_live_set_constant(self, rng):
+        graph = StreamingGraph(rng=rng)
+        prev = None
+        counts = []
+        for t in range(10):
+            prev = hmm_step(graph, prev, float(t))
+            counts.append(len(reachable_nodes([prev])))
+        assert max(counts) <= 2
+        assert counts[2:] == counts[2:][:1] * len(counts[2:])
+
+    def test_memory_words_bounded(self, rng):
+        graph = StreamingGraph(rng=rng)
+        prev = None
+        words = []
+        for t in range(50):
+            prev = hmm_step(graph, prev, float(t))
+            words.append(graph_memory_words([prev]))
+        assert max(words[2:]) == min(words[2:])
+
+    def test_node_states_match_fig15(self, rng):
+        """After a step: x marginalized, y realized-pending (Fig. 15f)."""
+        from repro.delayed.node import NodeState
+
+        graph = StreamingGraph(rng=rng)
+        x = hmm_step(graph, None, 1.0)
+        assert x.state is NodeState.MARGINALIZED
+        (y,) = x.children
+        assert y.state is NodeState.REALIZED
+        # the next step's fold collects y (Fig. 15g)
+        x2 = hmm_step(graph, x, 2.0)
+        assert y not in x.children
+        assert x2.state is NodeState.MARGINALIZED

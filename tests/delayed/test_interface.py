@@ -1,0 +1,147 @@
+"""assume / observe / value / distribution (Fig. 14, Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.delayed import StreamingGraph, assume, lift_distribution, observe_dist, value_expr
+from repro.delayed.node import NodeState
+from repro.dists import Delta, Gaussian, MvGaussian, TupleDist
+from repro.lang import bernoulli, beta, gaussian, mv_gaussian, poisson, gamma
+from repro.symbolic import RVar, app
+
+
+@pytest.fixture
+def graph(rng):
+    return StreamingGraph(rng=rng)
+
+
+class TestAssumeConjugacy:
+    def test_concrete_dist_becomes_root(self, graph):
+        node = assume(graph, Gaussian(0.0, 1.0))
+        assert node.state is NodeState.MARGINALIZED
+
+    def test_affine_gaussian_detected(self, graph):
+        x = RVar(assume(graph, Gaussian(0.0, 1.0)))
+        child = assume(graph, gaussian(2.0 * x + 1.0, 0.5))
+        assert child.state is NodeState.INITIALIZED
+        assert child.cdistr.a == 2.0
+        assert child.cdistr.b == 1.0
+
+    def test_identity_gaussian_detected(self, graph):
+        x = RVar(assume(graph, Gaussian(0.0, 1.0)))
+        child = assume(graph, gaussian(x, 1.0))
+        assert child.state is NodeState.INITIALIZED
+
+    def test_beta_bernoulli_detected(self, graph):
+        theta = RVar(assume(graph, __import__("repro.dists", fromlist=["Beta"]).Beta(1.0, 1.0)))
+        child = assume(graph, bernoulli(theta))
+        assert child.state is NodeState.INITIALIZED
+        assert child.family == "bernoulli"
+
+    def test_gamma_poisson_detected(self, graph):
+        from repro.dists import Gamma
+
+        lam = RVar(assume(graph, Gamma(2.0, 1.0)))
+        child = assume(graph, poisson(lam))
+        assert child.state is NodeState.INITIALIZED
+
+    def test_mv_affine_detected(self, graph):
+        z = RVar(assume(graph, MvGaussian(np.zeros(2), np.eye(2))))
+        f = np.array([[1.0, 1.0], [0.0, 1.0]])
+        child = assume(graph, mv_gaussian(app("matvec", f, z), np.eye(2) * 0.1))
+        assert child.state is NodeState.INITIALIZED
+        assert child.family == "mv_gaussian"
+
+    def test_projection_detected(self, graph):
+        z = RVar(assume(graph, MvGaussian(np.zeros(3), np.eye(3))))
+        child = assume(graph, gaussian(z[0], 0.5))
+        assert child.state is NodeState.INITIALIZED
+        assert child.family == "gaussian"
+
+    def test_nonconjugate_forces_realization(self, graph):
+        x_node = assume(graph, Gaussian(0.0, 1.0))
+        x = RVar(x_node)
+        # quadratic mean: not affine, so x must be realized
+        child = assume(graph, gaussian(x * x, 1.0))
+        assert x_node.state is NodeState.REALIZED
+        assert child.state is NodeState.MARGINALIZED
+
+    def test_symbolic_variance_forces_realization(self, graph):
+        x_node = assume(graph, Gaussian(1.0, 1.0))
+        child = assume(graph, gaussian(0.0, app("abs", RVar(x_node)) + 0.5))
+        assert x_node.state is NodeState.REALIZED
+        assert child.state is NodeState.MARGINALIZED
+
+    def test_bernoulli_of_transformed_beta_forces(self, graph):
+        from repro.dists import Beta
+
+        theta_node = assume(graph, Beta(2.0, 2.0))
+        # p = theta / 2 is not the identity, so no conjugacy
+        child = assume(graph, bernoulli(RVar(theta_node) / 2.0))
+        assert theta_node.state is NodeState.REALIZED
+
+
+class TestValueExpr:
+    def test_concrete_passthrough(self, graph):
+        assert value_expr(graph, 3.0) == 3.0
+        assert value_expr(graph, (1.0, "a")) == (1.0, "a")
+
+    def test_forces_variables(self, graph):
+        node = assume(graph, Gaussian(0.0, 1.0))
+        value = value_expr(graph, RVar(node) + 1.0)
+        assert value == pytest.approx(node.value + 1.0)
+        assert node.state is NodeState.REALIZED
+
+
+class TestObserveDist:
+    def test_returns_predictive_log_likelihood(self, graph):
+        x = RVar(assume(graph, Gaussian(0.0, 100.0)))
+        logw = observe_dist(graph, gaussian(x, 1.0), 3.0)
+        assert logw == pytest.approx(Gaussian(0.0, 101.0).log_pdf(3.0))
+
+    def test_concrete_observation_scores_directly(self, graph):
+        logw = observe_dist(graph, Gaussian(0.0, 1.0), 0.5)
+        assert logw == pytest.approx(Gaussian(0.0, 1.0).log_pdf(0.5))
+
+
+class TestLiftDistribution:
+    def test_concrete_lifts_to_delta(self, graph):
+        dist = lift_distribution(graph, 4.2)
+        assert isinstance(dist, Delta)
+
+    def test_rvar_lifts_to_marginal(self, graph):
+        node = assume(graph, Gaussian(1.0, 2.0))
+        dist = lift_distribution(graph, RVar(node))
+        assert dist.mu == 1.0
+        assert dist.var == 2.0
+
+    def test_affine_image_exact(self, graph):
+        node = assume(graph, Gaussian(1.0, 2.0))
+        dist = lift_distribution(graph, 3.0 * RVar(node) - 1.0)
+        assert dist.mu == pytest.approx(2.0)
+        assert dist.var == pytest.approx(18.0)
+
+    def test_projection_of_vector_node(self, graph):
+        node = assume(graph, MvGaussian([1.0, 2.0], np.diag([4.0, 9.0])))
+        dist = lift_distribution(graph, RVar(node)[1])
+        assert isinstance(dist, Gaussian)
+        assert dist.mu == pytest.approx(2.0)
+        assert dist.var == pytest.approx(9.0)
+
+    def test_tuple_lifts_componentwise(self, graph):
+        node = assume(graph, Gaussian(0.0, 1.0))
+        dist = lift_distribution(graph, (RVar(node), 5.0))
+        assert isinstance(dist, TupleDist)
+        assert isinstance(dist.components[1], Delta)
+
+    def test_lift_does_not_realize_affine(self, graph):
+        node = assume(graph, Gaussian(0.0, 1.0))
+        lift_distribution(graph, 2.0 * RVar(node))
+        assert node.state is NodeState.MARGINALIZED
+
+    def test_nonaffine_falls_back_to_forcing(self, graph):
+        node = assume(graph, Gaussian(0.0, 1.0))
+        x = RVar(node)
+        dist = lift_distribution(graph, x * x)
+        assert isinstance(dist, Delta)
+        assert node.state is NodeState.REALIZED

@@ -1,0 +1,33 @@
+"""Textual graph rendering."""
+
+from repro.delayed import StreamingGraph
+from repro.delayed.conjugacy import AffineGaussian
+from repro.delayed.pretty import node_summary, render_graph
+from repro.dists import Gaussian
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_graph([]) == "(empty graph)"
+
+    def test_states_and_pointers_shown(self, rng):
+        graph = StreamingGraph(rng=rng)
+        x = graph.assume_root(Gaussian(0.0, 1.0), name="x")
+        y = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), x, name="y")
+        text = render_graph([y])
+        assert "x" in text and "y" in text
+        assert "[marg]" in text and "[init]" in text
+        assert "parent->x" in text
+
+    def test_realized_shows_value(self, rng):
+        graph = StreamingGraph(rng=rng)
+        x = graph.assume_root(Gaussian(0.0, 1.0), name="x")
+        graph.realize(x, 3.5)
+        assert "value=3.5" in node_summary(x)
+
+    def test_stable_order_by_uid(self, rng):
+        graph = StreamingGraph(rng=rng)
+        a = graph.assume_root(Gaussian(0.0, 1.0), name="a")
+        b = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), a, name="b")
+        lines = render_graph([b]).splitlines()
+        assert lines[0].strip().startswith("a")

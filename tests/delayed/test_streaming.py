@@ -1,0 +1,143 @@
+"""Pointer-minimality of the streaming graph (Section 5.3, Fig. 15)."""
+
+import numpy as np
+import pytest
+
+from repro.delayed import (
+    DelayedGraph,
+    NodeState,
+    StreamingGraph,
+    reachable_nodes,
+)
+from repro.delayed.conjugacy import AffineGaussian
+from repro.dists import Gaussian
+
+
+def run_hmm_steps(graph, observations):
+    """Drive the HMM chain; returns the sequence of current-x nodes."""
+    nodes = []
+    prev = None
+    for obs in observations:
+        if prev is None:
+            x = graph.assume_root(Gaussian(0.0, 100.0))
+        else:
+            x = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), prev)
+        y = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), x)
+        graph.observe(y, obs)
+        nodes.append(x)
+        prev = x
+    return nodes
+
+
+class TestPointerFlip:
+    def test_marginalized_child_drops_parent_pointer(self, rng):
+        graph = StreamingGraph(rng=rng)
+        root = graph.assume_root(Gaussian(0.0, 1.0))
+        child = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), root)
+        assert child.parent is root  # backward pointer while initialized
+        graph.graft(child)
+        assert child.parent is None  # flipped at marginalization
+        assert child in root.children  # forward pointer in
+
+    def test_original_graph_keeps_both_pointers(self, rng):
+        graph = DelayedGraph(rng=rng)
+        root = graph.assume_root(Gaussian(0.0, 1.0))
+        child = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), root)
+        graph.graft(child)
+        assert child.parent is root
+        assert child in root.children
+
+
+class TestDeferredConditioning:
+    def test_fold_happens_at_next_access(self, rng):
+        graph = StreamingGraph(rng=rng)
+        x = graph.assume_root(Gaussian(0.0, 100.0))
+        y = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), x)
+        graph.observe(y, 4.0)
+        # the observation is recorded but not yet folded into x
+        assert y in x.children and y.state is NodeState.REALIZED
+        post = graph.posterior_marginal(x)  # triggers the fold
+        assert y not in x.children  # pointer dropped after folding
+        oracle = Gaussian(0.0, 100.0).posterior_given_obs(4.0, 1.0)
+        assert post.mu == pytest.approx(oracle.mu)
+
+    def test_fold_is_idempotent(self, rng):
+        graph = StreamingGraph(rng=rng)
+        x = graph.assume_root(Gaussian(0.0, 100.0))
+        y = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), x)
+        graph.observe(y, 4.0)
+        first = graph.posterior_marginal(x)
+        second = graph.posterior_marginal(x)
+        assert first.mu == second.mu
+        assert first.var == second.var
+
+    def test_multiple_pending_folds(self, rng):
+        graph = StreamingGraph(rng=rng)
+        x = graph.assume_root(Gaussian(0.0, 100.0))
+        for obs in (1.0, 2.0, 3.0):
+            y = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), x)
+            graph.observe(y, obs)
+        post = graph.posterior_marginal(x)
+        oracle = Gaussian(0.0, 100.0)
+        for obs in (1.0, 2.0, 3.0):
+            oracle = oracle.posterior_given_obs(obs, 1.0)
+        assert post.mu == pytest.approx(oracle.mu)
+        assert post.var == pytest.approx(oracle.var)
+
+
+class TestReachability:
+    def test_streaming_history_collectable(self, rng):
+        graph = StreamingGraph(rng=rng)
+        nodes = run_hmm_steps(graph, [float(i) for i in range(20)])
+        live = reachable_nodes([nodes[-1]])
+        # only the current x (plus at most its pending observation)
+        assert len(live) <= 2
+
+    def test_original_history_retained(self, rng):
+        graph = DelayedGraph(rng=rng)
+        nodes = run_hmm_steps(graph, [float(i) for i in range(20)])
+        live = reachable_nodes([nodes[-1]])
+        assert len(live) >= 20  # the whole marginalized chain
+
+    def test_both_graphs_agree_on_posterior(self, rng_factory):
+        observations = [0.3, 1.1, -0.4, 2.2, 0.8]
+        posts = []
+        for cls in (DelayedGraph, StreamingGraph):
+            graph = cls(rng=rng_factory(0))
+            nodes = run_hmm_steps(graph, observations)
+            posts.append(graph.marginal_snapshot(nodes[-1]))
+        assert posts[0].mu == pytest.approx(posts[1].mu)
+        assert posts[0].var == pytest.approx(posts[1].var)
+
+    def test_unobserved_walk_grows_in_both(self, rng):
+        """Initialized chains (no observations) keep backward pointers."""
+        for cls in (DelayedGraph, StreamingGraph):
+            graph = cls(rng=rng)
+            prev = graph.assume_root(Gaussian(0.0, 1.0))
+            for _ in range(10):
+                prev = graph.assume_conditional(
+                    AffineGaussian(1.0, 0.0, 1.0), prev
+                )
+            live = reachable_nodes([prev])
+            assert len(live) == 11
+
+
+class TestStreamingInvariants:
+    def test_realized_node_keeps_cdistr_for_parent_fold(self, rng):
+        graph = StreamingGraph(rng=rng)
+        x = graph.assume_root(Gaussian(0.0, 100.0))
+        y = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), x)
+        graph.observe(y, 1.0)
+        assert y.cdistr is not None
+        assert y.marginal is None  # dropped to save memory
+
+    def test_initialized_child_of_realized_parent_collapses_lazily(self, rng):
+        graph = StreamingGraph(rng=rng)
+        x = graph.assume_root(Gaussian(0.0, 1.0))
+        child = graph.assume_conditional(AffineGaussian(2.0, 1.0, 0.5), x)
+        graph.value(x)  # realize the parent; child still initialized
+        assert child.state is NodeState.INITIALIZED
+        graph.graft(child)  # lazy collapse to a root
+        assert child.state is NodeState.MARGINALIZED
+        assert child.parent is None
+        assert child.marginal.mu == pytest.approx(2.0 * x.value + 1.0)

@@ -1,0 +1,140 @@
+"""The unknown-variance Gaussian conjugacy (InverseGamma / Student-t)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.delayed import GaussianUnknownVariance, StreamingGraph, assume
+from repro.delayed.node import NodeState
+from repro.dists import InverseGamma, StudentT
+from repro.errors import DistributionError
+from repro.inference import infer
+from repro.lang import gaussian, inverse_gamma
+from repro.runtime import FunProbNode
+from repro.symbolic import RVar
+
+
+class TestInverseGamma:
+    def test_log_pdf_matches_scipy(self):
+        dist = InverseGamma(3.0, 2.0)
+        for x in (0.1, 0.5, 1.0, 4.0):
+            assert dist.log_pdf(x) == pytest.approx(
+                stats.invgamma(3.0, scale=2.0).logpdf(x), rel=1e-10
+            )
+
+    def test_moments(self):
+        dist = InverseGamma(4.0, 6.0)
+        assert dist.mean() == pytest.approx(2.0)
+        assert dist.variance() == pytest.approx(stats.invgamma(4.0, scale=6.0).var())
+
+    def test_undefined_moments_raise(self):
+        with pytest.raises(DistributionError):
+            InverseGamma(0.5, 1.0).mean()
+        with pytest.raises(DistributionError):
+            InverseGamma(1.5, 1.0).variance()
+
+    def test_conjugate_update(self):
+        post = InverseGamma(2.0, 3.0).with_observation_sq(4.0)
+        assert post.shape == 2.5
+        assert post.scale == 5.0
+
+
+class TestStudentT:
+    def test_log_pdf_matches_scipy(self):
+        dist = StudentT(df=5.0, loc=1.0, scale=2.0)
+        for x in (-3.0, 0.0, 1.0, 4.0):
+            assert dist.log_pdf(x) == pytest.approx(
+                stats.t(5.0, loc=1.0, scale=2.0).logpdf(x), rel=1e-10
+            )
+
+    def test_moments(self):
+        dist = StudentT(df=4.0, loc=2.0, scale=3.0)
+        assert dist.mean() == 2.0
+        assert dist.variance() == pytest.approx(9.0 * 4.0 / 2.0)
+
+    def test_heavy_tail_moments_raise(self):
+        with pytest.raises(DistributionError):
+            StudentT(df=1.0).mean()
+        with pytest.raises(DistributionError):
+            StudentT(df=2.0).variance()
+
+
+class TestConjugacy:
+    def test_marginal_is_student_t(self):
+        cond = GaussianUnknownVariance(mu=1.0)
+        marginal = cond.marginalize(InverseGamma(3.0, 2.0))
+        assert isinstance(marginal, StudentT)
+        assert marginal.df == 6.0
+        assert marginal.loc == 1.0
+        # scale^2 = scale_param / shape
+        assert marginal.scale == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_marginal_matches_numerical_integration(self):
+        cond = GaussianUnknownVariance(mu=0.0)
+        prior = InverseGamma(3.0, 2.0)
+        marginal = cond.marginalize(prior)
+        # numerically integrate N(x; 0, s) over the prior on s
+        svals = np.linspace(1e-3, 60.0, 200001)
+        prior_pdf = np.exp([prior.log_pdf(s) for s in svals])
+        for x in (0.0, 1.0, 2.5):
+            like = np.exp(-0.5 * x * x / svals) / np.sqrt(2 * np.pi * svals)
+            numeric = np.trapezoid(prior_pdf * like, svals)
+            assert marginal.pdf(x) == pytest.approx(numeric, rel=1e-3)
+
+    def test_posterior_update(self):
+        cond = GaussianUnknownVariance(mu=1.0)
+        post = cond.posterior(InverseGamma(2.0, 2.0), 3.0)  # residual 2
+        assert post.shape == 2.5
+        assert post.scale == 4.0
+
+    def test_at_parent_value(self):
+        dist = GaussianUnknownVariance(mu=0.5).at_parent_value(4.0)
+        assert dist.mu == 0.5
+        assert dist.var == 4.0
+
+
+class TestStreamingVarianceLearning:
+    def make_model(self, mu=0.0, a0=3.0, b0=3.0):
+        def step(state, y, ctx):
+            sigma2 = ctx.sample(inverse_gamma(a0, b0)) if state is None else state
+            ctx.observe(gaussian(mu, sigma2), y)
+            return sigma2, sigma2
+
+        return FunProbNode(None, step)
+
+    def test_assume_detects_conjugacy(self, rng):
+        graph = StreamingGraph(rng=rng)
+        s2 = RVar(assume(graph, InverseGamma(3.0, 3.0)))
+        child = assume(graph, gaussian(0.0, s2))
+        assert child.state is NodeState.INITIALIZED
+        assert child.family == "gaussian"
+
+    def test_sds_learns_noise_exactly(self, rng_factory):
+        """Streaming variance learning: SDS equals the closed form."""
+        true_sigma = 2.0
+        rng = rng_factory(5)
+        observations = [float(rng.normal(0.0, true_sigma)) for _ in range(50)]
+        engine = infer(self.make_model(), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        shape, scale = 3.0, 3.0
+        for y in observations:
+            dist, state = engine.step(state, y)
+            shape += 0.5
+            scale += 0.5 * y * y
+            assert dist.mean() == pytest.approx(scale / (shape - 1.0), rel=1e-9)
+        # after 50 observations, the estimate approaches sigma^2 = 4
+        assert dist.mean() == pytest.approx(true_sigma**2, rel=0.5)
+
+    def test_symbolic_mean_and_variance_falls_back(self, rng):
+        """Both parameters symbolic: no single-parent conjugacy; forced."""
+        graph = StreamingGraph(rng=rng)
+        from repro.dists import Gaussian
+
+        mu_node = assume(graph, Gaussian(0.0, 1.0))
+        s2_node = assume(graph, InverseGamma(3.0, 3.0))
+        child = assume(graph, gaussian(RVar(mu_node), RVar(s2_node)))
+        assert child.state is NodeState.MARGINALIZED  # root after forcing
+        assert s2_node.state is NodeState.REALIZED
+        assert mu_node.state is NodeState.REALIZED

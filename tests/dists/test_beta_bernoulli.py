@@ -1,0 +1,101 @@
+"""Beta, Bernoulli, and Binomial distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.dists import Bernoulli, Beta, Binomial
+from repro.errors import DistributionError
+
+
+class TestBeta:
+    def test_log_pdf_matches_scipy(self):
+        dist = Beta(2.5, 4.0)
+        for x in (0.1, 0.3, 0.5, 0.9):
+            assert dist.log_pdf(x) == pytest.approx(
+                stats.beta(2.5, 4.0).logpdf(x), rel=1e-12
+            )
+
+    def test_out_of_support(self):
+        dist = Beta(2.0, 2.0)
+        assert dist.log_pdf(-0.1) == -math.inf
+        assert dist.log_pdf(1.1) == -math.inf
+
+    def test_moments(self):
+        dist = Beta(3.0, 7.0)
+        assert dist.mean() == pytest.approx(0.3)
+        assert dist.variance() == pytest.approx(stats.beta(3, 7).var(), rel=1e-12)
+
+    def test_with_counts_is_conjugate_update(self):
+        posterior = Beta(1.0, 1.0).with_counts(3, 2)
+        assert posterior.alpha == 4.0
+        assert posterior.beta == 3.0
+
+    def test_invalid_params(self):
+        with pytest.raises(DistributionError):
+            Beta(0.0, 1.0)
+        with pytest.raises(DistributionError):
+            Beta(1.0, -2.0)
+
+    def test_sampling_in_unit_interval(self, rng):
+        dist = Beta(100.0, 1000.0)
+        samples = [dist.sample(rng) for _ in range(1000)]
+        assert all(0.0 < s < 1.0 for s in samples)
+        assert np.mean(samples) == pytest.approx(dist.mean(), abs=0.01)
+
+
+class TestBernoulli:
+    def test_log_pdf(self):
+        dist = Bernoulli(0.3)
+        assert dist.log_pdf(True) == pytest.approx(math.log(0.3))
+        assert dist.log_pdf(False) == pytest.approx(math.log(0.7))
+
+    def test_degenerate_probs(self):
+        assert Bernoulli(0.0).log_pdf(True) == -math.inf
+        assert Bernoulli(1.0).log_pdf(False) == -math.inf
+        assert Bernoulli(1.0).log_pdf(True) == 0.0
+
+    def test_moments(self):
+        dist = Bernoulli(0.25)
+        assert dist.mean() == 0.25
+        assert dist.variance() == pytest.approx(0.1875)
+
+    def test_sampling_frequency(self, rng):
+        dist = Bernoulli(0.7)
+        freq = np.mean([dist.sample(rng) for _ in range(10000)])
+        assert freq == pytest.approx(0.7, abs=0.02)
+
+    def test_invalid_prob(self):
+        with pytest.raises(DistributionError):
+            Bernoulli(1.5)
+        with pytest.raises(DistributionError):
+            Bernoulli(-0.1)
+
+
+class TestBinomial:
+    def test_log_pdf_matches_scipy(self):
+        dist = Binomial(10, 0.4)
+        for k in range(11):
+            assert dist.log_pdf(k) == pytest.approx(
+                stats.binom(10, 0.4).logpmf(k), rel=1e-10
+            )
+
+    def test_out_of_support(self):
+        dist = Binomial(5, 0.5)
+        assert dist.log_pdf(-1) == -math.inf
+        assert dist.log_pdf(6) == -math.inf
+
+    def test_edge_probabilities(self):
+        assert Binomial(3, 0.0).log_pdf(0) == 0.0
+        assert Binomial(3, 1.0).log_pdf(3) == 0.0
+
+    def test_moments(self):
+        dist = Binomial(20, 0.3)
+        assert dist.mean() == pytest.approx(6.0)
+        assert dist.variance() == pytest.approx(4.2)
+
+    def test_invalid_n(self):
+        with pytest.raises(DistributionError):
+            Binomial(-1, 0.5)

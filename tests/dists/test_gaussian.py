@@ -1,0 +1,94 @@
+"""Gaussian distribution: density, moments, affine maps, conjugate update."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.dists import Gaussian
+from repro.errors import DistributionError
+
+
+class TestDensity:
+    def test_log_pdf_matches_scipy(self):
+        dist = Gaussian(1.5, 4.0)
+        for x in (-3.0, 0.0, 1.5, 2.7, 10.0):
+            expected = stats.norm(1.5, 2.0).logpdf(x)
+            assert dist.log_pdf(x) == pytest.approx(expected, rel=1e-12)
+
+    def test_pdf_is_exp_log_pdf(self):
+        dist = Gaussian(0.0, 1.0)
+        assert dist.pdf(0.3) == pytest.approx(math.exp(dist.log_pdf(0.3)))
+
+    def test_density_integrates_to_one(self):
+        dist = Gaussian(2.0, 0.5)
+        xs = np.linspace(-10, 14, 20001)
+        total = np.trapezoid([dist.pdf(x) for x in xs], xs)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestMoments:
+    def test_mean_variance(self):
+        dist = Gaussian(-2.0, 9.0)
+        assert dist.mean() == -2.0
+        assert dist.variance() == 9.0
+        assert dist.stddev() == 3.0
+
+    def test_sampling_moments(self, rng):
+        dist = Gaussian(5.0, 4.0)
+        samples = np.array([dist.sample(rng) for _ in range(20000)])
+        assert samples.mean() == pytest.approx(5.0, abs=0.1)
+        assert samples.var() == pytest.approx(4.0, abs=0.2)
+
+
+class TestValidation:
+    def test_zero_variance_rejected(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, 0.0)
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, -1.0)
+
+    def test_nan_variance_rejected(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, float("nan"))
+
+
+class TestAffine:
+    def test_affine_transform(self):
+        dist = Gaussian(1.0, 2.0).affine(3.0, -1.0)
+        assert dist.mu == pytest.approx(2.0)
+        assert dist.var == pytest.approx(18.0)
+
+    def test_affine_negative_scale(self):
+        dist = Gaussian(1.0, 2.0).affine(-1.0, 0.0)
+        assert dist.mu == -1.0
+        assert dist.var == 2.0
+
+
+class TestConjugateUpdate:
+    def test_posterior_given_obs_matches_formula(self):
+        prior = Gaussian(0.0, 100.0)
+        post = prior.posterior_given_obs(4.0, 1.0)
+        # precision-weighted mean
+        expected_var = 1.0 / (1.0 / 100.0 + 1.0)
+        expected_mu = expected_var * (0.0 / 100.0 + 4.0 / 1.0)
+        assert post.mu == pytest.approx(expected_mu)
+        assert post.var == pytest.approx(expected_var)
+
+    def test_posterior_shrinks_variance(self):
+        prior = Gaussian(0.0, 5.0)
+        post = prior.posterior_given_obs(1.0, 2.0)
+        assert post.var < prior.var
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        assert Gaussian(1.0, 2.0) == Gaussian(1.0, 2.0)
+        assert Gaussian(1.0, 2.0) != Gaussian(1.0, 3.0)
+        assert hash(Gaussian(1.0, 2.0)) == hash(Gaussian(1.0, 2.0))
+
+    def test_repr_contains_params(self):
+        assert "mu=1" in repr(Gaussian(1.0, 2.0))

@@ -1,0 +1,73 @@
+"""Multivariate Gaussian: density, moments, affine images, degeneracy."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.dists import MvGaussian
+from repro.errors import DistributionError
+
+
+@pytest.fixture
+def dist():
+    mu = np.array([1.0, -2.0])
+    cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+    return MvGaussian(mu, cov)
+
+
+class TestDensity:
+    def test_log_pdf_matches_scipy(self, dist):
+        for point in ([0.0, 0.0], [1.0, -2.0], [3.0, 1.0]):
+            expected = stats.multivariate_normal(dist.mu, dist.cov).logpdf(point)
+            assert dist.log_pdf(point) == pytest.approx(expected, rel=1e-10)
+
+    def test_wrong_dim_raises(self, dist):
+        with pytest.raises(DistributionError):
+            dist.log_pdf([1.0, 2.0, 3.0])
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            MvGaussian([0.0, 0.0], np.eye(3))
+
+    def test_asymmetric_cov_rejected(self):
+        with pytest.raises(DistributionError):
+            MvGaussian([0.0, 0.0], np.array([[1.0, 0.5], [0.2, 1.0]]))
+
+    def test_arrays_frozen(self, dist):
+        with pytest.raises(ValueError):
+            dist.mu[0] = 99.0
+
+
+class TestMoments:
+    def test_mean_cov(self, dist):
+        assert np.allclose(dist.mean(), [1.0, -2.0])
+        assert np.allclose(dist.variance(), [[2.0, 0.5], [0.5, 1.0]])
+
+    def test_sampling_moments(self, dist, rng):
+        samples = np.array([dist.sample(rng) for _ in range(20000)])
+        assert np.allclose(samples.mean(axis=0), dist.mu, atol=0.05)
+        assert np.allclose(np.cov(samples.T), dist.cov, atol=0.1)
+
+
+class TestAffine:
+    def test_affine_image(self, dist):
+        a = np.array([[1.0, 1.0], [0.0, 2.0]])
+        b = np.array([1.0, 0.0])
+        image = dist.affine(a, b)
+        assert np.allclose(image.mu, a @ dist.mu + b)
+        assert np.allclose(image.cov, a @ dist.cov @ a.T)
+
+    def test_degenerate_cov_log_pdf_finite_on_support(self):
+        # rank-deficient covariance (deterministic second component)
+        dist = MvGaussian([0.0, 1.0], np.diag([1.0, 0.0]))
+        value = dist.log_pdf([0.5, 1.0])
+        assert np.isfinite(value)
+
+
+class TestMemory:
+    def test_memory_words_scale_with_dim(self):
+        small = MvGaussian(np.zeros(2), np.eye(2))
+        large = MvGaussian(np.zeros(5), np.eye(5))
+        assert large.memory_words() > small.memory_words()

@@ -1,0 +1,126 @@
+"""Property-based tests for the distribution library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dists import (
+    Bernoulli,
+    Beta,
+    Empirical,
+    Gaussian,
+    Mixture,
+    Uniform,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive_floats = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestGaussianProperties:
+    @given(mu=finite_floats, var=positive_floats, x=finite_floats)
+    def test_log_pdf_finite_or_small(self, mu, var, x):
+        value = Gaussian(mu, var).log_pdf(x)
+        assert not math.isnan(value)
+
+    @given(mu=finite_floats, var=positive_floats)
+    def test_mode_is_mean(self, mu, var):
+        dist = Gaussian(mu, var)
+        at_mean = dist.log_pdf(mu)
+        off_mean = dist.log_pdf(mu + math.sqrt(var))
+        assert at_mean >= off_mean
+
+    @given(
+        mu=finite_floats,
+        var=st.floats(min_value=1e-3, max_value=1e3),
+        a=st.floats(min_value=-100, max_value=100).filter(lambda v: abs(v) > 1e-3),
+        b=st.floats(min_value=-100, max_value=100),
+    )
+    def test_affine_composition(self, mu, var, a, b):
+        direct = Gaussian(mu, var).affine(a, b)
+        assert direct.mu == pytest.approx(a * mu + b, rel=1e-9, abs=1e-9)
+        assert direct.var == pytest.approx(a * a * var, rel=1e-9)
+
+    @given(
+        prior_mu=st.floats(min_value=-100, max_value=100),
+        prior_var=st.floats(min_value=1e-2, max_value=1e3),
+        obs=st.floats(min_value=-100, max_value=100),
+        obs_var=st.floats(min_value=1e-2, max_value=1e3),
+    )
+    def test_posterior_mean_between_prior_and_obs(
+        self, prior_mu, prior_var, obs, obs_var
+    ):
+        post = Gaussian(prior_mu, prior_var).posterior_given_obs(obs, obs_var)
+        lo, hi = min(prior_mu, obs), max(prior_mu, obs)
+        assert lo - 1e-9 <= post.mu <= hi + 1e-9
+        assert post.var <= prior_var + 1e-12
+
+
+class TestBetaProperties:
+    @given(
+        alpha=st.floats(min_value=0.1, max_value=100),
+        beta=st.floats(min_value=0.1, max_value=100),
+        heads=st.integers(min_value=0, max_value=50),
+        tails=st.integers(min_value=0, max_value=50),
+    )
+    def test_counts_shift_mean_toward_frequency(self, alpha, beta, heads, tails):
+        prior = Beta(alpha, beta)
+        post = prior.with_counts(heads, tails)
+        assert post.alpha == alpha + heads
+        assert post.beta == beta + tails
+        if heads + tails > 0:
+            freq = heads / (heads + tails)
+            # posterior mean lies between prior mean and observed frequency
+            lo = min(prior.mean(), freq) - 1e-9
+            hi = max(prior.mean(), freq) + 1e-9
+            assert lo <= post.mean() <= hi
+
+
+class TestMixtureProperties:
+    @given(
+        mus=st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=5),
+        x=st.floats(min_value=-100, max_value=100),
+    )
+    def test_mixture_density_bounded_by_max_component(self, mus, x):
+        comps = [Gaussian(mu, 1.0) for mu in mus]
+        mix = Mixture(comps)
+        best = max(c.log_pdf(x) for c in comps)
+        assert mix.log_pdf(x) <= best + 1e-9
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=1, max_size=10
+        )
+    )
+    def test_empirical_mean_within_range(self, values):
+        dist = Empirical(values)
+        assert min(values) - 1e-9 <= dist.mean() <= max(values) + 1e-9
+
+
+class TestSamplingProperties:
+    @settings(max_examples=20)
+    @given(p=st.floats(min_value=0.05, max_value=0.95), seed=st.integers(0, 2**16))
+    def test_bernoulli_samples_are_bool(self, p, seed):
+        rng = np.random.default_rng(seed)
+        sample = Bernoulli(p).sample(rng)
+        assert isinstance(sample, bool)
+
+    @settings(max_examples=20)
+    @given(
+        lo=st.floats(min_value=-10, max_value=0),
+        width=st.floats(min_value=0.1, max_value=10),
+        seed=st.integers(0, 2**16),
+    )
+    def test_uniform_samples_in_range(self, lo, width, seed):
+        rng = np.random.default_rng(seed)
+        dist = Uniform(lo, lo + width)
+        s = dist.sample(rng)
+        assert lo <= s <= lo + width

@@ -1,0 +1,107 @@
+"""Uniform, Delta, Gamma, Poisson, and Exponential distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.dists import Delta, Exponential, Gamma, Poisson, Uniform
+from repro.errors import DistributionError
+
+
+class TestUniform:
+    def test_log_pdf(self):
+        dist = Uniform(-1.0, 3.0)
+        assert dist.log_pdf(0.0) == pytest.approx(math.log(0.25))
+        assert dist.log_pdf(5.0) == -math.inf
+
+    def test_moments(self):
+        dist = Uniform(0.0, 6.0)
+        assert dist.mean() == 3.0
+        assert dist.variance() == 3.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            Uniform(2.0, 2.0)
+
+    def test_sampling_range(self, rng):
+        dist = Uniform(5.0, 6.0)
+        assert all(5.0 <= dist.sample(rng) <= 6.0 for _ in range(100))
+
+
+class TestDelta:
+    def test_sample_returns_value(self, rng):
+        assert Delta(42).sample(rng) == 42
+
+    def test_log_pdf_indicator(self):
+        dist = Delta(1.5)
+        assert dist.log_pdf(1.5) == 0.0
+        assert dist.log_pdf(1.6) == -math.inf
+
+    def test_array_value(self, rng):
+        value = np.array([1.0, 2.0])
+        dist = Delta(value)
+        assert np.array_equal(dist.sample(rng), value)
+        assert dist.log_pdf(np.array([1.0, 2.0])) == 0.0
+        assert dist.log_pdf(np.array([1.0, 3.0])) == -math.inf
+
+    def test_moments(self):
+        assert Delta(7.0).mean() == 7.0
+        assert Delta(7.0).variance() == 0.0
+
+
+class TestGamma:
+    def test_log_pdf_matches_scipy(self):
+        dist = Gamma(3.0, 2.0)  # shape 3, rate 2
+        for x in (0.1, 1.0, 2.5):
+            assert dist.log_pdf(x) == pytest.approx(
+                stats.gamma(3.0, scale=0.5).logpdf(x), rel=1e-10
+            )
+
+    def test_out_of_support(self):
+        assert Gamma(1.0, 1.0).log_pdf(-1.0) == -math.inf
+
+    def test_moments(self):
+        dist = Gamma(4.0, 2.0)
+        assert dist.mean() == 2.0
+        assert dist.variance() == 1.0
+
+    def test_sampling_moments(self, rng):
+        dist = Gamma(5.0, 1.0)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(5.0, abs=0.1)
+
+
+class TestPoisson:
+    def test_log_pdf_matches_scipy(self):
+        dist = Poisson(3.5)
+        for k in range(10):
+            assert dist.log_pdf(k) == pytest.approx(
+                stats.poisson(3.5).logpmf(k), rel=1e-10
+            )
+
+    def test_negative_count(self):
+        assert Poisson(1.0).log_pdf(-1) == -math.inf
+
+    def test_moments(self):
+        dist = Poisson(2.5)
+        assert dist.mean() == 2.5
+        assert dist.variance() == 2.5
+
+
+class TestExponential:
+    def test_log_pdf_matches_scipy(self):
+        dist = Exponential(0.5)
+        for x in (0.1, 1.0, 5.0):
+            assert dist.log_pdf(x) == pytest.approx(
+                stats.expon(scale=2.0).logpdf(x), rel=1e-10
+            )
+
+    def test_out_of_support(self):
+        assert Exponential(1.0).log_pdf(-0.1) == -math.inf
+
+    def test_moments(self):
+        dist = Exponential(4.0)
+        assert dist.mean() == 0.25
+        assert dist.variance() == 0.0625

@@ -1,0 +1,56 @@
+"""CDFs and interval probabilities (the robot's `probability` helper)."""
+
+import pytest
+from scipy import stats
+
+from repro.dists import Delta, Empirical, Gaussian, Mixture, Uniform
+from repro.dists.stats import cdf, prob_in_interval, probability
+from repro.errors import DistributionError
+
+
+class TestCdf:
+    def test_gaussian_matches_scipy(self):
+        dist = Gaussian(1.0, 4.0)
+        for x in (-2.0, 0.0, 1.0, 3.5):
+            assert cdf(dist, x) == pytest.approx(stats.norm(1.0, 2.0).cdf(x), rel=1e-10)
+
+    def test_uniform(self):
+        dist = Uniform(0.0, 2.0)
+        assert cdf(dist, -1.0) == 0.0
+        assert cdf(dist, 1.0) == 0.5
+        assert cdf(dist, 3.0) == 1.0
+
+    def test_delta_step(self):
+        assert cdf(Delta(1.0), 0.9) == 0.0
+        assert cdf(Delta(1.0), 1.0) == 1.0
+
+    def test_empirical(self):
+        dist = Empirical([1.0, 2.0, 3.0], weights=[0.2, 0.3, 0.5])
+        assert cdf(dist, 2.0) == pytest.approx(0.5)
+
+    def test_mixture(self):
+        mix = Mixture([Gaussian(0.0, 1.0), Delta(5.0)], [0.5, 0.5])
+        assert cdf(mix, 0.0) == pytest.approx(0.25)
+        assert cdf(mix, 10.0) == pytest.approx(1.0)
+
+    def test_unsupported_type(self):
+        from repro.dists import TupleDist
+
+        with pytest.raises(DistributionError):
+            cdf(TupleDist([Delta(0.0)]), 0.0)
+
+
+class TestIntervals:
+    def test_prob_in_interval_gaussian(self):
+        dist = Gaussian(0.0, 1.0)
+        # ~68% within one standard deviation
+        assert prob_in_interval(dist, -1.0, 1.0) == pytest.approx(0.6827, abs=1e-3)
+
+    def test_bad_interval(self):
+        with pytest.raises(DistributionError):
+            prob_in_interval(Gaussian(0.0, 1.0), 1.0, -1.0)
+
+    def test_probability_helper(self):
+        dist = Gaussian(10.0, 0.01)
+        assert probability(dist, 10.0, 0.5) > 0.99
+        assert probability(dist, 0.0, 0.5) < 0.01

@@ -1,0 +1,68 @@
+"""The `automaton` surface syntax (Fig. 5's task_bot shape)."""
+
+import pytest
+
+from repro.core import load
+from repro.core.automata import AutomatonE
+from repro.frontend import ParseError, parse_program
+from repro.runtime import run
+
+
+class TestParsing:
+    def test_two_state_automaton(self):
+        prog = parse_program("""
+            let node m u =
+              automaton
+              | Go -> do 1. until (u > 0.5) then Task
+              | Task -> do 2. done
+        """)
+        body = prog.decls[0].body
+        assert isinstance(body, AutomatonE)
+        assert [s.name for s in body.states] == ["Go", "Task"]
+        assert body.states[0].transitions[0][1] == "Task"
+
+    def test_multiple_transitions(self):
+        prog = parse_program("""
+            let node m u =
+              automaton
+              | A -> do 0. until (u > 1.) then B until (u < -1.) then C
+              | B -> do 1. done
+              | C -> do 2. done
+        """)
+        assert len(prog.decls[0].body.states[0].transitions) == 2
+
+    def test_empty_automaton_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("let node m u = automaton")
+
+
+class TestExecution:
+    def test_guard_on_input(self):
+        prog = parse_program("""
+            let node m u =
+              automaton
+              | Low -> do 0. until (u > 10.) then High
+              | High -> do 1. done
+        """)
+        outputs = run(load(prog).det_node("m"), [0.0, 20.0, 0.0, 0.0])
+        assert outputs == [0.0, 0.0, 1.0, 1.0]
+
+    def test_guard_on_mode_output(self):
+        prog = parse_program("""
+            let node m u =
+              automaton
+              | Count -> do (0. -> pre o + 1.) until (o >= 2.) then Stop
+              | Stop -> do -1. done
+        """)
+        outputs = run(load(prog).det_node("m"), [None] * 5)
+        assert outputs == [0.0, 1.0, 2.0, -1.0, -1.0]
+
+    def test_stateful_bodies_reset_on_entry(self):
+        prog = parse_program("""
+            let node m u =
+              automaton
+              | A -> do (0. -> pre o + 1.) until (o >= 1.) then B
+              | B -> do (10. -> pre o + 1.) until (o >= 11.) then A
+        """)
+        outputs = run(load(prog).det_node("m"), [None] * 8)
+        assert outputs == [0.0, 1.0, 10.0, 11.0, 0.0, 1.0, 10.0, 11.0]

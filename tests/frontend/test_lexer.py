@@ -1,0 +1,67 @@
+"""Lexer for the concrete surface syntax."""
+
+import pytest
+
+from repro.frontend import LexError, tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_keywords_vs_idents(self):
+        tokens = kinds_and_texts("let node foo sample xt")
+        assert tokens == [
+            ("keyword", "let"),
+            ("keyword", "node"),
+            ("ident", "foo"),
+            ("keyword", "sample"),
+            ("ident", "xt"),
+        ]
+
+    def test_primed_identifiers(self):
+        assert kinds_and_texts("x' x_1")[0] == ("ident", "x'")
+
+    def test_numbers(self):
+        tokens = kinds_and_texts("1 2.5 0. 1e3 2.5e-2")
+        assert [t[0] for t in tokens] == ["number"] * 5
+        assert [t[1] for t in tokens] == ["1", "2.5", "0.", "1e3", "2.5e-2"]
+
+    def test_arrow_and_symbols(self):
+        tokens = kinds_and_texts("x -> y <= z <> w")
+        texts = [t[1] for t in tokens]
+        assert texts == ["x", "->", "y", "<=", "z", "<>", "w"]
+
+    def test_ocaml_float_operators_normalized(self):
+        tokens = kinds_and_texts("a +. b *. c")
+        assert [t[1] for t in tokens] == ["a", "+", "b", "*", "c"]
+
+
+class TestComments:
+    def test_simple_comment_skipped(self):
+        assert kinds_and_texts("a (* hello *) b") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_nested_comments(self):
+        assert kinds_and_texts("a (* x (* y *) z *) b") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a (* oops")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].col == 1
+        assert tokens[1].line == 2 and tokens[1].col == 3

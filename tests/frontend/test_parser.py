@@ -1,0 +1,158 @@
+"""Parser: surface syntax to kernel AST."""
+
+import pytest
+
+from repro.core.ast import (
+    App,
+    Arrow,
+    Const,
+    Eq,
+    Infer,
+    InitEq,
+    Last,
+    Observe,
+    Op,
+    Pair,
+    PreE,
+    Present,
+    Reset,
+    Sample,
+    Var,
+    Where,
+)
+from repro.frontend import ParseError, parse_expr, parse_program
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_expr("1.5") == Const(1.5)
+        assert parse_expr("true") == Const(True)
+        assert parse_expr("()") == Const(())
+
+    def test_precedence(self):
+        expr = parse_expr("1. + 2. * 3.")
+        assert expr == Op("add", (Const(1.0), Op("mul", (Const(2.0), Const(3.0)))))
+
+    def test_arrow_binds_loosest(self):
+        expr = parse_expr("0. -> x + 1.")
+        assert isinstance(expr, Arrow)
+        assert expr.first == Const(0.0)
+
+    def test_arrow_right_associative(self):
+        expr = parse_expr("1. -> 2. -> x")
+        assert isinstance(expr.then, Arrow)
+
+    def test_pre_unary(self):
+        expr = parse_expr("pre x + 1.")
+        assert expr == Op("add", (PreE(Var("x")), Const(1.0)))
+
+    def test_last(self):
+        assert parse_expr("last x") == Last(Var("x").name)
+
+    def test_comparison(self):
+        expr = parse_expr("x > 0.9")
+        assert expr == Op("gt", (Var("x"), Const(0.9)))
+
+    def test_tuples_nest_right(self):
+        expr = parse_expr("(1., 2., 3.)")
+        assert expr == Pair(Const(1.0), Pair(Const(2.0), Const(3.0)))
+
+    def test_if_then_else(self):
+        expr = parse_expr("if c then 1. else 2.")
+        assert expr == Op("if", (Var("c"), Const(1.0), Const(2.0)))
+
+    def test_present_and_reset(self):
+        expr = parse_expr("present c then 1. else 2.")
+        assert isinstance(expr, Present)
+        expr = parse_expr("reset x every c")
+        assert isinstance(expr, Reset)
+
+    def test_operator_call(self):
+        expr = parse_expr("gaussian (0., 1.)")
+        assert expr == Op("gaussian", (Const(0.0), Const(1.0)))
+
+    def test_probabilistic_operators(self):
+        expr = parse_expr("sample (gaussian (0., 1.))")
+        assert isinstance(expr, Sample)
+        expr = parse_expr("observe (gaussian (x, 1.), y)")
+        assert isinstance(expr, Observe)
+        assert expr.value == Var("y")
+
+
+class TestWhereBlocks:
+    def test_equations(self):
+        expr = parse_expr("x where rec x = 1. and y = x + 1.")
+        assert isinstance(expr, Where)
+        assert [e.name for e in expr.equations] == ["x", "y"]
+
+    def test_init_equation(self):
+        expr = parse_expr("x where rec init x = 0. and x = last x + 1.")
+        inits = [e for e in expr.equations if isinstance(e, InitEq)]
+        assert len(inits) == 1
+
+    def test_unit_equation_gets_fresh_name(self):
+        expr = parse_expr("x where rec x = 1. and () = observe (gaussian (x, 1.), y)")
+        defs = [e for e in expr.equations if isinstance(e, Eq)]
+        assert len(defs) == 2
+        assert defs[1].name.startswith("_unit")
+
+
+class TestPrograms:
+    def test_node_declaration(self):
+        prog = parse_program("let node f x = x + 1.")
+        assert prog.decls[0].name == "f"
+        assert prog.decls[0].param == ("x",)
+
+    def test_multi_param(self):
+        prog = parse_program("let node f (a, b) = a + b")
+        assert prog.decls[0].param == ("a", "b")
+
+    def test_node_application_vs_operator(self):
+        prog = parse_program(
+            "let node f x = x + 1.\nlet node g y = f (y) * 2."
+        )
+        body = prog.decls[1].body
+        assert isinstance(body.args[0], App)
+
+    def test_infer_syntax(self):
+        prog = parse_program(
+            "let node m y = sample (gaussian (0., 1.))\n"
+            "let node main y = infer 500 m y"
+        )
+        body = prog.decls[1].body
+        assert isinstance(body, Infer)
+        assert body.particles == 500
+
+    def test_infer_of_unknown_node_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("let node main y = infer 10 ghost y")
+
+    def test_parse_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("let node f x = (1. + ")
+        assert ":" in str(excinfo.value)
+
+
+class TestEndToEnd:
+    def test_parsed_counter_runs(self):
+        from repro.core import load
+        from repro.runtime import run
+
+        prog = parse_program(
+            "let node counter u = x where rec x = 0. -> pre x + 1."
+        )
+        outputs = run(load(prog).det_node("counter"), [None] * 4)
+        assert outputs == [0.0, 1.0, 2.0, 3.0]
+
+    def test_parsed_source_equals_dsl_build(self):
+        from repro.dsl import arrow as d_arrow
+        from repro.dsl import const, eq, node, pre as d_pre, program, var, where_
+
+        parsed = parse_program(
+            "let node n u = x where rec x = 0. -> pre x + 1."
+        )
+        built = program(node("n", "u", where_(
+            var("x"),
+            eq("x", d_arrow(const(0.0), d_pre(var("x")) + const(1.0))),
+        )))
+        assert parsed == built

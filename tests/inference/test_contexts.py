@@ -1,0 +1,90 @@
+"""Probabilistic contexts: Fig. 13 vs Fig. 14 operator semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.delayed import StreamingGraph
+from repro.dists import Gaussian
+from repro.errors import InferenceError
+from repro.inference.contexts import DelayedCtx, SamplingCtx
+from repro.lang import gaussian
+from repro.symbolic import RVar, is_symbolic
+
+
+class TestSamplingCtx:
+    def test_sample_draws_concrete(self, rng):
+        ctx = SamplingCtx(rng)
+        value = ctx.sample(Gaussian(0.0, 1.0))
+        assert isinstance(value, float)
+
+    def test_observe_accumulates_log_weight(self, rng):
+        ctx = SamplingCtx(rng)
+        ctx.observe(Gaussian(0.0, 1.0), 0.5)
+        ctx.observe(Gaussian(0.0, 1.0), -0.5)
+        expected = 2 * Gaussian(0.0, 1.0).log_pdf(0.5)
+        assert ctx.log_weight == pytest.approx(expected)
+
+    def test_factor_adds_log_score(self, rng):
+        ctx = SamplingCtx(rng)
+        ctx.factor(-1.5)
+        ctx.factor(0.5)
+        assert ctx.log_weight == pytest.approx(-1.0)
+
+    def test_symbolic_dist_rejected(self, rng):
+        ctx = SamplingCtx(rng)
+        fake_symbolic = gaussian(RVar(object()), 1.0)
+        with pytest.raises(InferenceError):
+            ctx.sample(fake_symbolic)
+        with pytest.raises(InferenceError):
+            ctx.observe(fake_symbolic, 1.0)
+
+    def test_value_passthrough_and_rejection(self, rng):
+        ctx = SamplingCtx(rng)
+        assert ctx.value(2.0) == 2.0
+        with pytest.raises(InferenceError):
+            ctx.value(RVar(object()))
+
+    def test_non_distribution_rejected(self, rng):
+        ctx = SamplingCtx(rng)
+        with pytest.raises(InferenceError):
+            ctx.sample("not a distribution")
+
+
+class TestDelayedCtx:
+    def test_sample_returns_symbolic(self, rng):
+        ctx = DelayedCtx(StreamingGraph(rng=rng))
+        x = ctx.sample(Gaussian(0.0, 1.0))
+        assert is_symbolic(x)
+
+    def test_observe_scores_predictive(self, rng):
+        ctx = DelayedCtx(StreamingGraph(rng=rng))
+        x = ctx.sample(Gaussian(0.0, 100.0))
+        ctx.observe(gaussian(x, 1.0), 3.0)
+        assert ctx.log_weight == pytest.approx(Gaussian(0.0, 101.0).log_pdf(3.0))
+
+    def test_value_forces(self, rng):
+        ctx = DelayedCtx(StreamingGraph(rng=rng))
+        x = ctx.sample(Gaussian(0.0, 1.0))
+        value = ctx.value(x)
+        assert isinstance(value, float)
+        assert ctx.value(x) == value  # stable after realization
+
+    def test_factor_concrete_and_symbolic(self, rng):
+        ctx = DelayedCtx(StreamingGraph(rng=rng))
+        ctx.factor(-2.0)
+        assert ctx.log_weight == pytest.approx(-2.0)
+        x = ctx.sample(Gaussian(1.0, 0.0001))
+        ctx.factor(x)  # symbolic score: forced to a concrete value
+        assert ctx.log_weight == pytest.approx(-2.0 + 1.0, abs=0.1)
+
+    def test_delayed_sampling_improves_over_eager(self, rng_factory):
+        """Delaying through an observation matches the exact posterior."""
+        ctx = DelayedCtx(StreamingGraph(rng=rng_factory(1)))
+        x = ctx.sample(Gaussian(0.0, 100.0))
+        ctx.observe(gaussian(x, 1.0), 4.0)
+        post = ctx.value(x)
+        # the realized value comes from the conditioned marginal, which
+        # is concentrated near the observation
+        assert abs(post - 4.0) < 5.0

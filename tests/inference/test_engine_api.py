@@ -1,0 +1,117 @@
+"""Engine construction, configuration, and streaming-node behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.bench.models import KalmanModel
+from repro.dists import Empirical, Mixture
+from repro.errors import InferenceError
+from repro.inference import (
+    ImportanceSampler,
+    ParticleFilter,
+    StreamingDelayedSampler,
+    infer,
+)
+from repro.inference.infer import ENGINES
+
+
+class TestInferFactory:
+    def test_default_is_particle_filter(self):
+        engine = infer(KalmanModel())
+        assert isinstance(engine, ParticleFilter)
+
+    def test_all_methods_constructible(self):
+        for method in ("importance", "pf", "bds", "sds", "ds"):
+            engine = infer(KalmanModel(), n_particles=2, method=method)
+            assert engine.n_particles == 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InferenceError):
+            infer(KalmanModel(), method="gibbs")
+
+    def test_method_aliases(self):
+        assert ENGINES["particle_filter"] is ParticleFilter
+        assert ENGINES["is"] is ImportanceSampler
+
+    def test_zero_particles_rejected(self):
+        with pytest.raises(InferenceError):
+            infer(KalmanModel(), n_particles=0)
+
+    def test_unknown_resampler_rejected(self):
+        with pytest.raises(InferenceError):
+            infer(KalmanModel(), resampler="bogus")
+
+
+class TestEngineAsStreamNode:
+    def test_step_returns_distribution_and_state(self):
+        engine = infer(KalmanModel(), n_particles=4, method="pf", seed=0)
+        state = engine.init()
+        dist, state2 = engine.step(state, 1.0)
+        assert isinstance(dist, Empirical)
+        assert len(state2) == 4
+
+    def test_sds_outputs_mixture(self):
+        engine = infer(KalmanModel(), n_particles=4, method="sds", seed=0)
+        state = engine.init()
+        dist, _ = engine.step(state, 1.0)
+        assert isinstance(dist, Mixture)
+
+    def test_state_is_externalized(self):
+        """Two interleaved executions from a shared prefix stay coherent."""
+        engine = infer(KalmanModel(), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        dist_a, state_a = engine.step(state, 1.0)
+        # branch: feed different observations to the same engine object
+        dist_b1, _ = engine.step(state_a, 5.0)
+        dist_b2, _ = engine.step(state_a, -5.0)
+        assert dist_b1.mean() > dist_b2.mean()
+
+    def test_seed_reproducibility(self):
+        def run(seed):
+            engine = infer(KalmanModel(), n_particles=10, method="pf", seed=seed)
+            state = engine.init()
+            means = []
+            for obs in (0.5, 1.0, 1.5):
+                dist, state = engine.step(state, obs)
+                means.append(dist.mean())
+            return means
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestResamplingConfig:
+    def test_threshold_skips_resampling(self):
+        # threshold 0: never resample (ESS is always > 0)
+        engine = infer(
+            KalmanModel(), n_particles=10, method="pf", seed=0,
+            resample_threshold=0.0,
+        )
+        state = engine.init()
+        for obs in (1.0, 2.0, 3.0):
+            _, state = engine.step(state, obs)
+        # without resampling, accumulated log-weights differ across particles
+        weights = {round(p.log_weight, 6) for p in state}
+        assert len(weights) > 1
+
+    def test_always_resample_resets_weights(self):
+        engine = infer(KalmanModel(), n_particles=10, method="pf", seed=0)
+        state = engine.init()
+        _, state = engine.step(state, 1.0)
+        assert all(p.log_weight == 0.0 for p in state)
+
+    @pytest.mark.parametrize("scheme", ["systematic", "stratified", "multinomial"])
+    def test_all_resamplers_work(self, scheme):
+        engine = infer(
+            KalmanModel(), n_particles=8, method="pf", seed=0, resampler=scheme
+        )
+        state = engine.init()
+        dist, _ = engine.step(state, 1.0)
+        assert np.isfinite(dist.mean())
+
+
+class TestSharedRng:
+    def test_external_rng_accepted(self):
+        rng = np.random.default_rng(0)
+        engine = infer(KalmanModel(), n_particles=2, method="pf", rng=rng)
+        assert engine.rng is rng

@@ -1,0 +1,91 @@
+"""Inference engines on the Coin benchmark (Appendix B.2).
+
+SDS maintains the exact Beta posterior; BDS loses the conjugacy after
+the first step (the Beta node is forced at the end of step 1) and from
+then on behaves like a particle filter — the Section 6.2 observation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.data import coin_data
+from repro.bench.models import CoinModel
+from repro.inference import infer
+
+
+@pytest.fixture(scope="module")
+def data():
+    return coin_data(100, seed=9)
+
+
+def beta_posterior_means(observations, alpha=1.0, beta=1.0):
+    means = []
+    for obs in observations:
+        if obs:
+            alpha += 1.0
+        else:
+            beta += 1.0
+        means.append(alpha / (alpha + beta))
+    return means
+
+
+class TestSdsExactness:
+    def test_single_particle_exact_posterior(self, data):
+        engine = infer(CoinModel(), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        for obs, expected in zip(data.observations, beta_posterior_means(data.observations)):
+            dist, state = engine.step(state, obs)
+            assert dist.mean() == pytest.approx(expected, rel=1e-12)
+
+    def test_posterior_variance_matches_beta(self, data):
+        engine = infer(CoinModel(), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        alpha, beta = 1.0, 1.0
+        for obs in data.observations:
+            dist, state = engine.step(state, obs)
+            alpha, beta = (alpha + 1, beta) if obs else (alpha, beta + 1)
+            total = alpha + beta
+            expected_var = alpha * beta / (total * total * (total + 1.0))
+            assert dist.variance() == pytest.approx(expected_var, rel=1e-9)
+
+
+class TestBdsDegeneratesToPf:
+    def test_bds_not_exact_after_first_step(self, data):
+        engine = infer(CoinModel(), n_particles=5, method="bds", seed=3)
+        state = engine.init()
+        exact = beta_posterior_means(data.observations)
+        errors = []
+        for obs, expected in zip(data.observations, exact):
+            dist, state = engine.step(state, obs)
+            errors.append(abs(dist.mean() - expected))
+        # with only 5 particles, BDS cannot track the exact posterior
+        assert max(errors[1:]) > 0.01
+
+    def test_bds_first_step_exploits_conjugacy(self, data):
+        """At step 1 the observation conditions the Beta before forcing."""
+        exact_first = beta_posterior_means(data.observations)[0]
+        means = []
+        for seed in range(200):
+            engine = infer(CoinModel(), n_particles=1, method="bds", seed=seed)
+            state = engine.init()
+            dist, state = engine.step(state, data.observations[0])
+            means.append(dist.mean())
+        # the forced samples are drawn from the conditioned Beta, whose
+        # mean is the exact posterior mean
+        assert np.mean(means) == pytest.approx(exact_first, abs=0.05)
+
+
+class TestPfConvergence:
+    def test_pf_estimates_improve_with_particles(self, data):
+        exact = beta_posterior_means(data.observations)[-1]
+
+        def final_error(particles, seed):
+            engine = infer(CoinModel(), n_particles=particles, method="pf", seed=seed)
+            state = engine.init()
+            for obs in data.observations:
+                dist, state = engine.step(state, obs)
+            return abs(dist.mean() - exact)
+
+        small = np.median([final_error(2, s) for s in range(10)])
+        large = np.median([final_error(200, s) for s in range(10)])
+        assert large < small

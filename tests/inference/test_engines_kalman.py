@@ -1,0 +1,122 @@
+"""Inference engines on the Kalman benchmark: exactness and convergence.
+
+The key reproduction facts (Section 6.2):
+
+* SDS with a single particle equals the closed-form Kalman filter,
+* BDS exploits within-step conjugacy and beats PF at equal particles,
+* PF converges toward the exact posterior as particles grow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.data import kalman_data
+from repro.bench.models import KalmanModel
+from repro.dists import Gaussian
+from repro.inference import infer
+from repro.inference.metrics import mse_of_run
+
+
+def kalman_oracle(observations, prior_mean=0.0, prior_var=100.0,
+                  motion_var=1.0, obs_var=1.0):
+    """Closed-form Kalman filter posteriors (mean, var) per step."""
+    posts = []
+    mu, var = prior_mean, prior_var
+    for t, obs in enumerate(observations):
+        if t > 0:
+            var = var + motion_var
+        gain = var / (var + obs_var)
+        mu = mu + gain * (obs - mu)
+        var = (1.0 - gain) * var
+        posts.append(Gaussian(mu, var))
+    return posts
+
+
+@pytest.fixture(scope="module")
+def data():
+    return kalman_data(40, seed=5)
+
+
+class TestSdsExactness:
+    def test_single_particle_matches_kalman_filter(self, data):
+        engine = infer(KalmanModel(), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        for obs, oracle in zip(data.observations, kalman_oracle(data.observations)):
+            dist, state = engine.step(state, obs)
+            assert dist.mean() == pytest.approx(oracle.mu, rel=1e-9, abs=1e-9)
+            assert dist.variance() == pytest.approx(oracle.var, rel=1e-9)
+
+    def test_many_particles_all_exact(self, data):
+        engine = infer(KalmanModel(), n_particles=20, method="sds", seed=1)
+        state = engine.init()
+        oracle = kalman_oracle(data.observations)
+        for obs, expected in zip(data.observations, oracle):
+            dist, state = engine.step(state, obs)
+            assert dist.mean() == pytest.approx(expected.mu, abs=1e-9)
+
+    def test_ds_equals_sds(self, data):
+        """The original delayed sampler computes identical posteriors."""
+        sds = infer(KalmanModel(), n_particles=1, method="sds", seed=0)
+        ds = infer(KalmanModel(), n_particles=1, method="ds", seed=0)
+        s1, s2 = sds.init(), ds.init()
+        for obs in data.observations:
+            d1, s1 = sds.step(s1, obs)
+            d2, s2 = ds.step(s2, obs)
+            assert d1.mean() == pytest.approx(d2.mean(), abs=1e-9)
+            assert d1.variance() == pytest.approx(d2.variance(), abs=1e-9)
+
+
+class TestAccuracyOrdering:
+    def test_pf_converges_with_particles(self, data):
+        mses = {}
+        for particles in (2, 200):
+            runs = [
+                mse_of_run(
+                    _run_means("pf", particles, data, seed), data.truths
+                )
+                for seed in range(5)
+            ]
+            mses[particles] = np.median(runs)
+        assert mses[200] < mses[2]
+
+    def test_bds_beats_pf_at_low_particles(self, data):
+        pf_runs = [
+            mse_of_run(_run_means("pf", 3, data, seed), data.truths)
+            for seed in range(10)
+        ]
+        bds_runs = [
+            mse_of_run(_run_means("bds", 3, data, seed), data.truths)
+            for seed in range(10)
+        ]
+        assert np.median(bds_runs) < np.median(pf_runs)
+
+    def test_sds_at_least_as_good_as_pf(self, data):
+        sds = mse_of_run(_run_means("sds", 1, data, 0), data.truths)
+        pf_runs = [
+            mse_of_run(_run_means("pf", 10, data, seed), data.truths)
+            for seed in range(10)
+        ]
+        assert sds <= np.median(pf_runs) * 1.05
+
+
+class TestImportanceSampler:
+    def test_runs_but_weights_degenerate(self, data):
+        from repro.inference.resampling import ess, normalize_log_weights
+
+        engine = infer(KalmanModel(), n_particles=50, method="importance", seed=0)
+        state = engine.init()
+        for obs in data.observations[:20]:
+            _, state = engine.step(state, obs)
+        weights = normalize_log_weights([p.log_weight for p in state])
+        # after 20 steps without resampling the ESS collapses
+        assert ess(weights) < 5.0
+
+
+def _run_means(method, particles, data, seed):
+    engine = infer(KalmanModel(), n_particles=particles, method=method, seed=seed)
+    state = engine.init()
+    means = []
+    for obs in data.observations:
+        dist, state = engine.step(state, obs)
+        means.append(dist.mean())
+    return means

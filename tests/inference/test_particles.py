@@ -1,0 +1,107 @@
+"""Particle cloning: graph copies must be deep, consistent, independent."""
+
+import numpy as np
+import pytest
+
+from repro.delayed import StreamingGraph, DelayedGraph, NodeState
+from repro.delayed.conjugacy import AffineGaussian
+from repro.dists import Gaussian
+from repro.inference.particles import (
+    Particle,
+    clone_particle,
+    clone_state_concrete,
+    state_words,
+)
+from repro.symbolic import RVar
+
+
+def build_chain(graph, length=5):
+    prev = graph.assume_root(Gaussian(0.0, 100.0))
+    for _ in range(length):
+        node = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), prev)
+        prev = node
+    return prev
+
+
+class TestCloneConcrete:
+    def test_scalars_shared(self):
+        particle = Particle(state=3.0, log_weight=-1.0)
+        clone = clone_particle(particle)
+        assert clone.state == 3.0
+        assert clone.log_weight == -1.0
+
+    def test_arrays_copied(self):
+        arr = np.array([1.0, 2.0])
+        clone = clone_particle(Particle(state=arr))
+        clone.state[0] = 99.0
+        assert arr[0] == 1.0
+
+    def test_nested_structures(self):
+        state = {"a": [1.0, (2.0, 3.0)]}
+        clone = clone_state_concrete(state)
+        clone["a"][0] = 5.0
+        assert state["a"][0] == 1.0
+
+
+class TestCloneGraph:
+    @pytest.mark.parametrize("graph_cls", [DelayedGraph, StreamingGraph])
+    def test_clone_is_independent(self, graph_cls, rng):
+        graph = graph_cls(rng=rng)
+        leaf = build_chain(graph)
+        particle = Particle(state=RVar(leaf), graph=graph)
+        clone = clone_particle(particle)
+        # realizing in the clone must not affect the original
+        clone_node = clone.state.node
+        clone.graph.value(clone_node)
+        assert clone_node.state is NodeState.REALIZED
+        assert leaf.state is not NodeState.REALIZED
+
+    def test_clone_preserves_pointers(self, rng):
+        graph = DelayedGraph(rng=rng)
+        root = graph.assume_root(Gaussian(0.0, 1.0))
+        child = graph.assume_conditional(AffineGaussian(1.0, 0.0, 1.0), root)
+        particle = Particle(state=(RVar(child), RVar(root)), graph=graph)
+        clone = clone_particle(particle)
+        cloned_child, cloned_root = clone.state[0].node, clone.state[1].node
+        assert cloned_child.parent is cloned_root
+        assert cloned_child in cloned_root.children
+        assert cloned_child is not child
+
+    def test_clone_shares_immutable_payloads(self, rng):
+        graph = StreamingGraph(rng=rng)
+        root = graph.assume_root(Gaussian(0.0, 1.0))
+        clone = clone_particle(Particle(state=RVar(root), graph=graph))
+        assert clone.state.node.marginal is root.marginal  # immutable share
+
+    def test_long_chain_clone_no_recursion_error(self, rng):
+        graph = DelayedGraph(rng=rng)
+        leaf = build_chain(graph, length=5000)
+        particle = Particle(state=RVar(leaf), graph=graph)
+        clone = clone_particle(particle)  # must not hit the stack limit
+        assert clone.state.node is not leaf
+
+    def test_symbolic_expression_state_remapped(self, rng):
+        graph = StreamingGraph(rng=rng)
+        root = graph.assume_root(Gaussian(0.0, 1.0))
+        expr = 2.0 * RVar(root) + 1.0
+        clone = clone_particle(Particle(state=expr, graph=graph))
+        from repro.symbolic import free_rvars
+
+        (clone_rv,) = free_rvars(clone.state)
+        assert clone_rv.node is not root
+
+
+class TestStateWords:
+    def test_scalars(self):
+        assert state_words(1.0) == 1
+        assert state_words(None) == 1
+
+    def test_array_scales_with_size(self):
+        assert state_words(np.zeros(10)) == 11
+
+    def test_containers(self):
+        assert state_words((1.0, 2.0)) == 3
+        assert state_words({"a": 1.0}) == 2
+
+    def test_rvar_counts_one_pointer(self):
+        assert state_words(RVar(object())) == 1

@@ -1,0 +1,97 @@
+"""Resampling schemes and weight normalization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InferenceError
+from repro.inference.resampling import (
+    RESAMPLERS,
+    ess,
+    multinomial_indices,
+    normalize_log_weights,
+    stratified_indices,
+    systematic_indices,
+)
+
+
+class TestNormalizeLogWeights:
+    def test_uniform_from_equal(self):
+        weights = normalize_log_weights([-1.0, -1.0, -1.0])
+        assert np.allclose(weights, [1 / 3] * 3)
+
+    def test_shift_invariance(self):
+        a = normalize_log_weights([0.0, -1.0, -2.0])
+        b = normalize_log_weights([100.0, 99.0, 98.0])
+        assert np.allclose(a, b)
+
+    def test_all_neg_inf_falls_back_to_uniform(self):
+        weights = normalize_log_weights([-math.inf, -math.inf])
+        assert np.allclose(weights, [0.5, 0.5])
+
+    def test_single_neg_inf_gets_zero(self):
+        weights = normalize_log_weights([0.0, -math.inf])
+        assert np.allclose(weights, [1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            normalize_log_weights([])
+
+    @given(
+        logw=st.lists(
+            st.floats(min_value=-500, max_value=500, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_always_a_distribution(self, logw):
+        weights = normalize_log_weights(logw)
+        assert np.all(weights >= 0)
+        assert weights.sum() == pytest.approx(1.0)
+
+
+class TestEss:
+    def test_uniform_weights_full_ess(self):
+        assert ess([0.25] * 4) == pytest.approx(4.0)
+
+    def test_degenerate_weights_ess_one(self):
+        assert ess([1.0, 0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_zero_weights(self):
+        assert ess([0.0, 0.0]) == 0.0
+
+
+class TestIndices:
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLERS))
+    def test_indices_in_range(self, scheme, rng):
+        weights = normalize_log_weights([0.0, -1.0, -2.0, -0.5])
+        indices = RESAMPLERS[scheme](weights, 10, rng)
+        assert len(indices) == 10
+        assert all(0 <= i < 4 for i in indices)
+
+    @pytest.mark.parametrize(
+        "fn", [systematic_indices, stratified_indices, multinomial_indices]
+    )
+    def test_degenerate_weight_selects_single(self, fn, rng):
+        indices = fn([0.0, 1.0, 0.0], 8, rng)
+        assert all(i == 1 for i in indices)
+
+    def test_systematic_proportionality(self, rng):
+        weights = np.array([0.5, 0.3, 0.2])
+        counts = np.zeros(3)
+        for _ in range(200):
+            idx = systematic_indices(weights, 100, rng)
+            counts += np.bincount(idx, minlength=3)
+        freqs = counts / counts.sum()
+        assert np.allclose(freqs, weights, atol=0.01)
+
+    @given(seed=st.integers(0, 1000), n=st.integers(1, 64))
+    def test_systematic_counts_are_within_one_of_expectation(self, seed, n):
+        rng = np.random.default_rng(seed)
+        weights = np.array([0.5, 0.5])
+        idx = systematic_indices(weights, n, rng)
+        count0 = int(np.sum(idx == 0))
+        assert abs(count0 - n / 2) <= 1.0

@@ -1,0 +1,54 @@
+"""Lifted distribution constructors: concrete vs symbolic dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Bernoulli, Beta, Gaussian, InverseGamma, MvGaussian
+from repro.lang import (
+    SymDist,
+    bernoulli,
+    beta,
+    gaussian,
+    inverse_gamma,
+    mv_gaussian,
+)
+from repro.symbolic import RVar
+
+
+class FakeNode:
+    family = "gaussian"
+
+
+class TestConcreteDispatch:
+    def test_concrete_params_build_distributions(self):
+        assert isinstance(gaussian(0.0, 1.0), Gaussian)
+        assert isinstance(beta(1.0, 1.0), Beta)
+        assert isinstance(bernoulli(0.5), Bernoulli)
+        assert isinstance(inverse_gamma(2.0, 2.0), InverseGamma)
+        assert isinstance(mv_gaussian(np.zeros(2), np.eye(2)), MvGaussian)
+
+
+class TestSymbolicDispatch:
+    def test_symbolic_param_builds_symdist(self):
+        x = RVar(FakeNode())
+        dist = gaussian(x, 1.0)
+        assert isinstance(dist, SymDist)
+        assert dist.kind == "gaussian"
+        assert dist.params[1] == 1.0
+
+    def test_symbolic_anywhere_in_params(self):
+        x = RVar(FakeNode())
+        assert isinstance(gaussian(0.0, x), SymDist)
+        assert isinstance(bernoulli(x), SymDist)
+        assert isinstance(beta(x, 1.0), SymDist)
+
+    def test_symdist_is_frozen(self):
+        x = RVar(FakeNode())
+        dist = gaussian(x, 1.0)
+        with pytest.raises(Exception):
+            dist.kind = "other"
+
+    def test_expression_params(self):
+        x = RVar(FakeNode())
+        dist = gaussian(2.0 * x + 1.0, 0.5)
+        assert isinstance(dist, SymDist)

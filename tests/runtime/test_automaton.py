@@ -1,0 +1,78 @@
+"""Hierarchical automata: weak transitions, entry reset."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.runtime import Automaton, AutoState, FunNode, run
+from repro.runtime.stdlib import Counter
+
+
+def counting_state(name, transitions=()):
+    return AutoState(name, Counter(), list(transitions))
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            Automaton([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InferenceError):
+            Automaton([counting_state("a"), counting_state("a")])
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(InferenceError):
+            Automaton([counting_state("a", [(lambda o: True, "missing")])])
+
+
+class TestExecution:
+    def test_stays_without_transition(self):
+        auto = Automaton([counting_state("only")])
+        assert run(auto, [None] * 3) == [0, 1, 2]
+
+    def test_weak_transition_takes_effect_next_instant(self):
+        # leave `a` when its counter reaches 1; `b` counts afresh
+        auto = Automaton([
+            counting_state("a", [(lambda out: out >= 1, "b")]),
+            counting_state("b"),
+        ])
+        outputs = run(auto, [None] * 4)
+        # a emits 0, 1 (guard fires on 1), then b starts from 0
+        assert outputs == [0, 1, 0, 1]
+
+    def test_entry_resets_target_state(self):
+        # ping-pong between two counting states
+        auto = Automaton([
+            counting_state("a", [(lambda out: out >= 0, "b")]),
+            counting_state("b", [(lambda out: out >= 0, "a")]),
+        ])
+        outputs = run(auto, [None] * 4)
+        assert outputs == [0, 0, 0, 0]  # always freshly reset
+
+    def test_first_true_guard_wins(self):
+        auto = Automaton([
+            counting_state("a", [
+                (lambda out: True, "b"),
+                (lambda out: True, "c"),
+            ]),
+            counting_state("b"),
+            counting_state("c"),
+        ])
+        state = auto.init()
+        _, state = auto.step(state, None)
+        assert auto.mode_of(state) == "b"
+
+    def test_go_task_shape(self):
+        """The Fig. 5 pattern: switch modes on a confidence condition."""
+        go = AutoState(
+            "Go",
+            FunNode(None, lambda s, conf: (("go-cmd", conf), s)),
+            [(lambda out: out[1] > 0.9, "Task")],
+        )
+        task = AutoState(
+            "Task", FunNode(None, lambda s, conf: (("task-cmd", conf), s))
+        )
+        auto = Automaton([go, task])
+        confidences = [0.2, 0.5, 0.95, 0.99]
+        outputs = run(auto, confidences)
+        assert [o[0] for o in outputs] == ["go-cmd", "go-cmd", "go-cmd", "task-cmd"]

@@ -1,0 +1,91 @@
+"""Standard synchronous blocks."""
+
+import pytest
+
+from repro.runtime import (
+    Counter,
+    Deriv,
+    Edge,
+    Fby,
+    Integr,
+    Pid,
+    Pre,
+    SampleHold,
+    run,
+)
+
+
+class TestPre:
+    def test_delays_by_one(self):
+        assert run(Pre(0.0), [1.0, 2.0, 3.0]) == [0.0, 1.0, 2.0]
+
+    def test_fby_alias(self):
+        assert Fby is Pre
+
+
+class TestIntegr:
+    def test_backward_euler(self):
+        # x0 = 1; xn = x(n-1) + x'n * h
+        assert run(Integr(1.0, h=0.5), [2.0, 2.0, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_zero_derivative_holds(self):
+        assert run(Integr(5.0), [0.0, 0.0]) == [5.0, 5.0]
+
+    def test_double_integration_is_quadratic(self):
+        from repro.runtime import serial
+
+        node = serial(Integr(0.0), Integr(0.0))
+        outputs = run(node, [1.0] * 5)
+        assert outputs == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+
+class TestDeriv:
+    def test_backward_difference(self):
+        assert run(Deriv(h=1.0), [0.0, 2.0, 6.0]) == [0.0, 2.0, 4.0]
+
+    def test_inverse_of_integr(self):
+        from repro.runtime import serial
+
+        node = serial(Integr(0.0), Deriv())
+        outputs = run(node, [3.0, 3.0, 3.0])
+        assert outputs[1:] == [3.0, 3.0]
+
+
+class TestCounterEdge:
+    def test_counter(self):
+        assert run(Counter(), [None] * 4) == [0, 1, 2, 3]
+
+    def test_edge_detects_rising_only(self):
+        inputs = [False, True, True, False, True]
+        assert run(Edge(), inputs) == [False, True, False, False, True]
+
+
+class TestSampleHold:
+    def test_holds_last_present(self):
+        inputs = [None, 1.0, None, None, 2.0, None]
+        assert run(SampleHold(0.0), inputs) == [0.0, 1.0, 1.0, 1.0, 2.0, 2.0]
+
+
+class TestPid:
+    def test_pure_proportional(self):
+        pid = Pid(kp=2.0)
+        assert run(pid, [1.0, 0.5, 0.0]) == [2.0, 1.0, 0.0]
+
+    def test_integral_accumulates(self):
+        pid = Pid(kp=0.0, ki=1.0, h=1.0)
+        assert run(pid, [1.0, 1.0, 1.0]) == [1.0, 2.0, 3.0]
+
+    def test_derivative_reacts_to_change(self):
+        pid = Pid(kp=0.0, kd=1.0, h=1.0)
+        outputs = run(pid, [0.0, 1.0, 1.0])
+        assert outputs == [0.0, 1.0, 0.0]
+
+    def test_closed_loop_converges(self):
+        """A PID around a unit-delay plant settles at the setpoint."""
+        pid = Pid(kp=0.5, ki=0.2)
+        state = pid.init()
+        position = 0.0
+        for _ in range(100):
+            cmd, state = pid.step(state, 10.0 - position)
+            position += cmd
+        assert position == pytest.approx(10.0, abs=0.1)

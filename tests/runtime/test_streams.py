@@ -1,0 +1,67 @@
+"""Stream drivers and combinators."""
+
+import pytest
+
+from repro.runtime import (
+    FunNode,
+    NodeInstance,
+    constant,
+    feedback,
+    iterate,
+    lift,
+    parallel,
+    run,
+    run_n,
+    serial,
+)
+from repro.runtime.stdlib import Counter, Pre
+
+
+class TestDrivers:
+    def test_run_collects_outputs(self):
+        assert run(lift(lambda x: x * 2), [1, 2, 3]) == [2, 4, 6]
+
+    def test_run_n_constant_input(self):
+        assert run_n(Counter(), 3) == [0, 1, 2]
+
+    def test_iterate_is_lazy(self):
+        gen = iterate(Counter(), iter([None] * 100))
+        assert next(gen) == 0
+        assert next(gen) == 1
+
+
+class TestCombinators:
+    def test_constant(self):
+        assert run(constant(7), [None, None]) == [7, 7]
+
+    def test_serial_composition(self):
+        node = serial(lift(lambda x: x + 1), lift(lambda x: x * 10))
+        assert run(node, [1, 2]) == [20, 30]
+
+    def test_serial_threads_state(self):
+        node = serial(Counter(), Pre(-1))
+        assert run(node, [None] * 3) == [-1, 0, 1]
+
+    def test_parallel_composition(self):
+        node = parallel(lift(lambda x: x + 1), Counter())
+        assert run(node, [(10, None), (20, None)]) == [(11, 0), (21, 1)]
+
+    def test_feedback_unit_delay(self):
+        # out = inp + previous out
+        adder = FunNode(None, lambda s, pair: (pair[0] + pair[1], s))
+        node = feedback(adder, initial=0)
+        assert run(node, [1, 1, 1, 1]) == [1, 2, 3, 4]
+
+
+class TestNodeInstance:
+    def test_imperative_wrapper(self):
+        inst = NodeInstance(Counter())
+        assert inst.step() == 0
+        assert inst.step() == 1
+
+    def test_reset(self):
+        inst = NodeInstance(Counter())
+        inst.step()
+        inst.step()
+        inst.reset()
+        assert inst.step() == 0

@@ -1,0 +1,154 @@
+"""Affine-form extraction: the conjugacy detector's front end."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbolic import RVar, app, extract_affine
+
+
+class FakeNode:
+    def __init__(self, name="x", dim=None):
+        self.name = name
+        self.dim = dim
+
+
+class TestScalarAffine:
+    def test_identity(self):
+        node = FakeNode()
+        form = extract_affine(RVar(node))
+        assert form.rv is node
+        assert form.coeff == 1.0
+        assert form.const == 0.0
+        assert form.is_identity()
+
+    def test_constant(self):
+        form = extract_affine(3.5)
+        assert form.is_constant()
+        assert form.const == 3.5
+
+    def test_linear_combination(self):
+        node = FakeNode()
+        x = RVar(node)
+        form = extract_affine(2.0 * x + 3.0)
+        assert form.rv is node
+        assert form.coeff == 2.0
+        assert form.const == 3.0
+
+    def test_nested_arithmetic(self):
+        node = FakeNode()
+        x = RVar(node)
+        form = extract_affine((x + 1.0) * 2.0 - x)
+        assert form.rv is node
+        assert form.coeff == pytest.approx(1.0)
+        assert form.const == pytest.approx(2.0)
+
+    def test_division_by_constant(self):
+        node = FakeNode()
+        x = RVar(node)
+        form = extract_affine((x + 2.0) / 4.0)
+        assert form.coeff == pytest.approx(0.25)
+        assert form.const == pytest.approx(0.5)
+
+    def test_negation(self):
+        node = FakeNode()
+        form = extract_affine(-(RVar(node) + 1.0))
+        assert form.coeff == -1.0
+        assert form.const == -1.0
+
+    def test_coefficients_cancel_to_constant(self):
+        node = FakeNode()
+        x = RVar(node)
+        form = extract_affine(x - x + 5.0)
+        assert form.is_constant()
+        assert form.const == 5.0
+
+
+class TestNonAffine:
+    def test_product_of_variables(self):
+        x, y = RVar(FakeNode("x")), RVar(FakeNode("y"))
+        assert extract_affine(x * y) is None
+        assert extract_affine(x * x) is None
+
+    def test_two_distinct_variables(self):
+        x, y = RVar(FakeNode("x")), RVar(FakeNode("y"))
+        assert extract_affine(x + y) is None
+
+    def test_division_by_variable(self):
+        x = RVar(FakeNode("x"))
+        assert extract_affine(1.0 / x) is None
+
+    def test_nonlinear_op(self):
+        x = RVar(FakeNode("x"))
+        assert extract_affine(app("exp", x)) is None
+
+    def test_same_variable_twice_is_affine(self):
+        node = FakeNode()
+        x = RVar(node)
+        form = extract_affine(x + x)
+        assert form.rv is node
+        assert form.coeff == 2.0
+
+
+class TestVectorAffine:
+    def test_matvec(self):
+        node = FakeNode("z", dim=2)
+        z = RVar(node)
+        m = np.array([[1.0, 2.0], [0.0, 1.0]])
+        form = extract_affine(app("matvec", m, z))
+        assert form.rv is node
+        assert np.allclose(form.coeff, m)
+
+    def test_matvec_plus_vector(self):
+        node = FakeNode("z", dim=2)
+        z = RVar(node)
+        m = np.eye(2)
+        b = np.array([1.0, -1.0])
+        form = extract_affine(app("add", app("matvec", m, z), b))
+        assert np.allclose(form.coeff, m)
+        assert np.allclose(form.const, b)
+
+    def test_getitem_one_hot(self):
+        node = FakeNode("z", dim=3)
+        z = RVar(node)
+        form = extract_affine(z[1])
+        assert np.allclose(form.coeff, [0.0, 1.0, 0.0])
+
+    def test_getitem_after_matvec(self):
+        node = FakeNode("z", dim=2)
+        z = RVar(node)
+        m = np.array([[2.0, 0.0], [0.0, 3.0]])
+        form = extract_affine(app("matvec", m, z)[1])
+        assert np.allclose(form.coeff, [0.0, 3.0])
+
+    def test_getitem_without_dim_fails(self):
+        node = FakeNode("z", dim=None)
+        assert extract_affine(RVar(node)[0]) is None
+
+    def test_symbolic_matrix_not_affine(self):
+        z = RVar(FakeNode("z", dim=2))
+        w = RVar(FakeNode("w", dim=2))
+        assert extract_affine(app("matvec", z, w)) is None
+
+
+class TestAffineRoundtrip:
+    """Property: evaluating the tree equals applying the extracted form."""
+
+    @given(
+        a=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        b=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        c=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        value=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    )
+    def test_scalar_roundtrip(self, a, b, c, value):
+        from repro.symbolic import eval_expr
+
+        node = FakeNode()
+        x = RVar(node)
+        expr = a * x + b + c * x
+        form = extract_affine(expr)
+        assert form is not None
+        direct = eval_expr(expr, lambda n: value)
+        via_form = (form.coeff * value + form.const) if form.rv else form.const
+        assert direct == pytest.approx(via_form, rel=1e-9, abs=1e-9)

@@ -1,0 +1,61 @@
+"""The exception hierarchy: one catchable root, meaningful subtrees."""
+
+import pytest
+
+from repro.errors import (
+    CausalityError,
+    CompilationError,
+    DistributionError,
+    EvaluationError,
+    GraphError,
+    InferenceError,
+    InitializationError,
+    KindError,
+    LanguageError,
+    MuFRuntimeError,
+    ReproError,
+    ScopeError,
+    SymbolicError,
+    TypeCheckError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            KindError,
+            TypeCheckError,
+            CausalityError,
+            InitializationError,
+            ScopeError,
+            CompilationError,
+            MuFRuntimeError,
+            SymbolicError,
+            GraphError,
+            InferenceError,
+            DistributionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+
+    def test_static_errors_are_language_errors(self):
+        for error in (KindError, TypeCheckError, CausalityError, ScopeError):
+            assert issubclass(error, LanguageError)
+
+    def test_runtime_errors_are_evaluation_errors(self):
+        for error in (MuFRuntimeError, GraphError, InferenceError):
+            assert issubclass(error, EvaluationError)
+
+    def test_one_handler_catches_everything(self):
+        from repro.dists import Gaussian
+
+        with pytest.raises(ReproError):
+            Gaussian(0.0, -1.0)
+
+    def test_frontend_errors_are_language_errors(self):
+        from repro.frontend import LexError, ParseError
+
+        assert issubclass(LexError, LanguageError)
+        assert issubclass(ParseError, LanguageError)
