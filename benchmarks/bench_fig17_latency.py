@@ -52,15 +52,49 @@ def test_fig17_latency_sweep(benchmark, name, bench_config):
     assert result.get("pf", 100).median <= result.get("sds", 100).median
 
 
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_fig17_vectorized_backend_sweep(benchmark, name, bench_config):
+    """Scalar vs vectorized particle filter on the same sweep.
+
+    The vectorized backend advances all particles per array operation,
+    so its latency advantage widens with the particle count.
+    """
+    model_cls, datagen = BENCHMARKS[name]
+    data = datagen(30, seed=42)
+    counts = [10, 100, 1000]
+
+    def sweep():
+        return latency_sweep(
+            model_cls, data, particle_counts=counts,
+            methods=["pf", "pf@vectorized"], runs=2,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, f"Fig. 17+ — {name} scalar vs vectorized PF (ms)"))
+
+    speedup = result.get("pf", 1000).median / result.get("pf@vectorized", 1000).median
+    emit(f"vectorized speedup at 1000 particles: {speedup:.1f}x")
+    assert result.get("pf@vectorized", 1000).median < result.get("pf", 1000).median
+
+
 @pytest.mark.parametrize(
     "name,method",
-    list(itertools.product(sorted(BENCHMARKS), ["pf", "bds", "sds"])),
+    list(
+        itertools.product(
+            sorted(BENCHMARKS), ["pf", "bds", "sds", "pf@vectorized"]
+        )
+    ),
 )
 def test_fig17_single_step_latency(benchmark, name, method, bench_config):
     """Precise per-step latency at 100 particles via pytest-benchmark."""
+    from repro.bench import parse_method_spec
+
     model_cls, datagen = BENCHMARKS[name]
     data = datagen(200, seed=42)
-    engine = infer(model_cls(), n_particles=100, method=method, seed=0)
+    method_name, backend = parse_method_spec(method)
+    engine = infer(
+        model_cls(), n_particles=100, method=method_name, seed=0, backend=backend
+    )
     state = engine.init()
     observations = iter(itertools.cycle(data.observations))
     # warm up one step (the paper discards a warm-up run)

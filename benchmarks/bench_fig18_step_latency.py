@@ -51,6 +51,33 @@ def test_fig18_ds_latency_grows(benchmark, name, bench_config):
         assert summary[method]["growth"] < 2.0
 
 
+@pytest.mark.parametrize("name", sorted(GROWING))
+def test_fig18_vectorized_latency_flat(benchmark, name, bench_config):
+    """The vectorized engines inherit the streaming engines' flat profile.
+
+    Batch state is re-gathered (not accumulated) at every resampling, so
+    per-step latency stays constant over arbitrarily long runs — the
+    SoA analogue of the bounded-memory property of PF/BDS/SDS.
+    """
+    model_cls, datagen = GROWING[name]
+    data = datagen(bench_config["profile_steps"], seed=42)
+    methods = ["pf@vectorized"]
+    if name == "kalman":
+        methods.append("sds@vectorized")
+
+    def profile():
+        return step_latency_profile(
+            model_cls, data, n_particles=bench_config["profile_particles"],
+            methods=methods,
+        )
+
+    result = benchmark.pedantic(profile, rounds=1, iterations=1)
+    emit(format_profile(result, f"Fig. 18+ — {name} vectorized step latency (ms)"))
+    summary = summarize_profile(result)
+    for method in methods:
+        assert summary[method]["growth"] < 2.0
+
+
 def test_fig18_coin_ds_latency_flat(benchmark, bench_config):
     data = coin_data(bench_config["profile_steps"], seed=42)
 

@@ -1,0 +1,78 @@
+"""Scalar vs vectorized backend: per-step latency on the Fig. 2 HMM.
+
+The acceptance bar for the vectorized subsystem: at 1000 particles on
+the Section-2 HMM, the structure-of-arrays particle filter must beat
+the scalar reference engine by a wide margin (the committed run in
+EXPERIMENTS.md shows the measured factor). The scalar engine spends its
+step in interpreter overhead proportional to the particle count; the
+vectorized engine executes a constant number of NumPy operations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import HmmModel, format_sweep, kalman_data, latency_sweep
+
+from conftest import emit
+
+COUNTS = [10, 100, 1000]
+
+
+@pytest.fixture(scope="module")
+def hmm_data(bench_config):
+    return kalman_data(
+        bench_config["sweep_steps"], seed=42,
+        prior_var=1.0, motion_var=1.0, obs_var=1.0,
+    )
+
+
+def test_vectorized_pf_speedup(benchmark, hmm_data, bench_config):
+    def sweep():
+        return latency_sweep(
+            HmmModel, hmm_data, particle_counts=COUNTS,
+            methods=["pf", "pf@vectorized"], runs=3,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "HMM step latency (ms): scalar vs vectorized PF"))
+    for count in COUNTS:
+        ratio = result.get("pf", count).median / result.get("pf@vectorized", count).median
+        emit(f"speedup at {count:>5} particles: {ratio:.1f}x")
+
+    # acceptance: >= 5x at 1000 particles (asserted with margin for CI noise)
+    speedup = result.get("pf", 1000).median / result.get("pf@vectorized", 1000).median
+    assert speedup >= 3.0
+
+
+def test_vectorized_sds_speedup(benchmark, hmm_data, bench_config):
+    """The Rao-Blackwellized chain: graph clones vs batched Kalman updates."""
+
+    def sweep():
+        return latency_sweep(
+            HmmModel, hmm_data, particle_counts=COUNTS,
+            methods=["sds", "sds@vectorized"], runs=3,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "HMM step latency (ms): scalar vs vectorized SDS"))
+    speedup = result.get("sds", 1000).median / result.get("sds@vectorized", 1000).median
+    emit(f"SDS speedup at 1000 particles: {speedup:.1f}x")
+    assert speedup >= 3.0
+
+
+def test_vectorized_accuracy_not_worse(benchmark, hmm_data, bench_config):
+    """Same laws, same accuracy: the backend changes throughput only."""
+    from repro.bench import accuracy_sweep
+
+    def sweep():
+        return accuracy_sweep(
+            HmmModel, hmm_data, particle_counts=[10, 100],
+            methods=["pf", "pf@vectorized"], runs=bench_config["sweep_runs"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "HMM accuracy (MSE): scalar vs vectorized PF"))
+    for count in (10, 100):
+        scalar = result.get("pf", count).median
+        vectorized = result.get("pf@vectorized", count).median
+        assert vectorized < 3.0 * scalar

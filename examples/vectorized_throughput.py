@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Execution backends: the same inference, two substrates.
+
+Runs the Section-2 HMM particle filter at increasing particle counts on
+both backends of ``infer`` — the scalar reference engines (one Python
+object per particle) and the vectorized structure-of-arrays engines
+(``repro.vectorized``, whole population per array operation) — and
+prints per-step latency side by side. The posterior means agree to
+numerical noise; only the throughput differs.
+"""
+
+import time
+
+import numpy as np
+
+from repro import infer
+from repro.bench.data import kalman_data
+from repro.bench.models import HmmModel
+
+STEPS = 60
+COUNTS = [10, 100, 1000]
+
+
+def run(backend, particles, data):
+    """(posterior means, mean per-step latency in ms) for one engine."""
+    engine = infer(HmmModel(), n_particles=particles, method="pf",
+                   seed=0, backend=backend)
+    state = engine.init()
+    means = []
+    start = time.perf_counter()
+    for y in data.observations:
+        dist, state = engine.step(state, y)
+        means.append(dist.mean())
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    return np.array(means), elapsed_ms / len(data.observations)
+
+
+def main():
+    data = kalman_data(STEPS, seed=7, prior_var=1.0, motion_var=1.0, obs_var=1.0)
+
+    print(f"{'particles':>9}  {'scalar ms/step':>14}  {'vectorized ms/step':>18}  "
+          f"{'speedup':>7}  {'mean diff':>9}")
+    for particles in COUNTS:
+        scalar_means, scalar_ms = run("scalar", particles, data)
+        vector_means, vector_ms = run("vectorized", particles, data)
+        diff = float(np.max(np.abs(scalar_means - vector_means)))
+        print(f"{particles:>9}  {scalar_ms:>14.4f}  {vector_ms:>18.4f}  "
+              f"{scalar_ms / vector_ms:>6.1f}x  {diff:>9.2e}")
+
+    print()
+    print("Same seed, same posterior; the backend changes throughput only.")
+
+
+if __name__ == "__main__":
+    main()

@@ -91,6 +91,14 @@ from repro.runtime import (
     run,
     run_n,
 )
+from repro.vectorized import (
+    ParticleBatch,
+    VectorizedKalmanSDS,
+    VectorizedModel,
+    VectorizedParticleFilter,
+    register_vectorizer,
+    vectorize_model,
+)
 
 __version__ = "1.0.0"
 
@@ -105,6 +113,13 @@ __all__ = [
     "StreamingDelayedSampler",
     "OriginalDelayedSampler",
     "MseTracker",
+    # vectorized backend
+    "ParticleBatch",
+    "VectorizedModel",
+    "VectorizedParticleFilter",
+    "VectorizedKalmanSDS",
+    "vectorize_model",
+    "register_vectorizer",
     # runtime
     "Node",
     "ProbNode",

@@ -8,6 +8,7 @@ from repro.bench.harness import (
     accuracy_sweep,
     latency_sweep,
     memory_profile,
+    parse_method_spec,
     particles_to_match,
     run_mse,
     step_latency_profile,
@@ -38,6 +39,7 @@ __all__ = [
     "Quantiles",
     "SweepResult",
     "ProfileResult",
+    "parse_method_spec",
     "run_mse",
     "accuracy_sweep",
     "latency_sweep",

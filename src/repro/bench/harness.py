@@ -13,18 +13,26 @@ Four experiment drivers, one per figure family:
 
 Each driver returns plain data structures; :mod:`repro.bench.reporting`
 renders them as the text tables recorded in ``EXPERIMENTS.md``.
+
+Every ``methods`` entry is a *method spec*: either a plain engine name
+(``"pf"``, ``"sds"``, …) or ``"<method>@<backend>"`` selecting an
+execution backend — e.g. ``"pf@vectorized"`` runs the particle filter
+on the structure-of-arrays engines of :mod:`repro.vectorized`. This is
+how the drivers compare the scalar substrate against the vectorized one
+in a single sweep.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.bench.data import Dataset
-from repro.inference.infer import infer
+from repro.errors import InferenceError
+from repro.inference.infer import BACKENDS, infer
 from repro.inference.metrics import MseTracker
 from repro.runtime.node import ProbNode
 
@@ -32,6 +40,7 @@ __all__ = [
     "Quantiles",
     "SweepResult",
     "ProfileResult",
+    "parse_method_spec",
     "run_mse",
     "accuracy_sweep",
     "latency_sweep",
@@ -39,6 +48,26 @@ __all__ = [
     "memory_profile",
     "particles_to_match",
 ]
+
+
+def parse_method_spec(spec: str) -> Tuple[str, str]:
+    """Split a ``"method"`` or ``"method@backend"`` spec string."""
+    method, sep, backend = spec.partition("@")
+    if not sep:
+        return method, "scalar"
+    if backend not in BACKENDS:
+        raise InferenceError(
+            f"unknown backend {backend!r} in method spec {spec!r}; "
+            f"choose from {sorted(BACKENDS)}"
+        )
+    return method, backend
+
+
+def _build_engine(model: ProbNode, spec: str, n_particles: int, seed: int):
+    method, backend = parse_method_spec(spec)
+    return infer(
+        model, n_particles=n_particles, method=method, seed=seed, backend=backend
+    )
 
 
 @dataclass(frozen=True)
@@ -86,8 +115,11 @@ def run_mse(
     dataset: Dataset,
     seed: int,
 ) -> float:
-    """Final running MSE of one inference run over ``dataset``."""
-    engine = infer(model_factory(), n_particles=n_particles, method=method, seed=seed)
+    """Final running MSE of one inference run over ``dataset``.
+
+    ``method`` is a method spec (``"pf"`` or ``"pf@vectorized"``).
+    """
+    engine = _build_engine(model_factory(), method, n_particles, seed)
     state = engine.init()
     tracker = MseTracker()
     tracker_state = tracker.init()
@@ -143,11 +175,8 @@ def latency_sweep(
         for particles in particle_counts:
             latencies: List[float] = []
             for r in range(runs):
-                engine = infer(
-                    model_factory(),
-                    n_particles=particles,
-                    method=method,
-                    seed=base_seed + r,
+                engine = _build_engine(
+                    model_factory(), method, particles, base_seed + r
                 )
                 state = engine.init()
                 for step_idx, obs in enumerate(dataset.observations):
@@ -175,7 +204,7 @@ def step_latency_profile(
     steps = list(range(0, len(dataset.observations), stride))
     result = ProfileResult("latency_ms", steps, list(methods))
     for method in methods:
-        engine = infer(model_factory(), n_particles=n_particles, method=method, seed=seed)
+        engine = _build_engine(model_factory(), method, n_particles, seed)
         state = engine.init()
         series: List[float] = []
         for step_idx, obs in enumerate(dataset.observations):
@@ -200,7 +229,7 @@ def memory_profile(
     steps = list(range(0, len(dataset.observations), stride))
     result = ProfileResult("live_words", steps, list(methods))
     for method in methods:
-        engine = infer(model_factory(), n_particles=n_particles, method=method, seed=seed)
+        engine = _build_engine(model_factory(), method, n_particles, seed)
         state = engine.init()
         series: List[float] = []
         for step_idx, obs in enumerate(dataset.observations):

@@ -252,3 +252,22 @@ class BoundedWalkModel(ProbNode):
         if pre_pre_x is not None:
             ctx.value(pre_pre_x)
         return x, (pre_x, x)
+
+
+# Register the batched equivalents with the vectorized backend: the
+# registries live in repro.vectorized but start empty, so the dependency
+# points from this benchmark layer to the core, not the other way.
+from repro.vectorized.models import (  # noqa: E402
+    coin_vectorizer,
+    kalman_vectorizer,
+    outlier_vectorizer,
+    register_conjugate_gaussian_chain,
+    register_vectorizer,
+)
+
+register_vectorizer(KalmanModel, kalman_vectorizer)
+register_vectorizer(HmmModel, kalman_vectorizer)
+register_vectorizer(CoinModel, coin_vectorizer)
+register_vectorizer(OutlierModel, outlier_vectorizer)
+register_conjugate_gaussian_chain(KalmanModel)
+register_conjugate_gaussian_chain(HmmModel)

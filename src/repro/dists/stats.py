@@ -47,6 +47,11 @@ def cdf(dist: Distribution, x: float) -> float:
         return float(
             sum(w * cdf(c, x) for c, w in zip(dist.components, dist.weights))
         )
+    # Distributions outside this module's zoo (e.g. the array-backed
+    # posteriors of repro.vectorized) provide their own ``cdf`` method.
+    own_cdf = getattr(dist, "cdf", None)
+    if callable(own_cdf):
+        return float(own_cdf(x))
     raise DistributionError(f"cdf not available for {type(dist).__name__}")
 
 

@@ -9,7 +9,7 @@ from repro.inference.engine import (
     ParticleFilter,
     StreamingDelayedSampler,
 )
-from repro.inference.infer import ENGINES, infer
+from repro.inference.infer import BACKENDS, ENGINES, infer
 from repro.inference.metrics import MseTracker, dist_mean, mse_of_run
 from repro.inference.particles import Particle, clone_particle, state_words
 from repro.inference.resampling import (
@@ -17,6 +17,7 @@ from repro.inference.resampling import (
     ess,
     multinomial_indices,
     normalize_log_weights,
+    residual_indices,
     stratified_indices,
     systematic_indices,
 )
@@ -24,6 +25,7 @@ from repro.inference.resampling import (
 __all__ = [
     "infer",
     "ENGINES",
+    "BACKENDS",
     "InferenceEngine",
     "ImportanceSampler",
     "ParticleFilter",
@@ -40,6 +42,7 @@ __all__ = [
     "systematic_indices",
     "stratified_indices",
     "multinomial_indices",
+    "residual_indices",
     "RESAMPLERS",
     "dist_mean",
     "MseTracker",

@@ -36,6 +36,7 @@ from repro.delayed.streaming import StreamingGraph
 from repro.dists import Distribution, Empirical, Mixture
 from repro.errors import InferenceError
 from repro.inference.contexts import DelayedCtx, SamplingCtx
+from repro.inference.diagnostics import StepStats
 from repro.inference.particles import (
     Particle,
     clone_particle,
@@ -62,6 +63,11 @@ class InferenceEngine(Node):
     State is the particle list; ``step`` advances every particle one
     synchronous instant and returns the posterior distribution over the
     model's output.
+
+    ``resampler`` selects the scheme used when resampling triggers:
+    ``"systematic"`` (the default), ``"stratified"``, ``"multinomial"``,
+    or ``"residual"`` (deterministic copies of ``floor(n*w_i)`` per
+    particle, multinomial on the fractional remainder).
     """
 
     #: graph class for delayed engines; None for concrete sampling.
@@ -142,9 +148,6 @@ class InferenceEngine(Node):
         (with uniform previous weights after a resample, this is the
         classic ``log mean w``).
         """
-        from repro.inference.diagnostics import StepStats
-        from repro.inference.resampling import ess as ess_of
-
         prev_w = normalize_log_weights(prev_log_weights)
         step_logw = np.asarray(step_log_weights, dtype=float)
         with np.errstate(divide="ignore"):
@@ -154,7 +157,7 @@ class InferenceEngine(Node):
             evidence = float("-inf")
         else:
             evidence = float(top + np.log(np.sum(np.exp(combined - top))))
-        self.last_stats = StepStats(evidence, ess_of(weights), self.n_particles)
+        self.last_stats = StepStats(evidence, ess(weights), self.n_particles)
 
     # ------------------------------------------------------------------
     # hooks

@@ -5,6 +5,15 @@ here :func:`infer` returns the corresponding :class:`InferenceEngine`
 (itself a deterministic stream node). The default method is the particle
 filter, matching the paper's default operational semantics; the delayed
 samplers are selected by name.
+
+``backend`` selects the execution substrate: ``"scalar"`` (the
+reference engines, one Python object per particle), ``"vectorized"``
+(the structure-of-arrays engines of :mod:`repro.vectorized`, which
+advance the whole particle population per array operation), or
+``"auto"``. With ``"vectorized"`` or ``"auto"`` the scalar engine is
+used automatically when the model/method pair has no vectorized
+equivalent, so the parameter never changes *what* is computed — only
+how fast.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from repro.inference.engine import (
 )
 from repro.runtime.node import ProbNode
 
-__all__ = ["infer", "ENGINES"]
+__all__ = ["infer", "ENGINES", "BACKENDS"]
 
 ENGINES = {
     "importance": ImportanceSampler,
@@ -36,6 +45,8 @@ ENGINES = {
     "ds": OriginalDelayedSampler,
 }
 
+BACKENDS = ("scalar", "vectorized", "auto")
+
 
 def infer(
     model: ProbNode,
@@ -43,18 +54,36 @@ def infer(
     method: str = "pf",
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    backend: str = "scalar",
     **kwargs,
 ) -> InferenceEngine:
     """Build an inference engine for ``model``.
 
     ``method`` is one of ``"pf"`` (particle filter, the default),
-    ``"importance"``, ``"bds"``, ``"sds"``, or ``"ds"``. Additional
-    keyword arguments are forwarded to the engine constructor
-    (``resampler``, ``resample_threshold``).
+    ``"importance"``, ``"bds"``, ``"sds"``, or ``"ds"``. ``backend`` is
+    ``"scalar"`` (default), ``"vectorized"``, or ``"auto"``; the
+    vectorized backends fall back to the scalar engine when the
+    model/method pair is not vectorizable. Additional keyword arguments
+    are forwarded to the engine constructor (``resampler``,
+    ``resample_threshold``, ``clone_on_resample``).
     """
     key = method.lower()
     if key not in ENGINES:
         raise InferenceError(
             f"unknown inference method {method!r}; choose from {sorted(set(ENGINES))}"
         )
+    if backend not in BACKENDS:
+        raise InferenceError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+        )
+    if backend in ("vectorized", "auto"):
+        # Imported lazily: repro.vectorized depends on the scalar
+        # engines, so a module-level import here would be circular.
+        from repro.vectorized.engine import make_vectorized_engine
+
+        engine = make_vectorized_engine(
+            key, model, n_particles=n_particles, seed=seed, rng=rng, **kwargs
+        )
+        if engine is not None:
+            return engine
     return ENGINES[key](model, n_particles=n_particles, seed=seed, rng=rng, **kwargs)

@@ -1,9 +1,9 @@
 """Resampling schemes and weight utilities for particle methods.
 
 The particle filter "periodically re-samples the set of particles"
-(Section 5.1); systematic resampling is the default, with multinomial
-and stratified variants for completeness. Log-weight normalization is
-shared by every engine.
+(Section 5.1); systematic resampling is the default, with multinomial,
+stratified, and residual variants for completeness. Log-weight
+normalization is shared by every engine.
 """
 
 from __future__ import annotations
@@ -20,6 +20,7 @@ __all__ = [
     "systematic_indices",
     "stratified_indices",
     "multinomial_indices",
+    "residual_indices",
     "RESAMPLERS",
 ]
 
@@ -83,8 +84,35 @@ def multinomial_indices(
     return rng.choice(w.size, size=n, p=w).astype(int)
 
 
+def residual_indices(
+    weights: Sequence[float], n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Residual resampling: deterministic copies, multinomial remainder.
+
+    Each particle ``i`` is first copied ``floor(n * w_i)`` times; the
+    ``n - sum floor(n * w_i)`` remaining slots are drawn multinomially
+    from the fractional residuals. The deterministic part removes most
+    of the multinomial variance while remaining unbiased.
+    """
+    w = np.asarray(weights, dtype=float)
+    expected = n * w
+    copies = np.floor(expected).astype(int)
+    deterministic = np.repeat(np.arange(w.size), copies)
+    remainder = n - int(copies.sum())
+    if remainder == 0:
+        return deterministic
+    residuals = expected - copies
+    total = residuals.sum()
+    if total > 0:
+        extra = rng.choice(w.size, size=remainder, p=residuals / total)
+    else:
+        extra = rng.choice(w.size, size=remainder, p=w)  # w exact multiples of 1/n
+    return np.concatenate([deterministic, extra]).astype(int)
+
+
 RESAMPLERS = {
     "systematic": systematic_indices,
     "stratified": stratified_indices,
     "multinomial": multinomial_indices,
+    "residual": residual_indices,
 }

@@ -1,0 +1,67 @@
+"""Vectorized execution backend: structure-of-arrays particle inference.
+
+The scalar engines of :mod:`repro.inference` are the semantic baseline —
+one Python object per particle, stepped in an interpreter loop. This
+package is the high-throughput substrate: the particle population lives
+in stacked NumPy arrays (:class:`ParticleBatch`), distributions sample
+and score whole batches at once (:mod:`repro.vectorized.kernels`), and
+the engines advance every particle in a constant number of array
+operations per synchronous instant.
+
+Select it through the public API::
+
+    from repro import infer
+    engine = infer(model, n_particles=1000, method="pf", backend="vectorized")
+
+which falls back to the scalar engines when the model has no vectorized
+equivalent (see :func:`vectorize_model`).
+"""
+
+from repro.vectorized.batch import ParticleBatch, batch_state_words, gather
+from repro.vectorized.dists import ArrayEmpirical, GaussianMixtureArray
+from repro.vectorized.engine import (
+    VectorizedEngine,
+    VectorizedKalmanSDS,
+    VectorizedParticleFilter,
+)
+from repro.vectorized.kernels import (
+    BATCH_KERNELS,
+    log_prob,
+    sample_n,
+    supports_batch,
+)
+from repro.vectorized.models import (
+    CONJUGATE_GAUSSIAN_CHAINS,
+    VECTORIZED_MODELS,
+    VectorizedCoin,
+    VectorizedKalman,
+    VectorizedModel,
+    VectorizedOutlier,
+    register_conjugate_gaussian_chain,
+    register_vectorizer,
+    vectorize_model,
+)
+
+__all__ = [
+    "ParticleBatch",
+    "gather",
+    "batch_state_words",
+    "ArrayEmpirical",
+    "GaussianMixtureArray",
+    "VectorizedEngine",
+    "VectorizedParticleFilter",
+    "VectorizedKalmanSDS",
+    "BATCH_KERNELS",
+    "supports_batch",
+    "sample_n",
+    "log_prob",
+    "VectorizedModel",
+    "VectorizedKalman",
+    "VectorizedCoin",
+    "VectorizedOutlier",
+    "VECTORIZED_MODELS",
+    "CONJUGATE_GAUSSIAN_CHAINS",
+    "register_vectorizer",
+    "register_conjugate_gaussian_chain",
+    "vectorize_model",
+]

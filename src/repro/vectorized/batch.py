@@ -1,0 +1,102 @@
+"""Structure-of-arrays particle representation.
+
+The scalar engines (``repro.inference.engine``) hold one Python object
+per particle and advance them in an interpreter loop, so per-step cost
+is dominated by interpreter overhead. The vectorized backend stores the
+whole particle population *transposed*: each state variable is one
+stacked NumPy array with the particle index as the leading axis, and
+the importance weights are a single log-weight vector. One engine step
+is then a handful of array operations whose cost scales with hardware
+throughput, not Python bytecode count.
+
+A batch state is a *pytree* of arrays — ``None``, an ``ndarray`` of
+leading dimension ``n``, or a tuple/list/dict of batch states. The
+helpers here (:func:`gather`, :func:`batch_state_words`) traverse that
+shape, so vectorized models are free to keep whatever state structure
+mirrors their scalar counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import InferenceError
+
+__all__ = ["ParticleBatch", "gather", "batch_state_words"]
+
+
+def gather(state: Any, indices: np.ndarray) -> Any:
+    """Index every array leaf of a batch state along the particle axis.
+
+    This is the vectorized analogue of cloning selected particles during
+    resampling: ``state[indices]`` materializes fresh arrays, so the
+    surviving particles never alias each other's storage.
+    """
+    if state is None:
+        return None
+    if isinstance(state, np.ndarray):
+        return state[indices]
+    if isinstance(state, tuple):
+        return tuple(gather(s, indices) for s in state)
+    if isinstance(state, list):
+        return [gather(s, indices) for s in state]
+    if isinstance(state, dict):
+        return {k: gather(v, indices) for k, v in state.items()}
+    raise InferenceError(
+        f"batch state leaves must be arrays (or None), got {type(state).__name__}"
+    )
+
+
+def batch_state_words(state: Any) -> int:
+    """Abstract heap words of a batch state (cf. ``state_words``)."""
+    if state is None:
+        return 1
+    if isinstance(state, np.ndarray):
+        return 1 + int(state.size)
+    if isinstance(state, (tuple, list)):
+        return 1 + sum(batch_state_words(s) for s in state)
+    if isinstance(state, dict):
+        return 1 + sum(batch_state_words(v) for v in state.values())
+    return 2
+
+
+@dataclass
+class ParticleBatch:
+    """The whole particle population as stacked arrays plus log-weights.
+
+    ``state`` is a pytree of arrays with leading dimension ``n``;
+    ``log_weights`` is the length-``n`` accumulated log-weight vector
+    (the transposed counterpart of ``Particle.log_weight``).
+    """
+
+    state: Any
+    log_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.log_weights = np.asarray(self.log_weights, dtype=float)
+        if self.log_weights.ndim != 1 or self.log_weights.size == 0:
+            raise InferenceError("log_weights must be a non-empty vector")
+
+    @property
+    def n(self) -> int:
+        """Number of particles in the batch."""
+        return int(self.log_weights.size)
+
+    def select(self, indices: np.ndarray) -> "ParticleBatch":
+        """Resample: keep the particles at ``indices``, reset weights."""
+        indices = np.asarray(indices)
+        return ParticleBatch(
+            state=gather(self.state, indices),
+            log_weights=np.zeros(indices.size),
+        )
+
+    def with_weights(self, log_weights: np.ndarray) -> "ParticleBatch":
+        """Same states, new accumulated log-weight vector."""
+        return ParticleBatch(state=self.state, log_weights=log_weights)
+
+    def memory_words(self) -> int:
+        """Abstract heap words held by the batch (state + weight vector)."""
+        return batch_state_words(self.state) + 1 + self.n

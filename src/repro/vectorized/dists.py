@@ -1,0 +1,171 @@
+"""Structure-of-arrays posterior representations.
+
+The scalar engines report an :class:`~repro.dists.Empirical` (PF) or a
+:class:`~repro.dists.Mixture` of per-particle marginals (SDS). Building
+those from a vectorized step would allocate ``n`` Python objects and
+reintroduce the interpreter loop the backend exists to avoid, so the
+vectorized engines report these array-backed equivalents instead: the
+same :class:`~repro.dists.Distribution` interface, with moments and
+scores computed by array reductions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.dists import Gaussian
+from repro.dists.base import Distribution
+from repro.errors import DistributionError
+
+__all__ = ["ArrayEmpirical", "GaussianMixtureArray"]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def _normalize_weights(weights, size: int) -> np.ndarray:
+    if weights is None:
+        return np.full(size, 1.0 / size)
+    weights = np.asarray(weights, dtype=float)
+    if weights.size != size:
+        raise DistributionError("values and weights must have equal length")
+    if np.any(weights < 0):
+        raise DistributionError("weights must be non-negative")
+    total = weights.sum()
+    if not total > 0:
+        raise DistributionError("weights must not all be zero")
+    return weights / total
+
+
+class ArrayEmpirical(Distribution):
+    """Weighted empirical distribution over a stacked value array.
+
+    The vectorized counterpart of :class:`~repro.dists.Empirical`:
+    ``values`` is one array whose leading axis indexes particles (scalar
+    support gives a vector, vector support an ``(n, d)`` matrix).
+    """
+
+    __slots__ = ("values", "weights")
+
+    def __init__(self, values, weights=None):
+        # Copy before freezing: callers (the engines) pass arrays that
+        # alias the live batch state, which must stay writeable.
+        values = np.array(values)
+        if values.ndim == 0 or values.shape[0] == 0:
+            raise DistributionError("empirical distribution needs at least one value")
+        self.values = values
+        self.weights = _normalize_weights(weights, values.shape[0])
+        self.values.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        idx = int(rng.choice(self.weights.size, p=self.weights))
+        return self.values[idx]
+
+    def log_pdf(self, value: Any) -> float:
+        if self.values.ndim == 1:
+            mass = float(self.weights[self.values == value].sum())
+        else:
+            hits = np.all(self.values == np.asarray(value), axis=tuple(range(1, self.values.ndim)))
+            mass = float(self.weights[hits].sum())
+        return math.log(mass) if mass > 0 else -math.inf
+
+    def mean(self) -> Any:
+        axes = (1,) * (self.values.ndim - 1)
+        acc = np.sum(self.weights.reshape((-1,) + axes) * self.values, axis=0)
+        return float(acc) if acc.ndim == 0 else acc
+
+    def variance(self) -> Any:
+        mean = self.mean()
+        diff = self.values - mean
+        axes = (1,) * (self.values.ndim - 1)
+        acc = np.sum(self.weights.reshape((-1,) + axes) * diff * diff, axis=0)
+        return float(acc) if acc.ndim == 0 else acc
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x); used by :func:`repro.dists.stats.cdf`."""
+        if self.values.ndim != 1:
+            raise DistributionError("cdf needs scalar support values")
+        return float(self.weights[self.values <= float(x)].sum())
+
+    def memory_words(self) -> int:
+        return 2 + int(self.values.size) + self.weights.size
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __repr__(self) -> str:
+        return f"ArrayEmpirical(n={len(self)})"
+
+
+class GaussianMixtureArray(Distribution):
+    """Mixture of ``n`` Gaussians stored as mean/variance/weight vectors.
+
+    The vectorized counterpart of the SDS output (a
+    :class:`~repro.dists.Mixture` of per-particle Gaussian marginals):
+    each particle contributes one component, and every query is an array
+    reduction over the component vectors.
+    """
+
+    __slots__ = ("mus", "vars", "weights")
+
+    def __init__(self, mus, variances, weights=None):
+        # Copies, not views: the engines pass the live posterior arrays.
+        mus = np.array(mus, dtype=float).reshape(-1)
+        variances = np.array(variances, dtype=float).reshape(-1)
+        if mus.size == 0 or variances.size != mus.size:
+            raise DistributionError("need matching non-empty mean/variance vectors")
+        if np.any(variances <= 0):
+            raise DistributionError("component variances must be > 0")
+        self.mus = mus
+        self.vars = variances
+        self.weights = _normalize_weights(weights, mus.size)
+        self.mus.setflags(write=False)
+        self.vars.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        idx = int(rng.choice(self.weights.size, p=self.weights))
+        return rng.normal(self.mus[idx], math.sqrt(self.vars[idx]))
+
+    def log_pdf(self, value: float) -> float:
+        diff = float(value) - self.mus
+        logs = -0.5 * (_LOG_2PI + np.log(self.vars) + diff * diff / self.vars)
+        with np.errstate(divide="ignore"):
+            terms = np.where(self.weights > 0, np.log(np.maximum(self.weights, 1e-300)), -np.inf) + logs
+        top = terms.max()
+        if np.isneginf(top):
+            return -math.inf
+        return float(top + np.log(np.sum(np.exp(terms - top))))
+
+    def mean(self) -> float:
+        return float(np.dot(self.weights, self.mus))
+
+    def variance(self) -> float:
+        # Law of total variance over the components.
+        mean = self.mean()
+        diff = self.mus - mean
+        return float(np.dot(self.weights, self.vars + diff * diff))
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x); used by :func:`repro.dists.stats.cdf`."""
+        z = (float(x) - self.mus) / np.sqrt(2.0 * self.vars)
+        # math.erf is scalar-only and NumPy has no erf; the loop runs
+        # once per control-path query, not per inference step.
+        phis = np.array([0.5 * (1.0 + math.erf(v)) for v in z])
+        return float(np.dot(self.weights, phis))
+
+    def component(self, i: int) -> Gaussian:
+        """The ``i``-th component as a scalar Gaussian object."""
+        return Gaussian(self.mus[i], self.vars[i])
+
+    def memory_words(self) -> int:
+        return 2 + 3 * self.mus.size
+
+    def __len__(self) -> int:
+        return int(self.mus.size)
+
+    def __repr__(self) -> str:
+        return f"GaussianMixtureArray(n={len(self)})"

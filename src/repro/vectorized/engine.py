@@ -1,0 +1,199 @@
+"""Vectorized inference engines.
+
+These engines implement the same streaming contract as the scalar
+engines of :mod:`repro.inference.engine` — ``init`` / ``step`` over an
+externalized state, output a posterior :class:`~repro.dists.Distribution`
+per synchronous instant — but their state is one
+:class:`~repro.vectorized.batch.ParticleBatch` instead of a list of
+:class:`~repro.inference.particles.Particle` objects, and one ``step``
+is a constant number of array operations regardless of the particle
+count:
+
+* :class:`VectorizedParticleFilter` — the bootstrap particle filter of
+  Section 5.1 over a :class:`~repro.vectorized.models.VectorizedModel`;
+  statistically equivalent to :class:`~repro.inference.engine.ParticleFilter`
+  (same laws, different draw order).
+* :class:`VectorizedKalmanSDS` — the streaming-delayed-sampling
+  semantics (Section 5.3) for the paper's conjugate Gaussian chains
+  (Kalman / Fig. 2 HMM): every particle's marginal is maintained as a
+  closed-form mean/variance pair, so the engine performs batched Kalman
+  predict/update arithmetic with Rao-Blackwellized weights and no
+  per-particle graph objects.
+
+Both subclass :class:`~repro.inference.engine.InferenceEngine`, reusing
+its configuration surface (``resampler``, ``resample_threshold``,
+``clone_on_resample``, diagnostics) — ``clone_on_resample`` is accepted
+for interface compatibility but has no observable effect here, because
+the array gather of :meth:`ParticleBatch.select` always materializes
+fresh storage for every survivor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.dists import Distribution
+from repro.errors import InferenceError
+from repro.inference.engine import InferenceEngine
+from repro.inference.resampling import normalize_log_weights
+from repro.runtime.node import ProbNode
+from repro.vectorized.batch import ParticleBatch
+from repro.vectorized.dists import ArrayEmpirical, GaussianMixtureArray
+from repro.vectorized.kernels import gaussian_log_prob
+from repro.vectorized.models import VectorizedModel, vectorize_model
+
+__all__ = [
+    "VectorizedEngine",
+    "VectorizedParticleFilter",
+    "VectorizedKalmanSDS",
+    "make_vectorized_engine",
+]
+
+
+class VectorizedEngine(InferenceEngine):
+    """Base class for engines whose state is a :class:`ParticleBatch`."""
+
+    def init(self) -> ParticleBatch:
+        return ParticleBatch(
+            state=self._init_batch_state(),
+            log_weights=np.zeros(self.n_particles),
+        )
+
+    def step(self, batch: ParticleBatch, inp: Any) -> Tuple[Distribution, ParticleBatch]:
+        outs, new_state, step_logw = self._step_batch(batch.state, inp)
+        step_logw = np.asarray(step_logw, dtype=float)
+        log_weights = batch.log_weights + step_logw
+        weights = normalize_log_weights(log_weights)
+        self._record_stats(batch.log_weights, step_logw, weights)
+        output = self._output_distribution(outs, weights)
+        stepped = ParticleBatch(new_state, log_weights)
+        if self.resample and self._should_resample(weights):
+            indices = self.resampler(weights, self.n_particles, self.rng)
+            stepped = stepped.select(indices)
+        return output, stepped
+
+    def memory_words(self, batch: ParticleBatch) -> int:
+        return batch.memory_words()
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def _init_batch_state(self) -> Any:
+        raise NotImplementedError
+
+    def _step_batch(self, state: Any, inp: Any):
+        raise NotImplementedError
+
+
+class VectorizedParticleFilter(VectorizedEngine):
+    """Bootstrap particle filter advancing all particles per array step.
+
+    ``model`` may be a :class:`VectorizedModel` or a scalar
+    :class:`~repro.runtime.node.ProbNode` with a registered vectorized
+    equivalent (see :func:`~repro.vectorized.models.vectorize_model`);
+    anything else raises, and ``infer(..., backend=...)`` handles the
+    fallback to the scalar engine.
+    """
+
+    def __init__(self, model: Any, **kwargs):
+        batched = vectorize_model(model)
+        if batched is None:
+            raise InferenceError(
+                f"model {type(model).__name__} has no vectorized equivalent; "
+                "use the scalar ParticleFilter or register one with "
+                "repro.vectorized.register_vectorizer"
+            )
+        super().__init__(model if isinstance(model, ProbNode) else batched, **kwargs)
+        self.batched_model = batched
+
+    def _init_batch_state(self) -> Any:
+        return self.batched_model.init_batch(self.n_particles, self.rng)
+
+    def _step_batch(self, state: Any, inp: Any):
+        return self.batched_model.step_batch(state, inp, self.n_particles, self.rng)
+
+    def _output_distribution(self, outs, weights) -> Distribution:
+        return ArrayEmpirical(outs, weights)
+
+
+class VectorizedKalmanSDS(VectorizedEngine):
+    """Rao-Blackwellized SDS for the conjugate Gaussian chain, batched.
+
+    Under SDS the Kalman/HMM models never sample: each particle's
+    marginal over the position is the exact filtering posterior, and the
+    particle weight is the marginal likelihood of the observation
+    (Section 5.3). This engine stores those marginals as stacked
+    ``(mean, variance)`` vectors and performs the predict / update /
+    weight computations as whole-population array arithmetic — the SDS
+    semantics with neither graph nodes nor per-particle clones.
+
+    ``model`` must be a conjugate Gaussian chain: an object exposing
+    ``prior_mean`` / ``prior_var`` / ``motion_var`` / ``obs_var`` whose
+    transition is ``x_t ~ N(x_{t-1}, motion_var)`` observed through
+    ``y_t ~ N(x_t, obs_var)`` (``KalmanModel`` and ``HmmModel``).
+    """
+
+    _PARAMS = ("prior_mean", "prior_var", "motion_var", "obs_var")
+
+    def __init__(self, model: Any, **kwargs):
+        if not all(hasattr(model, p) for p in self._PARAMS):
+            raise InferenceError(
+                f"model {type(model).__name__} is not a conjugate Gaussian "
+                "chain; VectorizedKalmanSDS needs "
+                "prior_mean/prior_var/motion_var/obs_var"
+            )
+        super().__init__(model, **kwargs)
+
+    def _init_batch_state(self) -> Any:
+        return None  # (posterior means, posterior variances) after step 1
+
+    def _step_batch(self, state: Any, yobs: Any):
+        n = self.n_particles
+        if state is None:
+            pred_mean = np.full(n, float(self.model.prior_mean))
+            pred_var = np.full(n, float(self.model.prior_var))
+        else:
+            post_mean, post_var = state
+            pred_mean = post_mean
+            pred_var = post_var + self.model.motion_var
+        yobs = float(yobs)
+        # Rao-Blackwellized weight: the observation's marginal likelihood
+        # under the predictive N(pred_mean, pred_var + obs_var).
+        step_logw = gaussian_log_prob(yobs, pred_mean, pred_var + self.model.obs_var)
+        gain = pred_var / (pred_var + self.model.obs_var)
+        post_mean = pred_mean + gain * (yobs - pred_mean)
+        post_var = (1.0 - gain) * pred_var
+        return (post_mean, post_var), (post_mean, post_var), step_logw
+
+    def _output_distribution(self, outs, weights) -> Distribution:
+        post_mean, post_var = outs
+        return GaussianMixtureArray(post_mean, post_var, weights)
+
+
+def make_vectorized_engine(method_key: str, model: Any, **kwargs) -> Optional[VectorizedEngine]:
+    """The vectorized engine for a ``(method, model)`` pair, or None.
+
+    This is the fallback policy behind ``infer(..., backend=...)``:
+    ``"pf"`` vectorizes whenever the model has a batched equivalent;
+    ``"sds"`` vectorizes only the conjugate Gaussian chains whose exact
+    delayed-sampling semantics :class:`VectorizedKalmanSDS` reproduces
+    in closed form (registered via ``register_conjugate_gaussian_chain``
+    — exact classes only, because a subclass may override ``step`` with
+    non-conjugate structure the closed-form update would miss).
+    Everything else (``"bds"``, ``"ds"``, ``"importance"``, unknown
+    models) reports None so the caller uses the scalar engine.
+    """
+    from repro.vectorized.models import CONJUGATE_GAUSSIAN_CHAINS, VectorizedKalman
+
+    if method_key in ("pf", "particle_filter"):
+        batched = vectorize_model(model)
+        if batched is None:
+            return None
+        return VectorizedParticleFilter(batched, **kwargs)
+    if method_key == "sds":
+        if type(model) in CONJUGATE_GAUSSIAN_CHAINS or isinstance(model, VectorizedKalman):
+            return VectorizedKalmanSDS(model, **kwargs)
+        return None
+    return None

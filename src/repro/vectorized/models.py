@@ -1,0 +1,237 @@
+"""Vectorized counterparts of the benchmark models.
+
+A :class:`VectorizedModel` is the structure-of-arrays analogue of
+:class:`~repro.runtime.node.ProbNode`: ``step_batch`` advances *all*
+particles one synchronous instant with array kernels and returns the
+stacked outputs, the next batch state, and the per-particle step
+log-weights — the information the scalar engines collect one particle
+at a time through :class:`~repro.inference.contexts.SamplingCtx`.
+
+The classes here mirror ``repro.bench.models`` exactly (same
+parameters, same sampling semantics, so the same posterior laws); the
+:func:`vectorize_model` registry maps a scalar model instance to its
+batched equivalent, which is how ``infer(..., backend="vectorized")``
+decides whether a model is vectorizable. The registry starts empty and
+is populated by the layers that own the scalar models (the benchmark
+package registers its four models when imported), so this core package
+never depends on them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Optional, Set, Tuple, Type
+
+import numpy as np
+
+from repro.runtime.node import ProbNode
+from repro.vectorized.kernels import (
+    bernoulli_log_prob,
+    bernoulli_sample,
+    gaussian_log_prob,
+    gaussian_sample,
+)
+
+__all__ = [
+    "VectorizedModel",
+    "VectorizedKalman",
+    "VectorizedCoin",
+    "VectorizedOutlier",
+    "VECTORIZED_MODELS",
+    "CONJUGATE_GAUSSIAN_CHAINS",
+    "register_vectorizer",
+    "register_conjugate_gaussian_chain",
+    "vectorize_model",
+    "kalman_vectorizer",
+    "coin_vectorizer",
+    "outlier_vectorizer",
+]
+
+
+class VectorizedModel(abc.ABC):
+    """A probabilistic stream model advancing all particles at once."""
+
+    @abc.abstractmethod
+    def init_batch(self, n: int, rng: np.random.Generator) -> Any:
+        """Initial batch state for ``n`` particles (a pytree of arrays)."""
+
+    @abc.abstractmethod
+    def step_batch(
+        self, state: Any, inp: Any, n: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, Any, np.ndarray]:
+        """One synchronous step for the whole batch.
+
+        Returns ``(outputs, next_state, step_log_weights)`` where
+        ``outputs`` stacks the per-particle outputs and
+        ``step_log_weights`` is the length-``n`` vector of this step's
+        ``observe``/``factor`` contributions.
+        """
+
+
+class VectorizedKalman(VectorizedModel):
+    """Batched 1-D Gaussian state-space model (Appendix B.1 / Fig. 2 HMM).
+
+    State is the stacked position vector; a step draws all motion
+    samples with one Gaussian kernel call and scores all observations
+    with one log-density call.
+    """
+
+    def __init__(
+        self,
+        prior_mean: float = 0.0,
+        prior_var: float = 100.0,
+        motion_var: float = 1.0,
+        obs_var: float = 1.0,
+    ):
+        self.prior_mean = prior_mean
+        self.prior_var = prior_var
+        self.motion_var = motion_var
+        self.obs_var = obs_var
+
+    def init_batch(self, n: int, rng: np.random.Generator) -> Any:
+        return None
+
+    def step_batch(self, state, yobs, n, rng):
+        if state is None:
+            xt = gaussian_sample(np.full(n, self.prior_mean), self.prior_var, rng)
+        else:
+            xt = gaussian_sample(state, self.motion_var, rng)
+        logw = gaussian_log_prob(float(yobs), xt, self.obs_var)
+        return xt, xt, logw
+
+
+class VectorizedCoin(VectorizedModel):
+    """Batched Beta-Bernoulli bias estimation (Appendix B.2)."""
+
+    def __init__(self, alpha: float = 1.0, beta_param: float = 1.0):
+        self.alpha = alpha
+        self.beta_param = beta_param
+
+    def init_batch(self, n: int, rng: np.random.Generator) -> Any:
+        return None
+
+    def step_batch(self, state, yobs, n, rng):
+        if state is None:
+            xt = rng.beta(self.alpha, self.beta_param, size=n)
+        else:
+            xt = state
+        logw = bernoulli_log_prob(bool(yobs), xt)
+        return xt, xt, logw
+
+
+class VectorizedOutlier(VectorizedModel):
+    """Batched position tracking with a faulty sensor (Appendix B.3).
+
+    The per-particle branch on the outlier indicator becomes a masked
+    blend of the two observation log-densities.
+    """
+
+    def __init__(
+        self,
+        prior_mean: float = 0.0,
+        prior_var: float = 100.0,
+        motion_var: float = 1.0,
+        obs_var: float = 1.0,
+        outlier_alpha: float = 100.0,
+        outlier_beta: float = 1000.0,
+        outlier_mean: float = 0.0,
+        outlier_var: float = 100.0,
+    ):
+        self.prior_mean = prior_mean
+        self.prior_var = prior_var
+        self.motion_var = motion_var
+        self.obs_var = obs_var
+        self.outlier_alpha = outlier_alpha
+        self.outlier_beta = outlier_beta
+        self.outlier_mean = outlier_mean
+        self.outlier_var = outlier_var
+
+    def init_batch(self, n: int, rng: np.random.Generator) -> Any:
+        return None
+
+    def step_batch(self, state, yobs, n, rng):
+        if state is None:
+            xt = gaussian_sample(np.full(n, self.prior_mean), self.prior_var, rng)
+            outlier_prob = rng.beta(self.outlier_alpha, self.outlier_beta, size=n)
+        else:
+            prev_x, outlier_prob = state
+            xt = gaussian_sample(prev_x, self.motion_var, rng)
+        is_outlier = bernoulli_sample(outlier_prob, rng)
+        yobs = float(yobs)
+        logw = np.where(
+            is_outlier,
+            gaussian_log_prob(yobs, self.outlier_mean, self.outlier_var),
+            gaussian_log_prob(yobs, xt, self.obs_var),
+        )
+        return xt, (xt, outlier_prob), logw
+
+
+# ----------------------------------------------------------------------
+# scalar model -> vectorized model registry
+# ----------------------------------------------------------------------
+def kalman_vectorizer(model: Any) -> VectorizedKalman:
+    """Builder for any Kalman-shaped model (prior/motion/obs parameters)."""
+    return VectorizedKalman(
+        prior_mean=model.prior_mean,
+        prior_var=model.prior_var,
+        motion_var=model.motion_var,
+        obs_var=model.obs_var,
+    )
+
+
+def coin_vectorizer(model: Any) -> VectorizedCoin:
+    """Builder for any Beta-Bernoulli coin-shaped model."""
+    return VectorizedCoin(alpha=model.alpha, beta_param=model.beta_param)
+
+
+def outlier_vectorizer(model: Any) -> VectorizedOutlier:
+    """Builder for any Outlier-shaped model."""
+    return VectorizedOutlier(
+        prior_mean=model.prior_mean,
+        prior_var=model.prior_var,
+        motion_var=model.motion_var,
+        obs_var=model.obs_var,
+        outlier_alpha=model.outlier_alpha,
+        outlier_beta=model.outlier_beta,
+        outlier_mean=model.outlier_mean,
+        outlier_var=model.outlier_var,
+    )
+
+
+#: exact scalar model type -> builder of the equivalent VectorizedModel.
+#: Populated by the packages that own the scalar models (repro.bench
+#: registers KalmanModel/HmmModel/CoinModel/OutlierModel on import).
+VECTORIZED_MODELS: Dict[Type[ProbNode], Callable[[ProbNode], VectorizedModel]] = {}
+
+#: exact scalar model types whose SDS semantics is the closed-form
+#: conjugate Gaussian chain of ``VectorizedKalmanSDS``.
+CONJUGATE_GAUSSIAN_CHAINS: Set[Type[ProbNode]] = set()
+
+
+def register_vectorizer(
+    model_cls: Type[ProbNode],
+    builder: Callable[[ProbNode], VectorizedModel],
+) -> None:
+    """Register a vectorized equivalent for a scalar model class."""
+    VECTORIZED_MODELS[model_cls] = builder
+
+
+def register_conjugate_gaussian_chain(model_cls: Type[ProbNode]) -> None:
+    """Mark a scalar model class as an exact conjugate Gaussian chain."""
+    CONJUGATE_GAUSSIAN_CHAINS.add(model_cls)
+
+
+def vectorize_model(model: Any) -> Optional[VectorizedModel]:
+    """The batched equivalent of ``model``, or None if not vectorizable.
+
+    A model is vectorizable when it already *is* a
+    :class:`VectorizedModel` or when its exact class is registered in
+    ``VECTORIZED_MODELS`` (subclasses may override ``step`` arbitrarily,
+    so they do not inherit their parent's vectorization).
+    """
+    if isinstance(model, VectorizedModel):
+        return model
+    builder = VECTORIZED_MODELS.get(type(model))
+    if builder is None:
+        return None
+    return builder(model)

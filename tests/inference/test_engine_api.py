@@ -115,3 +115,75 @@ class TestSharedRng:
         rng = np.random.default_rng(0)
         engine = infer(KalmanModel(), n_particles=2, method="pf", rng=rng)
         assert engine.rng is rng
+
+
+class TestWeightDegeneracy:
+    def test_all_neg_inf_weights_fall_back_to_uniform(self):
+        """Every particle scoring zero likelihood must not kill the stream."""
+        from repro import FunProbNode, gaussian
+
+        def doomed_step(state, inp, ctx):
+            x = ctx.sample(gaussian(0.0, 1.0))
+            ctx.factor(float("-inf"))
+            return x, x
+
+        engine = infer(FunProbNode(None, doomed_step), n_particles=5, method="pf", seed=0)
+        dist, state = engine.step(engine.init(), None)
+        assert np.allclose(dist.weights, 0.2)
+        assert np.isfinite(dist.mean())
+        assert engine.last_stats.log_evidence == -np.inf
+        # and the run continues on the next step
+        dist2, _ = engine.step(state, None)
+        assert np.isfinite(dist2.mean())
+
+    def test_high_ess_skips_resampling(self):
+        """Equal weights give ESS = n, above any fractional threshold."""
+        from repro import FunProbNode, gaussian
+
+        def flat_step(state, inp, ctx):
+            x = ctx.sample(gaussian(0.0, 1.0))
+            ctx.factor(-1.0)  # identical weight for every particle
+            return x, x
+
+        engine = infer(
+            FunProbNode(None, flat_step), n_particles=8, method="pf", seed=0,
+            resample_threshold=0.5,
+        )
+        state = engine.init()
+        for _ in range(3):
+            _, state = engine.step(state, None)
+        # never resampled: the per-step factors accumulated in the weights
+        assert all(p.log_weight == pytest.approx(-3.0) for p in state)
+        assert engine.last_stats.ess == pytest.approx(8.0)
+
+
+class TestCloneOnResample:
+    def test_invalid_value_rejected(self):
+        with pytest.raises(InferenceError):
+            infer(KalmanModel(), clone_on_resample="sometimes")
+
+    def test_duplicates_shares_first_occurrence(self):
+        """The first pick of a particle reuses it; later picks are clones."""
+        from repro.inference import Particle
+
+        engine = infer(
+            KalmanModel(), n_particles=4, method="pf", seed=0,
+            clone_on_resample="duplicates",
+        )
+        particles = [Particle(state=[float(i)], graph=None, log_weight=0.0) for i in range(4)]
+        resampled = engine._resample(particles, np.array([0.0, 1.0, 0.0, 0.0]))
+        assert sum(1 for p in resampled if p is particles[1]) == 1
+        clones = [p for p in resampled if p is not particles[1]]
+        assert len(clones) == 3
+        for clone in clones:
+            assert clone.state == [1.0]
+            assert clone.state is not particles[1].state
+
+    def test_all_clones_every_selection(self):
+        from repro.inference import Particle
+
+        engine = infer(KalmanModel(), n_particles=4, method="pf", seed=0)
+        particles = [Particle(state=[float(i)], graph=None, log_weight=0.0) for i in range(4)]
+        resampled = engine._resample(particles, np.array([0.0, 1.0, 0.0, 0.0]))
+        assert all(p is not particles[1] for p in resampled)
+        assert all(p.state == [1.0] for p in resampled)

@@ -13,6 +13,7 @@ from repro.inference.resampling import (
     ess,
     multinomial_indices,
     normalize_log_weights,
+    residual_indices,
     stratified_indices,
     systematic_indices,
 )
@@ -73,7 +74,8 @@ class TestIndices:
         assert all(0 <= i < 4 for i in indices)
 
     @pytest.mark.parametrize(
-        "fn", [systematic_indices, stratified_indices, multinomial_indices]
+        "fn",
+        [systematic_indices, stratified_indices, multinomial_indices, residual_indices],
     )
     def test_degenerate_weight_selects_single(self, fn, rng):
         indices = fn([0.0, 1.0, 0.0], 8, rng)
@@ -95,3 +97,37 @@ class TestIndices:
         idx = systematic_indices(weights, n, rng)
         count0 = int(np.sum(idx == 0))
         assert abs(count0 - n / 2) <= 1.0
+
+
+class TestResidual:
+    def test_registered(self):
+        assert RESAMPLERS["residual"] is residual_indices
+
+    def test_deterministic_part_guarantees_floor_copies(self, rng):
+        weights = np.array([0.55, 0.25, 0.2])
+        for _ in range(50):
+            idx = residual_indices(weights, 10, rng)
+            counts = np.bincount(idx, minlength=3)
+            assert len(idx) == 10
+            # every particle receives at least floor(n * w_i) copies
+            assert np.all(counts >= np.floor(10 * weights).astype(int))
+
+    def test_exact_multiples_need_no_random_remainder(self, rng):
+        idx = residual_indices(np.array([0.25, 0.75]), 4, rng)
+        assert np.array_equal(np.bincount(idx, minlength=2), [1, 3])
+
+    def test_unbiased_frequencies(self, rng):
+        weights = np.array([0.5, 0.3, 0.2])
+        counts = np.zeros(3)
+        for _ in range(200):
+            idx = residual_indices(weights, 100, rng)
+            counts += np.bincount(idx, minlength=3)
+        assert np.allclose(counts / counts.sum(), weights, atol=0.01)
+
+    @given(seed=st.integers(0, 500), n=st.integers(1, 64))
+    def test_always_returns_n_valid_indices(self, seed, n):
+        rng = np.random.default_rng(seed)
+        weights = normalize_log_weights([0.0, -0.3, -2.0, -0.7])
+        idx = residual_indices(weights, n, rng)
+        assert len(idx) == n
+        assert all(0 <= i < 4 for i in idx)

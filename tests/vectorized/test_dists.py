@@ -1,0 +1,117 @@
+"""Array-backed posterior distributions vs their object-per-particle twins."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Empirical, Gaussian, Mixture
+from repro.errors import DistributionError
+from repro.vectorized import ArrayEmpirical, GaussianMixtureArray
+
+
+class TestArrayEmpirical:
+    def test_matches_empirical_moments(self):
+        values = [1.0, 2.0, 4.0]
+        weights = [0.2, 0.3, 0.5]
+        ref = Empirical(values, weights)
+        arr = ArrayEmpirical(np.array(values), np.array(weights))
+        assert arr.mean() == pytest.approx(ref.mean())
+        assert arr.variance() == pytest.approx(ref.variance())
+
+    def test_log_pdf_sums_matching_mass(self):
+        arr = ArrayEmpirical(np.array([1.0, 2.0, 1.0]), np.array([0.25, 0.5, 0.25]))
+        assert arr.log_pdf(1.0) == pytest.approx(np.log(0.5))
+        assert arr.log_pdf(7.0) == -np.inf
+
+    def test_uniform_weights_default(self):
+        arr = ArrayEmpirical(np.array([0.0, 10.0]))
+        assert arr.mean() == pytest.approx(5.0)
+
+    def test_vector_support(self):
+        values = np.array([[0.0, 0.0], [2.0, 4.0]])
+        arr = ArrayEmpirical(values, np.array([0.5, 0.5]))
+        assert np.allclose(arr.mean(), [1.0, 2.0])
+        assert np.allclose(arr.variance(), [1.0, 4.0])
+        assert arr.log_pdf([2.0, 4.0]) == pytest.approx(np.log(0.5))
+
+    def test_sample_returns_support_value(self, rng):
+        arr = ArrayEmpirical(np.array([3.0, 9.0]), np.array([1.0, 0.0]))
+        assert arr.sample(rng) == 3.0
+
+    def test_cdf_matches_empirical(self):
+        from repro.dists.stats import cdf, probability
+
+        values = [1.0, 2.0, 4.0]
+        weights = [0.2, 0.3, 0.5]
+        ref = Empirical(values, weights)
+        arr = ArrayEmpirical(np.array(values), np.array(weights))
+        for x in (0.0, 1.5, 2.0, 5.0):
+            assert cdf(arr, x) == pytest.approx(cdf(ref, x))
+        assert probability(arr, 2.0, 0.5) == pytest.approx(0.3)
+
+    def test_does_not_freeze_caller_array(self):
+        values = np.array([1.0, 2.0])
+        ArrayEmpirical(values)
+        values[0] = 5.0  # caller's array stays writeable
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            ArrayEmpirical(np.array([]))
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(DistributionError):
+            ArrayEmpirical(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestGaussianMixtureArray:
+    def test_matches_mixture_of_gaussians(self):
+        mus = np.array([-1.0, 0.5, 2.0])
+        variances = np.array([1.0, 0.5, 2.0])
+        weights = np.array([0.2, 0.3, 0.5])
+        ref = Mixture([Gaussian(m, v) for m, v in zip(mus, variances)], weights)
+        arr = GaussianMixtureArray(mus, variances, weights)
+        assert arr.mean() == pytest.approx(ref.mean())
+        assert arr.variance() == pytest.approx(ref.variance())
+        for x in (-2.0, 0.0, 1.7):
+            assert arr.log_pdf(x) == pytest.approx(ref.log_pdf(x))
+
+    def test_single_component_is_gaussian(self):
+        arr = GaussianMixtureArray([1.0], [2.0])
+        ref = Gaussian(1.0, 2.0)
+        assert arr.mean() == pytest.approx(ref.mean())
+        assert arr.variance() == pytest.approx(ref.variance())
+        assert arr.log_pdf(0.3) == pytest.approx(ref.log_pdf(0.3))
+
+    def test_component_accessor(self):
+        arr = GaussianMixtureArray([1.0, 2.0], [3.0, 4.0])
+        assert arr.component(1) == Gaussian(2.0, 4.0)
+
+    def test_sample_moments(self, rng):
+        arr = GaussianMixtureArray([0.0, 4.0], [1.0, 1.0], [0.5, 0.5])
+        draws = np.array([arr.sample(rng) for _ in range(4000)])
+        assert draws.mean() == pytest.approx(2.0, abs=0.15)
+
+    def test_cdf_matches_mixture(self):
+        from repro.dists.stats import cdf
+
+        mus = np.array([-1.0, 2.0])
+        variances = np.array([1.0, 0.5])
+        weights = np.array([0.4, 0.6])
+        ref = Mixture([Gaussian(m, v) for m, v in zip(mus, variances)], weights)
+        arr = GaussianMixtureArray(mus, variances, weights)
+        for x in (-2.0, 0.0, 2.5):
+            assert cdf(arr, x) == pytest.approx(cdf(ref, x))
+
+    def test_does_not_freeze_caller_arrays(self):
+        mus = np.array([0.0, 1.0])
+        variances = np.array([1.0, 1.0])
+        GaussianMixtureArray(mus, variances)
+        mus[0] = 9.0  # caller's arrays stay writeable
+        variances[0] = 9.0
+
+    def test_nonpositive_variance_rejected(self):
+        with pytest.raises(DistributionError):
+            GaussianMixtureArray([0.0], [0.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DistributionError):
+            GaussianMixtureArray([0.0, 1.0], [1.0])

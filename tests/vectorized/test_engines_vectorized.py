@@ -1,0 +1,217 @@
+"""Vectorized engines: equivalence with the scalar reference engines.
+
+The vectorized particle filter samples the same laws as the scalar
+:class:`~repro.inference.engine.ParticleFilter` — and because NumPy
+batched draws consume the generator stream exactly like sequential
+scalar draws, a same-seed run of the HMM/coin models is numerically the
+*same* run up to float summation order. :class:`VectorizedKalmanSDS`
+must reproduce the exact closed-form Kalman posterior the scalar SDS
+engine computes through its delayed-sampling graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.data import coin_data, kalman_data, outlier_data
+from repro.bench.models import CoinModel, HmmModel, KalmanModel, OutlierModel
+from repro.dists import Gaussian
+from repro.inference import infer
+from repro.vectorized import (
+    ArrayEmpirical,
+    GaussianMixtureArray,
+    ParticleBatch,
+    VectorizedKalmanSDS,
+    VectorizedParticleFilter,
+)
+
+
+def run_means(engine, observations):
+    state = engine.init()
+    means = []
+    for obs in observations:
+        dist, state = engine.step(state, obs)
+        means.append(dist.mean())
+    return np.array(means), state
+
+
+class TestPfEquivalenceHmm:
+    """Satellite: PF and VectorizedParticleFilter agree on the Fig. 2 HMM."""
+
+    def test_posterior_means_match_scalar_same_seed(self):
+        data = kalman_data(40, seed=42, prior_var=1.0, motion_var=1.0, obs_var=1.0)
+        scalar = infer(HmmModel(), n_particles=500, method="pf", seed=11)
+        vectorized = infer(
+            HmmModel(), n_particles=500, method="pf", seed=11, backend="vectorized"
+        )
+        ms, _ = run_means(scalar, data.observations)
+        mv, _ = run_means(vectorized, data.observations)
+        assert np.allclose(ms, mv, atol=1e-8)
+
+    def test_tracks_exact_posterior(self):
+        data = kalman_data(40, seed=1, prior_var=1.0, motion_var=1.0, obs_var=1.0)
+        engine = infer(
+            HmmModel(), n_particles=3000, method="pf", seed=5, backend="vectorized"
+        )
+        exact = infer(HmmModel(), n_particles=1, method="sds", seed=0)
+        mv, _ = run_means(engine, data.observations)
+        me, _ = run_means(exact, data.observations)
+        assert np.max(np.abs(mv - me)) < 0.2
+
+
+class TestPfEquivalenceCoin:
+    """Satellite: PF and VectorizedParticleFilter agree on coin bias."""
+
+    def test_posterior_means_match_scalar_same_seed(self):
+        data = coin_data(60, seed=9)
+        scalar = infer(CoinModel(), n_particles=400, method="pf", seed=2)
+        vectorized = infer(
+            CoinModel(), n_particles=400, method="pf", seed=2, backend="vectorized"
+        )
+        ms, _ = run_means(scalar, data.observations)
+        mv, _ = run_means(vectorized, data.observations)
+        assert np.allclose(ms, mv, atol=1e-8)
+
+    def test_approaches_exact_beta_posterior(self):
+        data = coin_data(80, seed=3)
+        engine = infer(
+            CoinModel(), n_particles=4000, method="pf", seed=1, backend="vectorized"
+        )
+        mv, _ = run_means(engine, data.observations)
+        alpha, beta = 1.0, 1.0
+        for i, obs in enumerate(data.observations):
+            alpha, beta = (alpha + 1, beta) if obs else (alpha, beta + 1)
+        assert mv[-1] == pytest.approx(alpha / (alpha + beta), abs=0.05)
+
+
+class TestVectorizedOutlier:
+    def test_tracks_truth(self):
+        data = outlier_data(40, seed=7)
+        engine = infer(
+            OutlierModel(), n_particles=1000, method="pf", seed=4, backend="vectorized"
+        )
+        means, _ = run_means(engine, data.observations)
+        errors = np.abs(means[5:] - np.array(data.truths)[5:])
+        assert np.median(errors) < 1.5
+
+
+class TestVectorizedKalmanSDS:
+    def test_matches_scalar_sds_exactly(self):
+        data = kalman_data(30, seed=42)
+        scalar = infer(KalmanModel(), n_particles=1, method="sds", seed=0)
+        vectorized = infer(
+            KalmanModel(), n_particles=8, method="sds", seed=0, backend="vectorized"
+        )
+        ms, _ = run_means(scalar, data.observations)
+        mv, _ = run_means(vectorized, data.observations)
+        assert np.allclose(ms, mv, atol=1e-10)
+
+    def test_matches_closed_form_kalman_filter(self):
+        data = kalman_data(25, seed=13)
+        engine = VectorizedKalmanSDS(KalmanModel(), n_particles=4, seed=0)
+        means, _ = run_means(engine, data.observations)
+        posterior = None
+        for obs, got in zip(data.observations, means):
+            if posterior is None:
+                predictive = Gaussian(0.0, 100.0)
+            else:
+                predictive = Gaussian(posterior.mu, posterior.var + 1.0)
+            posterior = predictive.posterior_given_obs(obs, 1.0)
+            assert got == pytest.approx(posterior.mu, rel=1e-9)
+
+    def test_output_is_gaussian_mixture_array(self):
+        engine = VectorizedKalmanSDS(HmmModel(), n_particles=4, seed=0)
+        dist, _ = engine.step(engine.init(), 0.5)
+        assert isinstance(dist, GaussianMixtureArray)
+        assert len(dist) == 4
+
+    def test_log_evidence_matches_scalar_sds(self):
+        data = kalman_data(20, seed=5)
+        scalar = infer(KalmanModel(), n_particles=1, method="sds", seed=0)
+        vectorized = VectorizedKalmanSDS(KalmanModel(), n_particles=3, seed=0)
+        total_s = total_v = 0.0
+        state_s, state_v = scalar.init(), vectorized.init()
+        for obs in data.observations:
+            _, state_s = scalar.step(state_s, obs)
+            _, state_v = vectorized.step(state_v, obs)
+            total_s += scalar.last_stats.log_evidence
+            total_v += vectorized.last_stats.log_evidence
+        assert total_v == pytest.approx(total_s, rel=1e-9)
+
+    def test_rejects_non_conjugate_model(self):
+        from repro.errors import InferenceError
+
+        with pytest.raises(InferenceError):
+            VectorizedKalmanSDS(CoinModel(), n_particles=2)
+
+
+class TestVectorizedEngineContract:
+    def test_state_is_particle_batch(self):
+        engine = infer(HmmModel(), n_particles=6, method="pf", backend="vectorized", seed=0)
+        state = engine.init()
+        assert isinstance(state, ParticleBatch)
+        dist, state2 = engine.step(state, 0.5)
+        assert isinstance(dist, ArrayEmpirical)
+        assert state2.n == 6
+
+    def test_resample_threshold_accumulates_weights(self):
+        engine = infer(
+            HmmModel(), n_particles=10, method="pf", seed=0,
+            backend="vectorized", resample_threshold=0.0,
+        )
+        state = engine.init()
+        for obs in (1.0, 2.0, 3.0):
+            _, state = engine.step(state, obs)
+        assert len(np.unique(np.round(state.log_weights, 6))) > 1
+
+    def test_always_resample_resets_weights(self):
+        engine = infer(HmmModel(), n_particles=10, method="pf", seed=0, backend="vectorized")
+        _, state = engine.step(engine.init(), 1.0)
+        assert np.all(state.log_weights == 0.0)
+
+    @pytest.mark.parametrize("scheme", ["systematic", "stratified", "multinomial", "residual"])
+    def test_all_resamplers_work(self, scheme):
+        engine = infer(
+            HmmModel(), n_particles=8, method="pf", seed=0,
+            backend="vectorized", resampler=scheme,
+        )
+        dist, _ = engine.step(engine.init(), 1.0)
+        assert np.isfinite(dist.mean())
+
+    def test_all_neg_inf_weights_fall_back_to_uniform(self):
+        """Satellite: zero-likelihood steps keep the stream running."""
+        from repro.vectorized import VectorizedCoin
+
+        # every particle observes an impossible outcome: p is in (0,1)
+        # open interval almost surely, but force it with a point mass
+        class ImpossibleCoin(VectorizedCoin):
+            def step_batch(self, state, yobs, n, rng):
+                xt, state, _ = super().step_batch(state, yobs, n, rng)
+                return xt, state, np.full(n, -np.inf)
+
+        engine = VectorizedParticleFilter(ImpossibleCoin(), n_particles=5, seed=0)
+        dist, state = engine.step(engine.init(), True)
+        assert np.allclose(dist.weights, 0.2)
+        assert np.isfinite(dist.mean())
+        assert engine.last_stats.log_evidence == -np.inf
+
+    def test_memory_words_scales_with_particles(self):
+        small = infer(HmmModel(), n_particles=10, method="pf", backend="vectorized", seed=0)
+        big = infer(HmmModel(), n_particles=100, method="pf", backend="vectorized", seed=0)
+        _, ss = small.step(small.init(), 0.0)
+        _, sb = big.step(big.init(), 0.0)
+        assert big.memory_words(sb) > small.memory_words(ss)
+
+    def test_step_stats_match_scalar_engine(self):
+        data = kalman_data(10, seed=2, prior_var=1.0, motion_var=1.0, obs_var=1.0)
+        scalar = infer(HmmModel(), n_particles=50, method="pf", seed=9)
+        vectorized = infer(HmmModel(), n_particles=50, method="pf", seed=9, backend="vectorized")
+        state_s, state_v = scalar.init(), vectorized.init()
+        for obs in data.observations:
+            _, state_s = scalar.step(state_s, obs)
+            _, state_v = vectorized.step(state_v, obs)
+            assert vectorized.last_stats.log_evidence == pytest.approx(
+                scalar.last_stats.log_evidence, rel=1e-9
+            )
+            assert vectorized.last_stats.ess == pytest.approx(
+                scalar.last_stats.ess, rel=1e-9
+            )
