@@ -91,9 +91,10 @@ def test_fig17_single_step_latency(benchmark, name, method, bench_config):
 
     model_cls, datagen = BENCHMARKS[name]
     data = datagen(200, seed=42)
-    method_name, backend = parse_method_spec(method)
+    method_name, backend, executor = parse_method_spec(method)
     engine = infer(
-        model_cls(), n_particles=100, method=method_name, seed=0, backend=backend
+        model_cls(), n_particles=100, method=method_name, seed=0, backend=backend,
+        executor=executor,
     )
     state = engine.init()
     observations = iter(itertools.cycle(data.observations))

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Stream serving: many users, one shared execution layer.
+
+Opens a :class:`repro.exec.StreamServer` with a shared thread executor
+and serves a fleet of concurrent position-tracking sessions — each one
+the Section-2 HMM particle filter over its own observation stream.
+Observations arrive interleaved (as real traffic would); the server
+schedules pending work in rounds and every session's posterior is
+exactly what a standalone engine with the same seed would produce.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.data import kalman_data
+from repro.bench.models import HmmModel
+from repro.exec import StreamServer
+
+USERS = 8
+STEPS = 40
+PARTICLES = 256
+
+
+def main():
+    server = StreamServer(executor="threads:4", policy="round_robin")
+
+    # one session + one synthetic trajectory per user
+    streams = {}
+    for user in range(USERS):
+        sid = server.open(
+            HmmModel(), session_id=f"user{user}", n_particles=PARTICLES,
+            method="pf", backend="vectorized", seed=user,
+        )
+        streams[sid] = kalman_data(
+            STEPS, seed=100 + user, prior_var=1.0, motion_var=1.0, obs_var=1.0
+        )
+
+    # interleaved arrival: step t of every stream before step t+1 of any
+    for t in range(STEPS):
+        for sid, data in streams.items():
+            server.submit(sid, data.observations[t])
+
+    start = time.perf_counter()
+    processed = server.drain()
+    elapsed = time.perf_counter() - start
+
+    print(f"{'session':>8}  {'steps':>5}  {'final mean':>10}  {'final truth':>11}")
+    for sid, data in streams.items():
+        posterior = server.latest(sid)
+        print(f"{sid:>8}  {server.stats()['per_session'][sid]['steps']:>5}  "
+              f"{posterior.mean():>10.3f}  {data.truths[-1]:>11.3f}")
+
+    print()
+    print(f"served {processed} steps across {USERS} sessions in "
+          f"{elapsed * 1e3:.1f} ms ({processed / elapsed:.0f} steps/s) "
+          f"on {server.executor!r}")
+
+    # determinism: the server's scheduling never changes a session's result
+    from repro import infer
+    engine = infer(HmmModel(), n_particles=PARTICLES, method="pf",
+                   backend="vectorized", seed=3, executor="threads:4")
+    state = engine.init()
+    for y in streams["user3"].observations:
+        dist, state = engine.step(state, y)
+    diff = abs(dist.mean() - server.latest("user3").mean())
+    print(f"standalone engine reproduces user3's posterior (diff {diff:.2e})")
+
+
+if __name__ == "__main__":
+    main()

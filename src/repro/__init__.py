@@ -52,6 +52,14 @@ from repro.errors import (
     SymbolicError,
     TypeCheckError,
 )
+from repro.exec import (
+    Executor,
+    ProcessShardExecutor,
+    SerialExecutor,
+    ShardedPopulation,
+    StreamServer,
+    ThreadShardExecutor,
+)
 from repro.inference import (
     BoundedDelayedSampler,
     ImportanceSampler,
@@ -120,6 +128,13 @@ __all__ = [
     "VectorizedKalmanSDS",
     "vectorize_model",
     "register_vectorizer",
+    # execution layer
+    "Executor",
+    "SerialExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "ShardedPopulation",
+    "StreamServer",
     # runtime
     "Node",
     "ProbNode",

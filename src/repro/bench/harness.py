@@ -14,24 +14,31 @@ Four experiment drivers, one per figure family:
 Each driver returns plain data structures; :mod:`repro.bench.reporting`
 renders them as the text tables recorded in ``EXPERIMENTS.md``.
 
-Every ``methods`` entry is a *method spec*: either a plain engine name
-(``"pf"``, ``"sds"``, …) or ``"<method>@<backend>"`` selecting an
-execution backend — e.g. ``"pf@vectorized"`` runs the particle filter
-on the structure-of-arrays engines of :mod:`repro.vectorized`. This is
-how the drivers compare the scalar substrate against the vectorized one
-in a single sweep.
+Every ``methods`` entry is a *method spec*: a plain engine name
+(``"pf"``, ``"sds"``, …), ``"<method>@<backend>"`` selecting an
+execution backend, or ``"<method>@<backend>@<executor>"`` additionally
+selecting the execution layer — e.g. ``"pf@vectorized"`` runs the
+particle filter on the structure-of-arrays engines of
+:mod:`repro.vectorized`, and ``"pf@scalar@processes:4"`` runs the
+scalar particle filter sharded over four worker processes. This is how
+the drivers compare substrates and executors in a single sweep.
+
+Every driver also accepts ``engine_kwargs``, a dict forwarded to the
+engine constructor, so sweeps can compare engine configurations
+(``resampler=``, ``resample_threshold=``, …), not just method/backend.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.bench.data import Dataset
 from repro.errors import InferenceError
+from repro.exec.executor import parse_executor
 from repro.inference.infer import BACKENDS, infer
 from repro.inference.metrics import MseTracker
 from repro.runtime.node import ProbNode
@@ -50,23 +57,53 @@ __all__ = [
 ]
 
 
-def parse_method_spec(spec: str) -> Tuple[str, str]:
-    """Split a ``"method"`` or ``"method@backend"`` spec string."""
-    method, sep, backend = spec.partition("@")
-    if not sep:
-        return method, "scalar"
+def parse_method_spec(spec: str) -> Tuple[str, str, Optional[str]]:
+    """Split a ``"method[@backend[@executor]]"`` spec string.
+
+    Returns ``(method, backend, executor)`` with ``backend`` defaulting
+    to ``"scalar"`` and ``executor`` to None (the engine's sequential
+    default). An empty backend segment (``"pf@@threads:4"``) also means
+    scalar, so an executor can be selected without naming a backend.
+    """
+    parts = spec.split("@")
+    if len(parts) > 3:
+        raise InferenceError(f"method spec {spec!r} has too many '@' segments")
+    method = parts[0]
+    backend = parts[1] if len(parts) > 1 and parts[1] else "scalar"
+    executor = parts[2] if len(parts) > 2 else None
     if backend not in BACKENDS:
         raise InferenceError(
             f"unknown backend {backend!r} in method spec {spec!r}; "
             f"choose from {sorted(BACKENDS)}"
         )
-    return method, backend
+    if executor is not None:
+        parse_executor(executor)  # validate (and warm the shared instance)
+    return method, backend, executor
 
 
-def _build_engine(model: ProbNode, spec: str, n_particles: int, seed: int):
-    method, backend = parse_method_spec(spec)
+def _build_engine(
+    model: ProbNode,
+    spec: str,
+    n_particles: int,
+    seed: int,
+    engine_kwargs: Optional[Dict] = None,
+):
+    method, backend, executor = parse_method_spec(spec)
+    kwargs = dict(engine_kwargs or {})
+    if executor is not None:
+        if "executor" in kwargs and kwargs["executor"] != executor:
+            raise InferenceError(
+                f"method spec {spec!r} selects executor {executor!r} but "
+                f"engine_kwargs selects {kwargs['executor']!r}; pick one"
+            )
+        kwargs["executor"] = executor
     return infer(
-        model, n_particles=n_particles, method=method, seed=seed, backend=backend
+        model,
+        n_particles=n_particles,
+        method=method,
+        seed=seed,
+        backend=backend,
+        **kwargs,
     )
 
 
@@ -114,12 +151,14 @@ def run_mse(
     n_particles: int,
     dataset: Dataset,
     seed: int,
+    engine_kwargs: Optional[Dict] = None,
 ) -> float:
     """Final running MSE of one inference run over ``dataset``.
 
-    ``method`` is a method spec (``"pf"`` or ``"pf@vectorized"``).
+    ``method`` is a method spec (``"pf"`` or ``"pf@vectorized"``);
+    ``engine_kwargs`` are forwarded to the engine constructor.
     """
-    engine = _build_engine(model_factory(), method, n_particles, seed)
+    engine = _build_engine(model_factory(), method, n_particles, seed, engine_kwargs)
     state = engine.init()
     tracker = MseTracker()
     tracker_state = tracker.init()
@@ -137,6 +176,7 @@ def accuracy_sweep(
     methods: Sequence[str] = ("pf", "bds", "sds"),
     runs: int = 20,
     base_seed: int = 100,
+    engine_kwargs: Optional[Dict] = None,
 ) -> SweepResult:
     """MSE quantiles over ``runs`` repetitions for each configuration.
 
@@ -148,7 +188,10 @@ def accuracy_sweep(
         result.cells[method] = {}
         for particles in particle_counts:
             errors = [
-                run_mse(model_factory, method, particles, dataset, base_seed + r)
+                run_mse(
+                    model_factory, method, particles, dataset, base_seed + r,
+                    engine_kwargs,
+                )
                 for r in range(runs)
             ]
             result.cells[method][particles] = Quantiles.of(errors)
@@ -163,6 +206,7 @@ def latency_sweep(
     runs: int = 5,
     base_seed: int = 100,
     warmup_steps: int = 1,
+    engine_kwargs: Optional[Dict] = None,
 ) -> SweepResult:
     """Per-step latency quantiles (in milliseconds) for each configuration.
 
@@ -176,7 +220,8 @@ def latency_sweep(
             latencies: List[float] = []
             for r in range(runs):
                 engine = _build_engine(
-                    model_factory(), method, particles, base_seed + r
+                    model_factory(), method, particles, base_seed + r,
+                    engine_kwargs,
                 )
                 state = engine.init()
                 for step_idx, obs in enumerate(dataset.observations):
@@ -196,6 +241,7 @@ def step_latency_profile(
     methods: Sequence[str] = ("pf", "bds", "sds", "ds"),
     seed: int = 100,
     stride: int = 1,
+    engine_kwargs: Optional[Dict] = None,
 ) -> ProfileResult:
     """Latency of each step along one long run (Fig. 18).
 
@@ -204,7 +250,9 @@ def step_latency_profile(
     steps = list(range(0, len(dataset.observations), stride))
     result = ProfileResult("latency_ms", steps, list(methods))
     for method in methods:
-        engine = _build_engine(model_factory(), method, n_particles, seed)
+        engine = _build_engine(
+            model_factory(), method, n_particles, seed, engine_kwargs
+        )
         state = engine.init()
         series: List[float] = []
         for step_idx, obs in enumerate(dataset.observations):
@@ -224,12 +272,15 @@ def memory_profile(
     methods: Sequence[str] = ("pf", "bds", "sds", "ds"),
     seed: int = 100,
     stride: int = 1,
+    engine_kwargs: Optional[Dict] = None,
 ) -> ProfileResult:
     """Ideal memory (live abstract words) after each step (Fig. 19 / Fig. 4)."""
     steps = list(range(0, len(dataset.observations), stride))
     result = ProfileResult("live_words", steps, list(methods))
     for method in methods:
-        engine = _build_engine(model_factory(), method, n_particles, seed)
+        engine = _build_engine(
+            model_factory(), method, n_particles, seed, engine_kwargs
+        )
         state = engine.init()
         series: List[float] = []
         for step_idx, obs in enumerate(dataset.observations):

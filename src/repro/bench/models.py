@@ -257,11 +257,16 @@ class BoundedWalkModel(ProbNode):
 # Register the batched equivalents with the vectorized backend: the
 # registries live in repro.vectorized but start empty, so the dependency
 # points from this benchmark layer to the core, not the other way.
+from repro.vectorized.engine import (  # noqa: E402
+    VectorizedBetaBernoulliSDS,
+    VectorizedOutlierSDS,
+)
 from repro.vectorized.models import (  # noqa: E402
     coin_vectorizer,
     kalman_vectorizer,
     outlier_vectorizer,
     register_conjugate_gaussian_chain,
+    register_sds_engine,
     register_vectorizer,
 )
 
@@ -271,3 +276,5 @@ register_vectorizer(CoinModel, coin_vectorizer)
 register_vectorizer(OutlierModel, outlier_vectorizer)
 register_conjugate_gaussian_chain(KalmanModel)
 register_conjugate_gaussian_chain(HmmModel)
+register_sds_engine(CoinModel, VectorizedBetaBernoulliSDS)
+register_sds_engine(OutlierModel, VectorizedOutlierSDS)

@@ -1,0 +1,194 @@
+"""Executors: where the shards of one inference step actually run.
+
+An :class:`Executor` schedules the map phase of a sharded inference
+step — apply one picklable task to every shard, collect the results in
+shard order. The executor decides *where* the work runs (inline, a
+thread pool, a process pool) but never *what* is computed: shard
+payloads are disjoint, each shard advances its own
+:class:`numpy.random.Generator` substream, and the merge / resample
+barrier happens in the caller. Results are therefore bit-for-bit
+identical across executors and worker counts — the deterministic
+partitioning idea of Bobpp-style parallel search, applied to a particle
+population.
+
+Executors are selected by spec string (``"serial"``, ``"threads:4"``,
+``"processes:2"``) through :func:`parse_executor`, which caches one
+instance per spec so every engine built from the same spec shares one
+pool (a sweep over ``"pf@scalar@processes:4"`` spins up four workers
+once, not once per run).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import InferenceError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "EXECUTORS",
+    "parse_executor",
+    "default_workers",
+]
+
+
+def default_workers() -> int:
+    """Worker count when a spec names no number: one per visible core."""
+    return max(1, os.cpu_count() or 1)
+
+
+class Executor(abc.ABC):
+    """Schedules shard tasks; never changes what is computed.
+
+    ``map_shards(fn, tasks)`` applies ``fn`` to every task and returns
+    the results *in task order* — the ordering contract the merge step
+    relies on for determinism.
+    """
+
+    #: number of workers the executor schedules onto (1 for serial).
+    workers: int = 1
+
+    @abc.abstractmethod
+    def map_shards(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to each task, preserving task order."""
+
+    def close(self) -> None:
+        """Release any pooled workers (no-op for the serial executor)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every shard inline, one after the other (the reference)."""
+
+    workers = 1
+
+    def map_shards(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        return [fn(task) for task in tasks]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class _PooledExecutor(Executor):
+    """Shared lazy-pool behaviour of the thread and process executors."""
+
+    def __init__(self, workers: Optional[int] = None):
+        workers = default_workers() if workers is None else int(workers)
+        if workers < 1:
+            raise InferenceError("executor needs at least one worker")
+        self.workers = workers
+        self._pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def map_shards(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # Engines hold their executor, and a process worker unpickles the
+    # engine: the live pool must never cross a process boundary. The
+    # worker-side copy degrades to a pool-less shell (it only ever runs
+    # the shard task it received).
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class ThreadShardExecutor(_PooledExecutor):
+    """Map shards over a thread pool.
+
+    Shards share the interpreter but not their generators or payloads,
+    so thread scheduling cannot change results. Best when the per-shard
+    work releases the GIL (NumPy kernels on large shards).
+    """
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-shard"
+        )
+
+
+class ProcessShardExecutor(_PooledExecutor):
+    """Map shards over a process pool.
+
+    True multi-core execution for interpreter-bound (scalar) shard work.
+    Tasks and results cross the process boundary by pickling, so the
+    model and shard payloads must be picklable (module-level classes;
+    lambda-based ``FunProbNode`` models are not). Each shard's generator
+    rides along with the task and returns advanced, which keeps the
+    serial and process schedules on identical random streams.
+    """
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+#: spec name -> executor class, for ``"name"`` / ``"name:N"`` specs.
+EXECUTORS: Dict[str, Callable[..., Executor]] = {
+    "serial": SerialExecutor,
+    "threads": ThreadShardExecutor,
+    "processes": ProcessShardExecutor,
+}
+
+#: one shared instance per spec string, so engines built from the same
+#: spec (benchmark sweeps, stream-server sessions) share one pool.
+_INSTANCES: Dict[str, Executor] = {}
+
+
+def parse_executor(spec: Union[None, str, Executor]) -> Executor:
+    """Resolve an executor spec to an :class:`Executor` instance.
+
+    ``None`` means serial; an :class:`Executor` instance passes through;
+    a string is ``"serial"``, ``"threads"``, ``"processes"``, optionally
+    with a worker count (``"threads:4"``). String specs are cached
+    process-wide: the same spec always returns the same instance.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if not isinstance(spec, str):
+        raise InferenceError(
+            f"executor must be a spec string or Executor, got {type(spec).__name__}"
+        )
+    if spec in _INSTANCES:
+        return _INSTANCES[spec]
+    name, sep, count = spec.partition(":")
+    if name not in EXECUTORS:
+        raise InferenceError(
+            f"unknown executor {name!r}; choose from {sorted(EXECUTORS)}"
+        )
+    if sep:
+        if name == "serial":
+            raise InferenceError("the serial executor takes no worker count")
+        try:
+            workers = int(count)
+        except ValueError:
+            raise InferenceError(f"bad worker count in executor spec {spec!r}")
+        executor = EXECUTORS[name](workers)
+    else:
+        executor = EXECUTORS[name]()
+    _INSTANCES[spec] = executor
+    return executor

@@ -1,0 +1,228 @@
+"""Sharded particle populations and the executor-driven step cycle.
+
+One inference step over a sharded population is a fixed plan::
+
+    map-step          every shard advances its particles with its own
+                      RNG substream (scheduled by an Executor),
+    merge-weights     the per-shard weight vectors are concatenated in
+                      shard order and normalized globally,
+    resample-barrier  the engine draws global ancestor indices from its
+                      own generator and the survivors are re-scattered
+                      into contiguous shards of the original sizes.
+
+Determinism comes from fixing the *partition*, not the schedule: the
+shard count and the per-shard :class:`numpy.random.SeedSequence`
+substreams are properties of the population, chosen independently of
+the executor, so any worker count — serial, 4 threads, 4 processes —
+replays exactly the same random streams and produces the same posterior
+bit-for-bit.
+
+Shard payloads are opaque to this module: the scalar engines put a
+``list`` of :class:`~repro.inference.particles.Particle` objects in each
+shard, the vectorized engines a
+:class:`~repro.vectorized.batch.ParticleBatch` slice. The engine
+supplies the per-shard stepper; :func:`map_step` owns scheduling and
+RNG-state bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.exec.executor import Executor
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "Shard",
+    "ShardResult",
+    "ShardedPopulation",
+    "map_step",
+    "shard_sizes",
+    "shard_bounds",
+    "split_sequence",
+    "spawn_shard_rngs",
+]
+
+#: shard count used when an executor is requested without an explicit
+#: ``n_shards``. A fixed constant — deliberately *not* derived from the
+#: worker count — so the posterior is identical for every executor.
+DEFAULT_SHARDS = 4
+
+
+def shard_sizes(n_items: int, n_shards: int) -> List[int]:
+    """Balanced contiguous partition sizes (first shards get the rest)."""
+    if n_shards < 1:
+        raise InferenceError("need at least one shard")
+    if n_items < n_shards:
+        raise InferenceError(
+            f"cannot split {n_items} particles into {n_shards} shards"
+        )
+    base, extra = divmod(n_items, n_shards)
+    return [base + (1 if i < extra else 0) for i in range(n_shards)]
+
+
+def shard_bounds(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
+    """The ``(start, stop)`` slice of each shard in the merged order."""
+    bounds = []
+    start = 0
+    for size in shard_sizes(n_items, n_shards):
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def split_sequence(items: Sequence[Any], n_shards: int) -> List[List[Any]]:
+    """Split a sequence into the contiguous per-shard chunks."""
+    return [list(items[start:stop]) for start, stop in shard_bounds(len(items), n_shards)]
+
+
+def spawn_shard_rngs(
+    n_shards: int,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.random.Generator]:
+    """One independent generator per shard via ``SeedSequence.spawn``.
+
+    With a ``seed``, the substreams are a pure function of
+    ``(seed, n_shards)``. Without one, entropy is drawn from ``rng`` (or
+    the OS), so the substreams are still reproducible for a seeded
+    engine-level generator.
+    """
+    if seed is not None:
+        entropy: Union[int, None] = int(seed)
+    elif rng is not None:
+        entropy = int(rng.integers(0, 2**63))
+    else:
+        entropy = None
+    root = np.random.SeedSequence(entropy)
+    return [np.random.default_rng(child) for child in root.spawn(n_shards)]
+
+
+@dataclass
+class Shard:
+    """One partition of the population: payload plus its RNG substream."""
+
+    index: int
+    rng: np.random.Generator
+    payload: Any
+
+
+@dataclass
+class ShardResult:
+    """What one shard reports back from the map phase of a step."""
+
+    #: stacked per-particle outputs (list for scalar shards, array
+    #: pytree for batch shards)
+    outs: Any
+    #: the advanced shard payload
+    payload: Any
+    #: this step's observe/factor log-weight contributions
+    step_log_weights: np.ndarray
+    #: accumulated log-weights carried into the step
+    prev_log_weights: np.ndarray
+    #: the shard generator after the step (advanced in-worker; shipped
+    #: back so process execution replays the exact serial streams)
+    rng: np.random.Generator
+
+
+class ShardedPopulation:
+    """A particle population partitioned into deterministic shards.
+
+    This is the engine state in sharded mode — the counterpart of the
+    scalar engines' particle list and the vectorized engines'
+    :class:`~repro.vectorized.batch.ParticleBatch`, holding the same
+    information split into contiguous chunks that carry their own RNG
+    substreams.
+    """
+
+    def __init__(self, shards: Sequence[Shard]):
+        if not shards:
+            raise InferenceError("a sharded population needs at least one shard")
+        self.shards = list(shards)
+
+    @classmethod
+    def build(
+        cls,
+        chunks: Sequence[Any],
+        rngs: Sequence[np.random.Generator],
+    ) -> "ShardedPopulation":
+        """A population from per-shard payload chunks and generators."""
+        if len(chunks) != len(rngs):
+            raise InferenceError("need exactly one generator per shard")
+        return cls(
+            [Shard(i, rng, chunk) for i, (chunk, rng) in enumerate(zip(chunks, rngs))]
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def payloads(self) -> List[Any]:
+        return [shard.payload for shard in self.shards]
+
+    def with_payloads(self, payloads: Sequence[Any]) -> "ShardedPopulation":
+        """Same shard structure (indices, generators), new payloads."""
+        if len(payloads) != self.n_shards:
+            raise InferenceError("payload count must match shard count")
+        return ShardedPopulation(
+            [
+                Shard(shard.index, shard.rng, payload)
+                for shard, payload in zip(self.shards, payloads)
+            ]
+        )
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def __repr__(self) -> str:
+        return f"ShardedPopulation(n_shards={self.n_shards})"
+
+
+class _ShardStepTask:
+    """Picklable unit of work: step one shard under one stepper.
+
+    The stepper is the engine itself (engines strip their executor when
+    pickled), so a process worker re-runs exactly the code the serial
+    executor would, against the shard's own generator.
+    """
+
+    __slots__ = ("stepper", "shard", "inp")
+
+    def __init__(self, stepper: Any, shard: Shard, inp: Any):
+        self.stepper = stepper
+        self.shard = shard
+        self.inp = inp
+
+    def __call__(self) -> ShardResult:
+        return self.stepper.step_shard(self.shard.payload, self.shard.rng, self.inp)
+
+
+def _run_shard_task(task: _ShardStepTask) -> ShardResult:
+    return task()
+
+
+def map_step(
+    executor: Executor,
+    stepper: Any,
+    population: ShardedPopulation,
+    inp: Any,
+) -> Tuple[List[ShardResult], ShardedPopulation]:
+    """The map phase of one step: advance every shard under ``executor``.
+
+    Returns the per-shard results in shard order plus the advanced
+    population (payloads and generators updated from the results, which
+    is what keeps process workers' RNG consumption authoritative).
+    """
+    tasks = [_ShardStepTask(stepper, shard, inp) for shard in population.shards]
+    results = executor.map_shards(_run_shard_task, tasks)
+    advanced = ShardedPopulation(
+        [
+            Shard(shard.index, result.rng, result.payload)
+            for shard, result in zip(population.shards, results)
+        ]
+    )
+    return results, advanced

@@ -1,0 +1,218 @@
+"""Stream serving: many concurrent inference streams, one executor.
+
+The paper runs ``infer`` as a synchronous node inside *one* reactive
+program. A server multiplexes *many* such programs — one per user
+session — over a single shared :class:`~repro.exec.executor.Executor`:
+each session owns an engine and its externalized state, observations
+are submitted asynchronously per session, and the server schedules
+pending work in rounds.
+
+Scheduling policies:
+
+* ``"round_robin"`` — each scheduling round advances every session with
+  pending input by exactly one synchronous step, in session-open order.
+  Fair latency under heavy traffic.
+* ``"as_ready"`` — observations are processed in global arrival order,
+  whichever session they belong to. FIFO throughput semantics.
+
+Both policies are deterministic: given the same sessions, submissions,
+and seeds, the produced posteriors are identical regardless of the
+executor or its worker count, because every engine's randomness lives
+in its own population's shard substreams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from repro.dists import Distribution
+from repro.errors import InferenceError
+from repro.exec.executor import Executor, parse_executor
+
+__all__ = ["StreamSession", "StreamServer"]
+
+_POLICIES = ("round_robin", "as_ready")
+
+
+class StreamSession:
+    """One user's inference stream: an engine plus its live state."""
+
+    def __init__(self, session_id: str, engine: Any):
+        self.session_id = session_id
+        self.engine = engine
+        self.state = engine.init()
+        #: observations waiting to be consumed, as (arrival_seq, obs)
+        self.pending: Deque[Tuple[int, Any]] = deque()
+        #: posterior distributions produced so far, in step order
+        self.outputs: List[Distribution] = []
+        self.steps = 0
+
+    @property
+    def backlog(self) -> int:
+        """Number of submitted observations not yet processed."""
+        return len(self.pending)
+
+    def step_once(self) -> Distribution:
+        """Consume the oldest pending observation (one synchronous step)."""
+        if not self.pending:
+            raise InferenceError(f"session {self.session_id!r} has no pending input")
+        _, obs = self.pending.popleft()
+        dist, self.state = self.engine.step(self.state, obs)
+        self.outputs.append(dist)
+        self.steps += 1
+        return dist
+
+
+class StreamServer:
+    """Serve many concurrent engine streams over one shared executor.
+
+    ::
+
+        server = StreamServer(executor="threads:4")
+        for user in range(16):
+            server.open(HmmModel(), session_id=f"user{user}", seed=user)
+        server.submit("user3", 0.7)
+        server.drain()                       # run all pending work
+        posterior = server.latest("user3")
+
+    Engines opened through the server share the server's executor (each
+    engine's shards are scheduled on the same pool), so total worker
+    count is a server-level resource, not per-session.
+    """
+
+    def __init__(
+        self,
+        executor: Union[None, str, Executor] = None,
+        policy: str = "round_robin",
+    ):
+        if policy not in _POLICIES:
+            raise InferenceError(
+                f"unknown scheduling policy {policy!r}; choose from {_POLICIES}"
+            )
+        self.executor = parse_executor(executor)
+        # Only inject the executor into sessions when the caller asked
+        # for one: a default StreamServer() must serve each session with
+        # exactly the engine `infer(model, ...)` would build, same seed
+        # same posterior, rather than silently opting into sharded mode.
+        self._share_executor = executor is not None
+        self.policy = policy
+        self._sessions: Dict[str, StreamSession] = {}
+        self._arrivals = 0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def open(self, model: Any, session_id: Optional[str] = None, **infer_kwargs: Any) -> str:
+        """Open a session running ``infer(model, **infer_kwargs)``.
+
+        The session's engine uses the server's executor unless the
+        caller overrides ``executor=`` explicitly.
+        """
+        from repro.inference.infer import infer
+
+        if session_id is None:
+            session_id = f"session{len(self._sessions)}"
+        if session_id in self._sessions:
+            raise InferenceError(f"session {session_id!r} already open")
+        if self._share_executor:
+            infer_kwargs.setdefault("executor", self.executor)
+        engine = infer(model, **infer_kwargs)
+        self._sessions[session_id] = StreamSession(session_id, engine)
+        return session_id
+
+    def close(self, session_id: str) -> List[Distribution]:
+        """Close a session, returning every posterior it produced."""
+        session = self._session(session_id)
+        del self._sessions[session_id]
+        return session.outputs
+
+    def _session(self, session_id: str) -> StreamSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise InferenceError(f"no open session {session_id!r}")
+
+    # ------------------------------------------------------------------
+    # input / output
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, obs: Any) -> None:
+        """Queue one observation for a session."""
+        self._session(session_id).pending.append((self._arrivals, obs))
+        self._arrivals += 1
+
+    def submit_many(self, session_id: str, observations: Any) -> None:
+        for obs in observations:
+            self.submit(session_id, obs)
+
+    def outputs(self, session_id: str) -> List[Distribution]:
+        """All posteriors a session has produced so far."""
+        return list(self._session(session_id).outputs)
+
+    def latest(self, session_id: str) -> Optional[Distribution]:
+        """The most recent posterior of a session, or None."""
+        outputs = self._session(session_id).outputs
+        return outputs[-1] if outputs else None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """Total pending observations across all sessions."""
+        return sum(s.backlog for s in self._sessions.values())
+
+    def tick(self) -> int:
+        """One scheduling round; returns the number of steps performed.
+
+        ``round_robin`` advances each ready session once; ``as_ready``
+        processes the single globally oldest pending observation.
+        """
+        if self.policy == "round_robin":
+            ready = [s for s in self._sessions.values() if s.pending]
+            for session in ready:
+                session.step_once()
+            self._processed += len(ready)
+            return len(ready)
+        oldest: Optional[StreamSession] = None
+        for session in self._sessions.values():
+            if session.pending and (
+                oldest is None or session.pending[0][0] < oldest.pending[0][0]
+            ):
+                oldest = session
+        if oldest is None:
+            return 0
+        oldest.step_once()
+        self._processed += 1
+        return 1
+
+    def drain(self) -> int:
+        """Run scheduling rounds until no session has pending input."""
+        total = 0
+        while True:
+            done = self.tick()
+            if done == 0:
+                return total
+            total += done
+
+    def stats(self) -> Dict[str, Any]:
+        """Server-level counters plus per-session progress."""
+        return {
+            "sessions": len(self._sessions),
+            "processed": self._processed,
+            "backlog": self.backlog,
+            "per_session": {
+                sid: {"steps": s.steps, "backlog": s.backlog}
+                for sid, s in self._sessions.items()
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamServer(policy={self.policy!r}, sessions={len(self._sessions)}, "
+            f"executor={self.executor!r})"
+        )

@@ -22,11 +22,19 @@ Engines:
 * :class:`OriginalDelayedSampler` (DS) — the Murray et al. graph
   maintained across steps; the baseline whose memory and latency grow
   with time (Section 6.3).
+
+Execution runs through the pluggable layer of :mod:`repro.exec`: one
+step is a map over population shards (each with its own RNG substream),
+a global weight merge, and a resample barrier. By default the
+population is a single shard driven by the engine's own generator —
+bit-for-bit the classic sequential semantics. Passing ``executor=``
+(or ``n_shards=``) partitions the population into deterministic shards
+whose results are identical for any worker count.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +43,15 @@ from repro.delayed.interface import lift_distribution, value_expr
 from repro.delayed.streaming import StreamingGraph
 from repro.dists import Distribution, Empirical, Mixture
 from repro.errors import InferenceError
+from repro.exec.executor import Executor, parse_executor
+from repro.exec.population import (
+    DEFAULT_SHARDS,
+    ShardResult,
+    ShardedPopulation,
+    map_step,
+    spawn_shard_rngs,
+    split_sequence,
+)
 from repro.inference.contexts import DelayedCtx, SamplingCtx
 from repro.inference.diagnostics import StepStats
 from repro.inference.particles import (
@@ -60,14 +77,25 @@ __all__ = [
 class InferenceEngine(Node):
     """Base class: a deterministic node wrapping a probabilistic model.
 
-    State is the particle list; ``step`` advances every particle one
-    synchronous instant and returns the posterior distribution over the
-    model's output.
+    State is the particle population; ``step`` advances every particle
+    one synchronous instant and returns the posterior distribution over
+    the model's output.
 
     ``resampler`` selects the scheme used when resampling triggers:
     ``"systematic"`` (the default), ``"stratified"``, ``"multinomial"``,
     or ``"residual"`` (deterministic copies of ``floor(n*w_i)`` per
     particle, multinomial on the fractional remainder).
+
+    ``executor`` selects where the per-shard work of a step runs
+    (``"serial"``, ``"threads:N"``, ``"processes:N"``, or an
+    :class:`~repro.exec.executor.Executor` instance). Requesting an
+    executor — or passing ``n_shards`` — switches the engine state from
+    a plain particle list to a :class:`ShardedPopulation` whose shard
+    count and per-shard RNG substreams are fixed independently of the
+    executor, so every executor and worker count produces the same
+    posterior bit-for-bit at a fixed seed. Without either knob the
+    population is one shard on the engine's own generator: exactly the
+    classic sequential behaviour.
     """
 
     #: graph class for delayed engines; None for concrete sampling.
@@ -88,6 +116,8 @@ class InferenceEngine(Node):
         resampler: str = "systematic",
         resample_threshold: Optional[float] = None,
         clone_on_resample: str = "all",
+        executor: Union[None, str, Executor] = None,
+        n_shards: Optional[int] = None,
     ):
         if n_particles < 1:
             raise InferenceError("need at least one particle")
@@ -106,39 +136,90 @@ class InferenceEngine(Node):
         self.resampler = RESAMPLERS[resampler]
         self.resample_threshold = resample_threshold
         self.clone_on_resample = clone_on_resample
+        # Sharded-execution configuration: an explicit executor or shard
+        # count opts into the deterministic shard plan; the default is
+        # the single-stream sequential population.
+        self.executor = parse_executor(executor)
+        self.sharded = executor is not None or n_shards is not None
+        if n_shards is None:
+            n_shards = DEFAULT_SHARDS if self.sharded else 1
+        if int(n_shards) < 1:
+            raise InferenceError("need at least one shard")
+        self.n_shards = min(int(n_shards), self.n_particles)
+        self._seed = seed
         #: diagnostics of the most recent step (StepStats or None)
         self.last_stats = None
 
     # ------------------------------------------------------------------
-    def init(self) -> List[Particle]:
+    def init(self) -> Union[List[Particle], ShardedPopulation]:
         particles = []
         for _ in range(self.n_particles):
             graph = self._fresh_graph() if self.persistent_graph else None
             particles.append(Particle(self.model.init(), graph, 0.0))
-        return particles
-
-    def step(self, particles: List[Particle], inp: Any) -> Tuple[Distribution, List[Particle]]:
-        outs: List[Any] = []
-        log_weights: List[float] = []
-        step_log_weights: List[float] = []
-        stepped: List[Particle] = []
-        for particle in particles:
-            out, new_particle, step_logw = self._step_particle(particle, inp)
-            outs.append(out)
-            log_weights.append(new_particle.log_weight + step_logw)
-            step_log_weights.append(step_logw)
-            stepped.append(new_particle)
-        weights = normalize_log_weights(log_weights)
-        self._record_stats(
-            [p.log_weight for p in stepped], step_log_weights, weights
+        if not self.sharded:
+            return particles
+        rngs = spawn_shard_rngs(self.n_shards, seed=self._seed, rng=self.rng)
+        return ShardedPopulation.build(
+            split_sequence(particles, self.n_shards), rngs
         )
+
+    def step(
+        self, state: Union[List[Particle], ShardedPopulation], inp: Any
+    ) -> Tuple[Distribution, Union[List[Particle], ShardedPopulation]]:
+        sharded = isinstance(state, ShardedPopulation)
+        if sharded:
+            population = state
+        else:
+            # Single shard on the engine's own generator: the executor
+            # plan degenerates to the classic sequential step.
+            population = ShardedPopulation.build([list(state)], [self.rng])
+        results, population = map_step(self.executor, self, population, inp)
+        outs = [out for result in results for out in result.outs]
+        stepped = [p for result in results for p in result.payload]
+        step_logw = np.concatenate([r.step_log_weights for r in results])
+        prev_logw = np.concatenate([r.prev_log_weights for r in results])
+        log_weights = prev_logw + step_logw
+        weights = normalize_log_weights(log_weights)
+        self._record_stats(prev_logw, step_logw, weights)
         output = self._output_distribution(outs, weights)
         if self.resample and self._should_resample(weights):
             stepped = self._resample(stepped, weights)
         else:
             for particle, logw in zip(stepped, log_weights):
-                particle.log_weight = logw
-        return output, stepped
+                particle.log_weight = float(logw)
+        if not sharded:
+            return output, stepped
+        return output, population.with_payloads(
+            split_sequence(stepped, population.n_shards)
+        )
+
+    def step_shard(
+        self, particles: List[Particle], rng: np.random.Generator, inp: Any
+    ) -> ShardResult:
+        """Map phase for one shard: advance its particles under ``rng``.
+
+        Runs wherever the executor schedules it (inline, a thread, a
+        worker process); touches only the shard's particles and its own
+        generator, which is what makes the schedule irrelevant to the
+        result.
+        """
+        outs: List[Any] = []
+        stepped: List[Particle] = []
+        step_logws: List[float] = []
+        prev_logws: List[float] = []
+        for particle in particles:
+            out, new_particle, step_logw = self._step_particle(particle, inp, rng)
+            outs.append(out)
+            prev_logws.append(new_particle.log_weight)
+            step_logws.append(step_logw)
+            stepped.append(new_particle)
+        return ShardResult(
+            outs=outs,
+            payload=stepped,
+            step_log_weights=np.asarray(step_logws, dtype=float),
+            prev_log_weights=np.asarray(prev_logws, dtype=float),
+            rng=rng,
+        )
 
     def _record_stats(self, prev_log_weights, step_log_weights, weights) -> None:
         """Update :attr:`last_stats` with this step's diagnostics.
@@ -157,15 +238,15 @@ class InferenceEngine(Node):
             evidence = float("-inf")
         else:
             evidence = float(top + np.log(np.sum(np.exp(combined - top))))
-        self.last_stats = StepStats(evidence, ess(weights), self.n_particles)
+        self.last_stats = StepStats(evidence, ess(weights), int(weights.size))
 
     # ------------------------------------------------------------------
     # hooks
     # ------------------------------------------------------------------
-    def _fresh_graph(self):
-        return self.graph_cls(rng=self.rng)
+    def _fresh_graph(self, rng: Optional[np.random.Generator] = None):
+        return self.graph_cls(rng=self.rng if rng is None else rng)
 
-    def _step_particle(self, particle: Particle, inp: Any):
+    def _step_particle(self, particle: Particle, inp: Any, rng: np.random.Generator):
         raise NotImplementedError
 
     def _output_distribution(self, outs: List[Any], weights) -> Distribution:
@@ -187,6 +268,10 @@ class InferenceEngine(Node):
         particles' heap. ``"duplicates"`` clones only the second and
         later occurrences of a particle (a sharing optimization that
         changes no results, only the latency profile).
+
+        This is the barrier of the sharded plan: ancestor indices come
+        from the engine-level generator in the coordinating process, so
+        the selection is identical under every executor.
         """
         indices = self.resampler(weights, self.n_particles, self.rng)
         clone_all = self.clone_on_resample == "all"
@@ -205,13 +290,19 @@ class InferenceEngine(Node):
         return resampled
 
     # ------------------------------------------------------------------
-    def memory_words(self, particles: List[Particle]) -> int:
+    def memory_words(
+        self, state: Union[List[Particle], ShardedPopulation]
+    ) -> int:
         """Ideal memory: live abstract words held by the particle set.
 
         This is the reproduction of the paper's live-heap-words metric
         (Section 6.3): model state plus every graph node reachable from
         it through the pointers the graph implementation retains.
         """
+        if isinstance(state, ShardedPopulation):
+            particles = [p for chunk in state.payloads() for p in chunk]
+        else:
+            particles = state
         total = 0
         for particle in particles:
             total += state_words(particle.state) + 2
@@ -231,8 +322,8 @@ class ImportanceSampler(InferenceEngine):
 
     resample = False
 
-    def _step_particle(self, particle: Particle, inp: Any):
-        ctx = SamplingCtx(self.rng)
+    def _step_particle(self, particle: Particle, inp: Any, rng: np.random.Generator):
+        ctx = SamplingCtx(rng)
         out, new_state = self.model.step(particle.state, inp, ctx)
         return out, Particle(new_state, None, particle.log_weight), ctx.log_weight
 
@@ -240,8 +331,8 @@ class ImportanceSampler(InferenceEngine):
 class ParticleFilter(InferenceEngine):
     """Bootstrap particle filter: sampling semantics + resampling."""
 
-    def _step_particle(self, particle: Particle, inp: Any):
-        ctx = SamplingCtx(self.rng)
+    def _step_particle(self, particle: Particle, inp: Any, rng: np.random.Generator):
+        ctx = SamplingCtx(rng)
         out, new_state = self.model.step(particle.state, inp, ctx)
         return out, Particle(new_state, None, particle.log_weight), ctx.log_weight
 
@@ -260,8 +351,8 @@ class BoundedDelayedSampler(InferenceEngine):
     persistent_graph = False
     force_step_end = True
 
-    def _step_particle(self, particle: Particle, inp: Any):
-        graph = self._fresh_graph()
+    def _step_particle(self, particle: Particle, inp: Any, rng: np.random.Generator):
+        graph = self._fresh_graph(rng)
         ctx = DelayedCtx(graph)
         out, new_state = self.model.step(particle.state, inp, ctx)
         # End of the instant: delay expires, every symbolic term is
@@ -276,7 +367,12 @@ class _PersistentDelayedEngine(InferenceEngine):
 
     persistent_graph = True
 
-    def _step_particle(self, particle: Particle, inp: Any):
+    def _step_particle(self, particle: Particle, inp: Any, rng: np.random.Generator):
+        # The graph samples with whatever generator it references; bind
+        # it to the shard substream so realizations drawn inside this
+        # step are shard-deterministic (particles may have migrated here
+        # from another shard at the last resample barrier).
+        particle.graph.rng = rng
         ctx = DelayedCtx(particle.graph)
         out, new_state = self.model.step(particle.state, inp, ctx)
         out_dist = lift_distribution(particle.graph, out)

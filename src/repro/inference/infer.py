@@ -14,15 +14,24 @@ advance the whole particle population per array operation), or
 used automatically when the model/method pair has no vectorized
 equivalent, so the parameter never changes *what* is computed — only
 how fast.
+
+``executor`` selects where the step runs (:mod:`repro.exec`):
+``"serial"``, ``"threads:N"``, ``"processes:N"``, or an
+:class:`~repro.exec.executor.Executor` instance. Requesting one — or
+passing ``n_shards`` — partitions the particle population into
+deterministic shards with independent RNG substreams, so the posterior
+is bit-for-bit identical for every executor and worker count at a
+fixed seed. This knob, too, never changes *what* is computed.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import InferenceError
+from repro.exec.executor import Executor
 from repro.inference.engine import (
     BoundedDelayedSampler,
     ImportanceSampler,
@@ -55,6 +64,8 @@ def infer(
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     backend: str = "scalar",
+    executor: Union[None, str, Executor] = None,
+    n_shards: Optional[int] = None,
     **kwargs,
 ) -> InferenceEngine:
     """Build an inference engine for ``model``.
@@ -63,8 +74,12 @@ def infer(
     ``"importance"``, ``"bds"``, ``"sds"``, or ``"ds"``. ``backend`` is
     ``"scalar"`` (default), ``"vectorized"``, or ``"auto"``; the
     vectorized backends fall back to the scalar engine when the
-    model/method pair is not vectorizable. Additional keyword arguments
-    are forwarded to the engine constructor (``resampler``,
+    model/method pair is not vectorizable. ``executor`` selects the
+    execution layer (``"serial"``, ``"threads:N"``, ``"processes:N"``,
+    or an Executor instance) and ``n_shards`` the deterministic shard
+    count; either switches the engine to a sharded population whose
+    results are identical for every worker count. Additional keyword
+    arguments are forwarded to the engine constructor (``resampler``,
     ``resample_threshold``, ``clone_on_resample``).
     """
     key = method.lower()
@@ -76,6 +91,7 @@ def infer(
         raise InferenceError(
             f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
         )
+    kwargs = dict(kwargs, executor=executor, n_shards=n_shards)
     if backend in ("vectorized", "auto"):
         # Imported lazily: repro.vectorized depends on the scalar
         # engines, so a module-level import here would be circular.

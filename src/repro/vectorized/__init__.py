@@ -17,27 +17,44 @@ which falls back to the scalar engines when the model has no vectorized
 equivalent (see :func:`vectorize_model`).
 """
 
-from repro.vectorized.batch import ParticleBatch, batch_state_words, gather
-from repro.vectorized.dists import ArrayEmpirical, GaussianMixtureArray
+from repro.vectorized.batch import (
+    ParticleBatch,
+    batch_state_words,
+    concat_states,
+    gather,
+    slice_state,
+)
+from repro.vectorized.dists import (
+    ArrayEmpirical,
+    BetaMixtureArray,
+    GaussianMixtureArray,
+)
 from repro.vectorized.engine import (
+    VectorizedBetaBernoulliSDS,
     VectorizedEngine,
     VectorizedKalmanSDS,
+    VectorizedOutlierSDS,
     VectorizedParticleFilter,
 )
 from repro.vectorized.kernels import (
     BATCH_KERNELS,
+    beta_bernoulli_log_prob,
+    beta_bernoulli_predictive,
+    beta_bernoulli_update,
     log_prob,
     sample_n,
     supports_batch,
 )
 from repro.vectorized.models import (
     CONJUGATE_GAUSSIAN_CHAINS,
+    SDS_ENGINES,
     VECTORIZED_MODELS,
     VectorizedCoin,
     VectorizedKalman,
     VectorizedModel,
     VectorizedOutlier,
     register_conjugate_gaussian_chain,
+    register_sds_engine,
     register_vectorizer,
     vectorize_model,
 )
@@ -45,23 +62,33 @@ from repro.vectorized.models import (
 __all__ = [
     "ParticleBatch",
     "gather",
+    "slice_state",
+    "concat_states",
     "batch_state_words",
     "ArrayEmpirical",
     "GaussianMixtureArray",
+    "BetaMixtureArray",
     "VectorizedEngine",
     "VectorizedParticleFilter",
     "VectorizedKalmanSDS",
+    "VectorizedBetaBernoulliSDS",
+    "VectorizedOutlierSDS",
     "BATCH_KERNELS",
     "supports_batch",
     "sample_n",
     "log_prob",
+    "beta_bernoulli_predictive",
+    "beta_bernoulli_log_prob",
+    "beta_bernoulli_update",
     "VectorizedModel",
     "VectorizedKalman",
     "VectorizedCoin",
     "VectorizedOutlier",
     "VECTORIZED_MODELS",
     "CONJUGATE_GAUSSIAN_CHAINS",
+    "SDS_ENGINES",
     "register_vectorizer",
     "register_conjugate_gaussian_chain",
+    "register_sds_engine",
     "vectorize_model",
 ]

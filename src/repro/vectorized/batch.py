@@ -25,7 +25,13 @@ import numpy as np
 
 from repro.errors import InferenceError
 
-__all__ = ["ParticleBatch", "gather", "batch_state_words"]
+__all__ = [
+    "ParticleBatch",
+    "gather",
+    "batch_state_words",
+    "slice_state",
+    "concat_states",
+]
 
 
 def gather(state: Any, indices: np.ndarray) -> Any:
@@ -47,6 +53,53 @@ def gather(state: Any, indices: np.ndarray) -> Any:
         return {k: gather(v, indices) for k, v in state.items()}
     raise InferenceError(
         f"batch state leaves must be arrays (or None), got {type(state).__name__}"
+    )
+
+
+def slice_state(state: Any, start: int, stop: int) -> Any:
+    """Slice every array leaf of a batch state along the particle axis.
+
+    The sharding counterpart of :func:`gather`: a view of one contiguous
+    particle range (shards never overlap, so views are safe to advance
+    independently).
+    """
+    if state is None:
+        return None
+    if isinstance(state, np.ndarray):
+        return state[start:stop]
+    if isinstance(state, tuple):
+        return tuple(slice_state(s, start, stop) for s in state)
+    if isinstance(state, list):
+        return [slice_state(s, start, stop) for s in state]
+    if isinstance(state, dict):
+        return {k: slice_state(v, start, stop) for k, v in state.items()}
+    raise InferenceError(
+        f"batch state leaves must be arrays (or None), got {type(state).__name__}"
+    )
+
+
+def concat_states(states: Any) -> Any:
+    """Concatenate same-shaped batch states along the particle axis.
+
+    The merge counterpart of :func:`slice_state`: per-shard outputs and
+    states become one population-sized pytree again, in shard order.
+    """
+    states = list(states)
+    if not states:
+        raise InferenceError("cannot concatenate an empty state list")
+    head = states[0]
+    if head is None:
+        return None
+    if isinstance(head, np.ndarray) or np.isscalar(head):
+        return np.concatenate([np.atleast_1d(np.asarray(s)) for s in states])
+    if isinstance(head, tuple):
+        return tuple(concat_states(parts) for parts in zip(*states))
+    if isinstance(head, list):
+        return [concat_states(parts) for parts in zip(*states)]
+    if isinstance(head, dict):
+        return {k: concat_states([s[k] for s in states]) for k in head}
+    raise InferenceError(
+        f"batch state leaves must be arrays (or None), got {type(head).__name__}"
     )
 
 

@@ -16,11 +16,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.dists import Gaussian
+from repro.dists import Beta, Gaussian
 from repro.dists.base import Distribution
 from repro.errors import DistributionError
 
-__all__ = ["ArrayEmpirical", "GaussianMixtureArray"]
+__all__ = ["ArrayEmpirical", "GaussianMixtureArray", "BetaMixtureArray"]
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -169,3 +169,86 @@ class GaussianMixtureArray(Distribution):
 
     def __repr__(self) -> str:
         return f"GaussianMixtureArray(n={len(self)})"
+
+
+class BetaMixtureArray(Distribution):
+    """Mixture of ``n`` Beta components stored as parameter vectors.
+
+    The vectorized counterpart of the SDS output on Beta-Bernoulli
+    models (a :class:`~repro.dists.Mixture` of per-particle Beta
+    marginals): each particle contributes one ``Beta(alpha_i, beta_i)``
+    component, and moments are array reductions over the parameter
+    vectors.
+    """
+
+    __slots__ = ("alphas", "betas", "weights", "_log_norm")
+
+    def __init__(self, alphas, betas, weights=None):
+        # Copies, not views: the engines pass the live posterior arrays.
+        alphas = np.array(alphas, dtype=float).reshape(-1)
+        betas = np.array(betas, dtype=float).reshape(-1)
+        if alphas.size == 0 or betas.size != alphas.size:
+            raise DistributionError("need matching non-empty alpha/beta vectors")
+        if np.any(alphas <= 0) or np.any(betas <= 0):
+            raise DistributionError("component parameters must be > 0")
+        self.alphas = alphas
+        self.betas = betas
+        self.weights = _normalize_weights(weights, alphas.size)
+        # NumPy has no lgamma ufunc; the Python-loop normalizer is paid
+        # once here, not on every log_pdf query.
+        lgamma = np.vectorize(math.lgamma, otypes=[float])
+        self._log_norm = (
+            lgamma(alphas + betas) - lgamma(alphas) - lgamma(betas)
+        )
+        self.alphas.setflags(write=False)
+        self.betas.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        idx = int(rng.choice(self.weights.size, p=self.weights))
+        return float(rng.beta(self.alphas[idx], self.betas[idx]))
+
+    def log_pdf(self, value: float) -> float:
+        value = float(value)
+        if not 0.0 < value < 1.0:
+            return -math.inf
+        logs = (
+            self._log_norm
+            + (self.alphas - 1.0) * math.log(value)
+            + (self.betas - 1.0) * math.log1p(-value)
+        )
+        with np.errstate(divide="ignore"):
+            terms = np.where(
+                self.weights > 0,
+                np.log(np.maximum(self.weights, 1e-300)),
+                -np.inf,
+            ) + logs
+        top = terms.max()
+        if np.isneginf(top):
+            return -math.inf
+        return float(top + np.log(np.sum(np.exp(terms - top))))
+
+    def mean(self) -> float:
+        return float(np.dot(self.weights, self.alphas / (self.alphas + self.betas)))
+
+    def variance(self) -> float:
+        # Law of total variance over the components.
+        total = self.alphas + self.betas
+        means = self.alphas / total
+        component_vars = self.alphas * self.betas / (total * total * (total + 1.0))
+        mean = float(np.dot(self.weights, means))
+        diff = means - mean
+        return float(np.dot(self.weights, component_vars + diff * diff))
+
+    def component(self, i: int) -> Beta:
+        """The ``i``-th component as a scalar Beta object."""
+        return Beta(self.alphas[i], self.betas[i])
+
+    def memory_words(self) -> int:
+        return 2 + 3 * self.alphas.size
+
+    def __len__(self) -> int:
+        return int(self.alphas.size)
+
+    def __repr__(self) -> str:
+        return f"BetaMixtureArray(n={len(self)})"

@@ -19,71 +19,173 @@ count:
   closed-form mean/variance pair, so the engine performs batched Kalman
   predict/update arithmetic with Rao-Blackwellized weights and no
   per-particle graph objects.
+* :class:`VectorizedBetaBernoulliSDS` — the same idea for the Coin
+  model's Beta-Bernoulli chain: per-particle ``(alpha, beta)`` vectors,
+  conjugate updates, exact predictive weights.
+* :class:`VectorizedOutlierSDS` — the Rao-Blackwellized Outlier model:
+  a conjugate Gaussian position chain plus a Beta-Bernoulli outlier
+  indicator whose forced realization becomes a masked batched update.
 
-Both subclass :class:`~repro.inference.engine.InferenceEngine`, reusing
+All subclass :class:`~repro.inference.engine.InferenceEngine`, reusing
 its configuration surface (``resampler``, ``resample_threshold``,
-``clone_on_resample``, diagnostics) — ``clone_on_resample`` is accepted
-for interface compatibility but has no observable effect here, because
-the array gather of :meth:`ParticleBatch.select` always materializes
-fresh storage for every survivor.
+``clone_on_resample``, ``executor``, ``n_shards``, diagnostics) —
+``clone_on_resample`` is accepted for interface compatibility but has
+no observable effect here, because the array gather of resampling
+always materializes fresh storage for every survivor. Like the scalar
+engines, one step runs through the :mod:`repro.exec` plan: in sharded
+mode the batch is partitioned into contiguous
+:class:`~repro.vectorized.batch.ParticleBatch` slices, one per shard,
+each advanced with its own RNG substream.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.dists import Distribution
 from repro.errors import InferenceError
+from repro.exec.population import (
+    ShardResult,
+    ShardedPopulation,
+    map_step,
+    shard_sizes,
+    spawn_shard_rngs,
+)
 from repro.inference.engine import InferenceEngine
 from repro.inference.resampling import normalize_log_weights
 from repro.runtime.node import ProbNode
-from repro.vectorized.batch import ParticleBatch
-from repro.vectorized.dists import ArrayEmpirical, GaussianMixtureArray
-from repro.vectorized.kernels import gaussian_log_prob
+from repro.vectorized.batch import ParticleBatch, concat_states, gather, slice_state
+from repro.vectorized.dists import (
+    ArrayEmpirical,
+    BetaMixtureArray,
+    GaussianMixtureArray,
+)
+from repro.vectorized.kernels import (
+    bernoulli_sample,
+    beta_bernoulli_log_prob,
+    beta_bernoulli_predictive,
+    beta_bernoulli_update,
+    gaussian_log_prob,
+)
 from repro.vectorized.models import VectorizedModel, vectorize_model
 
 __all__ = [
     "VectorizedEngine",
     "VectorizedParticleFilter",
     "VectorizedKalmanSDS",
+    "VectorizedBetaBernoulliSDS",
+    "VectorizedOutlierSDS",
     "make_vectorized_engine",
 ]
 
 
-class VectorizedEngine(InferenceEngine):
-    """Base class for engines whose state is a :class:`ParticleBatch`."""
+def _merge(pieces: List[Any]) -> Any:
+    """Concatenate per-shard array pytrees (no copy for one shard)."""
+    if len(pieces) == 1:
+        return pieces[0]
+    return concat_states(pieces)
 
-    def init(self) -> ParticleBatch:
-        return ParticleBatch(
-            state=self._init_batch_state(),
-            log_weights=np.zeros(self.n_particles),
+
+class VectorizedEngine(InferenceEngine):
+    """Base class for engines whose state is a :class:`ParticleBatch`.
+
+    In sharded mode the engine state is a
+    :class:`~repro.exec.population.ShardedPopulation` whose payloads are
+    contiguous :class:`ParticleBatch` slices; the executor plan (map
+    shards, merge weights, resample at the barrier) mirrors the scalar
+    engines exactly, so ``executor=`` behaves identically on both
+    substrates.
+    """
+
+    def init(self) -> Union[ParticleBatch, ShardedPopulation]:
+        if not self.sharded:
+            return ParticleBatch(
+                state=self._init_batch_state(self.n_particles, self.rng),
+                log_weights=np.zeros(self.n_particles),
+            )
+        rngs = spawn_shard_rngs(self.n_shards, seed=self._seed, rng=self.rng)
+        sizes = shard_sizes(self.n_particles, self.n_shards)
+        chunks = [
+            ParticleBatch(self._init_batch_state(size, rng), np.zeros(size))
+            for size, rng in zip(sizes, rngs)
+        ]
+        return ShardedPopulation.build(chunks, rngs)
+
+    def step(
+        self, state: Union[ParticleBatch, ShardedPopulation], inp: Any
+    ) -> Tuple[Distribution, Union[ParticleBatch, ShardedPopulation]]:
+        sharded = isinstance(state, ShardedPopulation)
+        if sharded:
+            population = state
+        else:
+            population = ShardedPopulation.build([state], [self.rng])
+        results, population = map_step(self.executor, self, population, inp)
+        outs = _merge([r.outs for r in results])
+        step_logw = np.concatenate([r.step_log_weights for r in results])
+        prev_logw = np.concatenate([r.prev_log_weights for r in results])
+        log_weights = prev_logw + step_logw
+        weights = normalize_log_weights(log_weights)
+        self._record_stats(prev_logw, step_logw, weights)
+        output = self._output_distribution(outs, weights)
+
+        sizes = [r.payload.n for r in results]
+        if self.resample and self._should_resample(weights):
+            # Barrier: global ancestor indices from the engine-level
+            # generator, then re-scatter contiguous slices of the
+            # survivors into the fixed shard partition.
+            indices = np.asarray(
+                self.resampler(weights, self.n_particles, self.rng)
+            )
+            merged = _merge([r.payload.state for r in results])
+            gathered = gather(merged, indices)
+            chunks, start = [], 0
+            for size in sizes:
+                chunks.append(
+                    ParticleBatch(
+                        slice_state(gathered, start, start + size), np.zeros(size)
+                    )
+                )
+                start += size
+        else:
+            chunks, start = [], 0
+            for result, size in zip(results, sizes):
+                chunks.append(
+                    ParticleBatch(
+                        result.payload.state, log_weights[start : start + size]
+                    )
+                )
+                start += size
+        if not sharded:
+            return output, chunks[0]
+        return output, population.with_payloads(chunks)
+
+    def step_shard(
+        self, batch: ParticleBatch, rng: np.random.Generator, inp: Any
+    ) -> ShardResult:
+        """Map phase for one shard: advance its batch slice under ``rng``."""
+        outs, new_state, step_logw = self._step_batch(batch.state, inp, batch.n, rng)
+        return ShardResult(
+            outs=outs,
+            payload=ParticleBatch(new_state, batch.log_weights),
+            step_log_weights=np.asarray(step_logw, dtype=float),
+            prev_log_weights=batch.log_weights,
+            rng=rng,
         )
 
-    def step(self, batch: ParticleBatch, inp: Any) -> Tuple[Distribution, ParticleBatch]:
-        outs, new_state, step_logw = self._step_batch(batch.state, inp)
-        step_logw = np.asarray(step_logw, dtype=float)
-        log_weights = batch.log_weights + step_logw
-        weights = normalize_log_weights(log_weights)
-        self._record_stats(batch.log_weights, step_logw, weights)
-        output = self._output_distribution(outs, weights)
-        stepped = ParticleBatch(new_state, log_weights)
-        if self.resample and self._should_resample(weights):
-            indices = self.resampler(weights, self.n_particles, self.rng)
-            stepped = stepped.select(indices)
-        return output, stepped
-
-    def memory_words(self, batch: ParticleBatch) -> int:
-        return batch.memory_words()
+    def memory_words(self, state: Union[ParticleBatch, ShardedPopulation]) -> int:
+        if isinstance(state, ShardedPopulation):
+            return sum(batch.memory_words() for batch in state.payloads())
+        return state.memory_words()
 
     # ------------------------------------------------------------------
     # hooks
     # ------------------------------------------------------------------
-    def _init_batch_state(self) -> Any:
+    def _init_batch_state(self, n: int, rng: np.random.Generator) -> Any:
         raise NotImplementedError
 
-    def _step_batch(self, state: Any, inp: Any):
+    def _step_batch(self, state: Any, inp: Any, n: int, rng: np.random.Generator):
         raise NotImplementedError
 
 
@@ -108,11 +210,11 @@ class VectorizedParticleFilter(VectorizedEngine):
         super().__init__(model if isinstance(model, ProbNode) else batched, **kwargs)
         self.batched_model = batched
 
-    def _init_batch_state(self) -> Any:
-        return self.batched_model.init_batch(self.n_particles, self.rng)
+    def _init_batch_state(self, n: int, rng: np.random.Generator) -> Any:
+        return self.batched_model.init_batch(n, rng)
 
-    def _step_batch(self, state: Any, inp: Any):
-        return self.batched_model.step_batch(state, inp, self.n_particles, self.rng)
+    def _step_batch(self, state: Any, inp: Any, n: int, rng: np.random.Generator):
+        return self.batched_model.step_batch(state, inp, n, rng)
 
     def _output_distribution(self, outs, weights) -> Distribution:
         return ArrayEmpirical(outs, weights)
@@ -146,11 +248,10 @@ class VectorizedKalmanSDS(VectorizedEngine):
             )
         super().__init__(model, **kwargs)
 
-    def _init_batch_state(self) -> Any:
+    def _init_batch_state(self, n: int, rng: np.random.Generator) -> Any:
         return None  # (posterior means, posterior variances) after step 1
 
-    def _step_batch(self, state: Any, yobs: Any):
-        n = self.n_particles
+    def _step_batch(self, state: Any, yobs: Any, n: int, rng: np.random.Generator):
         if state is None:
             pred_mean = np.full(n, float(self.model.prior_mean))
             pred_var = np.full(n, float(self.model.prior_var))
@@ -172,20 +273,140 @@ class VectorizedKalmanSDS(VectorizedEngine):
         return GaussianMixtureArray(post_mean, post_var, weights)
 
 
+class VectorizedBetaBernoulliSDS(VectorizedEngine):
+    """Exact SDS for the Beta-Bernoulli chain (Coin model), batched.
+
+    Under SDS the Coin model's Beta prior is never sampled: every
+    Bernoulli observation conditions it analytically, so each particle's
+    marginal is ``Beta(alpha + heads, beta + tails)`` and the weight is
+    the posterior-predictive mass of the observation. The whole
+    population is two parameter vectors and the step is pure conjugate
+    arithmetic — no randomness at all, matching the scalar SDS engine
+    where a single particle is already exact.
+
+    ``model`` must expose ``alpha`` / ``beta_param`` (``CoinModel``).
+    """
+
+    _PARAMS = ("alpha", "beta_param")
+
+    def __init__(self, model: Any, **kwargs):
+        if not all(hasattr(model, p) for p in self._PARAMS):
+            raise InferenceError(
+                f"model {type(model).__name__} is not a Beta-Bernoulli "
+                "chain; VectorizedBetaBernoulliSDS needs alpha/beta_param"
+            )
+        super().__init__(model, **kwargs)
+
+    def _init_batch_state(self, n: int, rng: np.random.Generator) -> Any:
+        return (
+            np.full(n, float(self.model.alpha)),
+            np.full(n, float(self.model.beta_param)),
+        )
+
+    def _step_batch(self, state: Any, yobs: Any, n: int, rng: np.random.Generator):
+        alpha, beta = state
+        yobs = bool(yobs)
+        step_logw = beta_bernoulli_log_prob(yobs, alpha, beta)
+        alpha, beta = beta_bernoulli_update(yobs, alpha, beta)
+        return (alpha, beta), (alpha, beta), step_logw
+
+    def _output_distribution(self, outs, weights) -> Distribution:
+        alpha, beta = outs
+        return BetaMixtureArray(alpha, beta, weights)
+
+
+class VectorizedOutlierSDS(VectorizedEngine):
+    """Rao-Blackwellized SDS for the Outlier model, batched.
+
+    The scalar SDS engine keeps two symbolic chains per particle: the
+    conjugate Gaussian position and the Beta outlier probability, whose
+    Bernoulli child is force-realized each step (``ctx.value``) to
+    branch on. Batched, that becomes: draw the indicator from the
+    posterior predictive ``alpha/(alpha+beta)``, condition the Beta on
+    the realized value, and apply the Kalman update / predictive weight
+    only where the sensor is trusted — a masked blend over the
+    population, one array operation per quantity.
+    """
+
+    _PARAMS = (
+        "prior_mean",
+        "prior_var",
+        "motion_var",
+        "obs_var",
+        "outlier_alpha",
+        "outlier_beta",
+        "outlier_mean",
+        "outlier_var",
+    )
+
+    def __init__(self, model: Any, **kwargs):
+        if not all(hasattr(model, p) for p in self._PARAMS):
+            raise InferenceError(
+                f"model {type(model).__name__} is not Outlier-shaped; "
+                "VectorizedOutlierSDS needs prior/motion/obs/outlier parameters"
+            )
+        super().__init__(model, **kwargs)
+
+    def _init_batch_state(self, n: int, rng: np.random.Generator) -> Any:
+        return None  # (alpha, beta, post_mean, post_var) after step 1
+
+    def _step_batch(self, state: Any, yobs: Any, n: int, rng: np.random.Generator):
+        model = self.model
+        if state is None:
+            alpha = np.full(n, float(model.outlier_alpha))
+            beta = np.full(n, float(model.outlier_beta))
+            pred_mean = np.full(n, float(model.prior_mean))
+            pred_var = np.full(n, float(model.prior_var))
+        else:
+            alpha, beta, post_mean, post_var = state
+            pred_mean = post_mean
+            pred_var = post_var + model.motion_var
+        # Forced realization of the indicator: sample the posterior
+        # predictive, then condition the Beta on the drawn value.
+        is_outlier = bernoulli_sample(beta_bernoulli_predictive(alpha, beta), rng)
+        alpha, beta = beta_bernoulli_update(is_outlier, alpha, beta)
+        yobs = float(yobs)
+        gain = pred_var / (pred_var + model.obs_var)
+        upd_mean = pred_mean + gain * (yobs - pred_mean)
+        upd_var = (1.0 - gain) * pred_var
+        step_logw = np.where(
+            is_outlier,
+            gaussian_log_prob(yobs, model.outlier_mean, model.outlier_var),
+            gaussian_log_prob(yobs, pred_mean, pred_var + model.obs_var),
+        )
+        post_mean = np.where(is_outlier, pred_mean, upd_mean)
+        post_var = np.where(is_outlier, pred_var, upd_var)
+        return (
+            (post_mean, post_var),
+            (alpha, beta, post_mean, post_var),
+            step_logw,
+        )
+
+    def _output_distribution(self, outs, weights) -> Distribution:
+        post_mean, post_var = outs
+        return GaussianMixtureArray(post_mean, post_var, weights)
+
+
 def make_vectorized_engine(method_key: str, model: Any, **kwargs) -> Optional[VectorizedEngine]:
     """The vectorized engine for a ``(method, model)`` pair, or None.
 
     This is the fallback policy behind ``infer(..., backend=...)``:
     ``"pf"`` vectorizes whenever the model has a batched equivalent;
-    ``"sds"`` vectorizes only the conjugate Gaussian chains whose exact
-    delayed-sampling semantics :class:`VectorizedKalmanSDS` reproduces
-    in closed form (registered via ``register_conjugate_gaussian_chain``
-    — exact classes only, because a subclass may override ``step`` with
-    non-conjugate structure the closed-form update would miss).
-    Everything else (``"bds"``, ``"ds"``, ``"importance"``, unknown
-    models) reports None so the caller uses the scalar engine.
+    ``"sds"`` vectorizes models whose delayed-sampling semantics has a
+    registered closed-form engine — the ``SDS_ENGINES`` registry
+    (Beta-Bernoulli and Outlier chains) plus the conjugate Gaussian
+    chains of :class:`VectorizedKalmanSDS` (registered via
+    ``register_conjugate_gaussian_chain`` — exact classes only, because
+    a subclass may override ``step`` with non-conjugate structure the
+    closed-form update would miss). Everything else (``"bds"``,
+    ``"ds"``, ``"importance"``, unknown models) reports None so the
+    caller uses the scalar engine.
     """
-    from repro.vectorized.models import CONJUGATE_GAUSSIAN_CHAINS, VectorizedKalman
+    from repro.vectorized.models import (
+        CONJUGATE_GAUSSIAN_CHAINS,
+        SDS_ENGINES,
+        VectorizedKalman,
+    )
 
     if method_key in ("pf", "particle_filter"):
         batched = vectorize_model(model)
@@ -193,6 +414,9 @@ def make_vectorized_engine(method_key: str, model: Any, **kwargs) -> Optional[Ve
             return None
         return VectorizedParticleFilter(batched, **kwargs)
     if method_key == "sds":
+        factory = SDS_ENGINES.get(type(model))
+        if factory is not None:
+            return factory(model, **kwargs)
         if type(model) in CONJUGATE_GAUSSIAN_CHAINS or isinstance(model, VectorizedKalman):
             return VectorizedKalmanSDS(model, **kwargs)
         return None

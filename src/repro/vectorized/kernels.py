@@ -46,6 +46,9 @@ __all__ = [
     "bernoulli_log_prob",
     "beta_sample",
     "categorical_sample",
+    "beta_bernoulli_predictive",
+    "beta_bernoulli_log_prob",
+    "beta_bernoulli_update",
 ]
 
 _LOG_2PI = math.log(2.0 * math.pi)
@@ -99,6 +102,40 @@ def categorical_sample(probs: np.ndarray, rng: np.random.Generator) -> np.ndarra
     cumulative[..., -1] = 1.0  # guard against round-off
     u = rng.random(probs.shape[:-1] + (1,))
     return np.sum(u > cumulative, axis=-1).astype(int)
+
+
+# ----------------------------------------------------------------------
+# conjugate Beta-Bernoulli kernels (the delayed-sampling arithmetic of
+# the Coin/Outlier models, batched: one (alpha_i, beta_i) per particle)
+# ----------------------------------------------------------------------
+def beta_bernoulli_predictive(alpha, beta) -> np.ndarray:
+    """Posterior-predictive success probability ``alpha_i/(alpha_i+beta_i)``."""
+    alpha = np.asarray(alpha, dtype=float)
+    beta = np.asarray(beta, dtype=float)
+    return alpha / (alpha + beta)
+
+
+def beta_bernoulli_log_prob(value, alpha, beta) -> np.ndarray:
+    """Log marginal mass of a Bernoulli draw under a Beta prior.
+
+    This is the Rao-Blackwellized ``observe`` weight of delayed
+    sampling: the Beta stays symbolic and the observation is scored
+    under the predictive ``Bernoulli(alpha/(alpha+beta))``.
+    """
+    return bernoulli_log_prob(value, beta_bernoulli_predictive(alpha, beta))
+
+
+def beta_bernoulli_update(value, alpha, beta) -> Tuple[np.ndarray, np.ndarray]:
+    """Conjugate posterior parameters after seeing a Bernoulli draw.
+
+    ``value`` may be a scalar (one observation conditioning every
+    particle) or a per-particle boolean array (realized indicator
+    variables): successes increment ``alpha``, failures ``beta``.
+    """
+    hit = np.asarray(value, dtype=bool)
+    alpha = np.asarray(alpha, dtype=float)
+    beta = np.asarray(beta, dtype=float)
+    return alpha + hit, beta + ~hit
 
 
 # ----------------------------------------------------------------------

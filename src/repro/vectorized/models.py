@@ -39,8 +39,10 @@ __all__ = [
     "VectorizedOutlier",
     "VECTORIZED_MODELS",
     "CONJUGATE_GAUSSIAN_CHAINS",
+    "SDS_ENGINES",
     "register_vectorizer",
     "register_conjugate_gaussian_chain",
+    "register_sds_engine",
     "vectorize_model",
     "kalman_vectorizer",
     "coin_vectorizer",
@@ -207,6 +209,12 @@ VECTORIZED_MODELS: Dict[Type[ProbNode], Callable[[ProbNode], VectorizedModel]] =
 #: conjugate Gaussian chain of ``VectorizedKalmanSDS``.
 CONJUGATE_GAUSSIAN_CHAINS: Set[Type[ProbNode]] = set()
 
+#: exact scalar model type -> factory of the vectorized engine that
+#: reproduces its streaming-delayed-sampling semantics in closed form
+#: (``factory(model, **engine_kwargs)``). Populated by the packages that
+#: own the scalar models, like ``VECTORIZED_MODELS``.
+SDS_ENGINES: Dict[Type[ProbNode], Callable[..., Any]] = {}
+
 
 def register_vectorizer(
     model_cls: Type[ProbNode],
@@ -219,6 +227,19 @@ def register_vectorizer(
 def register_conjugate_gaussian_chain(model_cls: Type[ProbNode]) -> None:
     """Mark a scalar model class as an exact conjugate Gaussian chain."""
     CONJUGATE_GAUSSIAN_CHAINS.add(model_cls)
+
+
+def register_sds_engine(
+    model_cls: Type[ProbNode], factory: Callable[..., Any]
+) -> None:
+    """Register a closed-form vectorized SDS engine for a model class.
+
+    ``factory(model, **engine_kwargs)`` must build a
+    :class:`~repro.vectorized.engine.VectorizedEngine` reproducing the
+    model's delayed-sampling semantics. Exact classes only — subclasses
+    may override ``step`` with structure the closed form would miss.
+    """
+    SDS_ENGINES[model_cls] = factory
 
 
 def vectorize_model(model: Any) -> Optional[VectorizedModel]:

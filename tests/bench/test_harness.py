@@ -13,10 +13,12 @@ from repro.bench import (
     latency_sweep,
     memory_profile,
     particles_to_match,
+    parse_method_spec,
     run_mse,
     step_latency_profile,
     summarize_profile,
 )
+from repro.errors import InferenceError
 
 
 @pytest.fixture(scope="module")
@@ -93,6 +95,83 @@ class TestProfiles:
             KalmanModel, data, n_particles=2, methods=["pf"]
         )
         assert len(result.series["pf"]) == len(data.observations)
+
+
+class TestMethodSpecs:
+    def test_plain_method(self):
+        assert parse_method_spec("pf") == ("pf", "scalar", None)
+
+    def test_method_with_backend(self):
+        assert parse_method_spec("pf@vectorized") == ("pf", "vectorized", None)
+
+    def test_method_with_backend_and_executor(self):
+        assert parse_method_spec("pf@vectorized@threads:2") == (
+            "pf", "vectorized", "threads:2",
+        )
+
+    def test_empty_backend_segment_means_scalar(self):
+        assert parse_method_spec("sds@@threads:2") == ("sds", "scalar", "threads:2")
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(InferenceError):
+            parse_method_spec("pf@gpu")
+        with pytest.raises(InferenceError):
+            parse_method_spec("pf@scalar@warp")
+        with pytest.raises(InferenceError):
+            parse_method_spec("pf@scalar@threads:2@extra")
+
+    def test_executor_spec_runs_in_sweep(self, data):
+        result = latency_sweep(
+            KalmanModel, data, particle_counts=[8],
+            methods=["pf", "pf@scalar@threads:2"], runs=1,
+        )
+        assert result.get("pf@scalar@threads:2", 8).median > 0.0
+
+    def test_executor_spec_reproduces_serial_mse(self, data):
+        serial = run_mse(KalmanModel, "pf@scalar@serial", 8, data, seed=3)
+        threaded = run_mse(KalmanModel, "pf@scalar@threads:2", 8, data, seed=3)
+        assert serial == threaded
+
+
+class TestEngineKwargs:
+    def test_run_mse_forwards_engine_kwargs(self, data):
+        # threshold 0 disables resampling entirely: same seed, different
+        # trajectory than the default always-resample configuration
+        default = run_mse(KalmanModel, "pf", 10, data, seed=3)
+        no_resample = run_mse(
+            KalmanModel, "pf", 10, data, seed=3,
+            engine_kwargs={"resample_threshold": 0.0},
+        )
+        assert default != no_resample
+
+    def test_accuracy_sweep_forwards_engine_kwargs(self, data):
+        result = accuracy_sweep(
+            KalmanModel, data, particle_counts=[5], methods=["pf"], runs=2,
+            engine_kwargs={"resampler": "residual"},
+        )
+        assert result.get("pf", 5).median > 0.0
+
+    def test_sweep_kwargs_change_results(self, data):
+        base = accuracy_sweep(
+            KalmanModel, data, particle_counts=[5], methods=["pf"], runs=2,
+        )
+        residual = accuracy_sweep(
+            KalmanModel, data, particle_counts=[5], methods=["pf"], runs=2,
+            engine_kwargs={"resampler": "residual"},
+        )
+        assert base.get("pf", 5).median != residual.get("pf", 5).median
+
+    def test_profiles_accept_engine_kwargs(self, data):
+        profile = memory_profile(
+            KalmanModel, data, n_particles=3, methods=["pf"],
+            engine_kwargs={"resample_threshold": 0.5},
+        )
+        assert len(profile.series["pf"]) == len(data.observations)
+        latency = step_latency_profile(
+            KalmanModel, data, n_particles=3, methods=["pf"],
+            engine_kwargs={"resample_threshold": 0.5},
+        )
+        assert len(latency.series["pf"]) == len(data.observations)
 
 
 class TestReporting:

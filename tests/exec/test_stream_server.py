@@ -1,0 +1,153 @@
+"""The stream server: session multiplexing over one shared executor."""
+
+import numpy as np
+import pytest
+
+from repro.bench.models import CoinModel, HmmModel
+from repro.errors import InferenceError
+from repro.exec import StreamServer
+from repro.inference import infer
+
+
+class TestSessions:
+    def test_open_submit_drain_latest(self):
+        server = StreamServer()
+        sid = server.open(HmmModel(), n_particles=8, seed=0)
+        server.submit_many(sid, [0.5, 1.0, 1.5])
+        assert server.backlog == 3
+        assert server.drain() == 3
+        assert server.backlog == 0
+        assert len(server.outputs(sid)) == 3
+        assert np.isfinite(server.latest(sid).mean())
+
+    def test_session_ids_unique(self):
+        server = StreamServer()
+        server.open(HmmModel(), session_id="alice", n_particles=2)
+        with pytest.raises(InferenceError):
+            server.open(HmmModel(), session_id="alice", n_particles=2)
+
+    def test_unknown_session_rejected(self):
+        server = StreamServer()
+        with pytest.raises(InferenceError):
+            server.submit("ghost", 1.0)
+
+    def test_close_returns_outputs(self):
+        server = StreamServer()
+        sid = server.open(HmmModel(), n_particles=4, seed=1)
+        server.submit(sid, 0.7)
+        server.drain()
+        outputs = server.close(sid)
+        assert len(outputs) == 1
+        assert len(server) == 0
+
+    def test_mixed_models_and_methods(self):
+        server = StreamServer()
+        hmm = server.open(HmmModel(), n_particles=8, method="sds", seed=0)
+        coin = server.open(
+            CoinModel(), n_particles=4, method="sds", backend="vectorized", seed=0
+        )
+        server.submit_many(hmm, [0.5, 1.0])
+        server.submit_many(coin, [True, True, False])
+        server.drain()
+        assert len(server.outputs(hmm)) == 2
+        assert server.latest(coin).mean() == pytest.approx(3 / 5)
+
+
+class TestScheduling:
+    def test_round_robin_advances_every_ready_session(self):
+        server = StreamServer(policy="round_robin")
+        a = server.open(HmmModel(), n_particles=2, seed=0)
+        b = server.open(HmmModel(), n_particles=2, seed=1)
+        server.submit_many(a, [0.1, 0.2])
+        server.submit(b, 0.3)
+        assert server.tick() == 2  # both sessions step once
+        assert server.tick() == 1  # only a has backlog left
+        assert server.tick() == 0
+
+    def test_as_ready_follows_arrival_order(self):
+        server = StreamServer(policy="as_ready")
+        a = server.open(HmmModel(), n_particles=2, seed=0)
+        b = server.open(HmmModel(), n_particles=2, seed=1)
+        server.submit(a, 0.1)
+        server.submit(b, 0.2)
+        server.submit(a, 0.3)
+        assert server.tick() == 1
+        assert server.stats()["per_session"][a]["steps"] == 1
+        assert server.tick() == 1
+        assert server.stats()["per_session"][b]["steps"] == 1
+        server.drain()
+        assert server.stats()["per_session"][a]["steps"] == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InferenceError):
+            StreamServer(policy="random")
+
+    def test_stats_counters(self):
+        server = StreamServer()
+        sid = server.open(HmmModel(), n_particles=2, seed=0)
+        server.submit_many(sid, [0.1, 0.2, 0.3])
+        server.drain()
+        stats = server.stats()
+        assert stats["sessions"] == 1
+        assert stats["processed"] == 3
+        assert stats["backlog"] == 0
+
+
+class TestDeterminism:
+    def test_server_matches_standalone_engine(self):
+        """A session is exactly an engine stream: same seed, same posterior."""
+        observations = [0.5, 1.0, -0.3, 2.0]
+        server = StreamServer(executor="threads:2")
+        sid = server.open(HmmModel(), n_particles=12, seed=3)
+        server.submit_many(sid, observations)
+        server.drain()
+        served = [d.mean() for d in server.outputs(sid)]
+
+        engine = infer(HmmModel(), n_particles=12, seed=3, executor="threads:2")
+        state = engine.init()
+        standalone = []
+        for y in observations:
+            dist, state = engine.step(state, y)
+            standalone.append(dist.mean())
+        assert served == standalone
+
+    def test_policies_do_not_change_posteriors(self):
+        """Scheduling order is irrelevant to each session's results."""
+        observations = {0: [0.5, 1.0], 1: [2.0, -1.0, 0.3]}
+
+        def serve(policy):
+            server = StreamServer(executor="serial", policy=policy)
+            sids = {
+                k: server.open(HmmModel(), n_particles=8, seed=k)
+                for k in observations
+            }
+            for k, obs in observations.items():
+                server.submit_many(sids[k], obs)
+            server.drain()
+            return {k: [d.mean() for d in server.outputs(sids[k])] for k in sids}
+
+        assert serve("round_robin") == serve("as_ready")
+
+    def test_sessions_share_server_executor(self):
+        server = StreamServer(executor="threads:2")
+        sid = server.open(HmmModel(), n_particles=8, seed=0)
+        assert server._sessions[sid].engine.executor is server.executor
+
+    def test_default_server_matches_plain_infer(self):
+        """A default StreamServer() must not silently opt sessions into
+        sharded mode: same seed, same posterior as infer(model, ...)."""
+        observations = [0.5, 1.0, -0.3]
+        server = StreamServer()
+        sid = server.open(HmmModel(), n_particles=10, seed=7)
+        assert not server._sessions[sid].engine.sharded
+        server.submit_many(sid, observations)
+        server.drain()
+        served = [d.mean() for d in server.outputs(sid)]
+
+        engine = infer(HmmModel(), n_particles=10, seed=7)
+        state = engine.init()
+        plain = []
+        for y in observations:
+            dist, state = engine.step(state, y)
+            plain.append(dist.mean())
+        assert served == plain

@@ -113,6 +113,22 @@ class TestExactEvidence:
         assert np.median(estimates) == pytest.approx(exact, abs=1.0)
 
 
+class TestLivePopulationSize:
+    def test_stats_stamp_live_weight_count(self):
+        """StepStats carries the live weight-vector length, not the
+        engine's configured particle count, so ESS fractions stay
+        correct for engines whose population size varies."""
+        engine = infer(KalmanModel(), n_particles=10, method="pf", seed=0)
+        engine._record_stats(np.zeros(4), np.zeros(4), np.full(4, 0.25))
+        assert engine.last_stats.n_particles == 4
+        assert engine.last_stats.ess_fraction == pytest.approx(1.0)
+
+    def test_engine_step_stamps_population_size(self):
+        engine = infer(KalmanModel(), n_particles=7, method="pf", seed=0)
+        _, _ = engine.step(engine.init(), 0.5)
+        assert engine.last_stats.n_particles == 7
+
+
 class TestEssTracking:
     def test_sds_single_particle_full_ess(self):
         data = kalman_data(5, seed=1)

@@ -18,9 +18,11 @@ from repro.inference.engine import (
     StreamingDelayedSampler,
 )
 from repro.vectorized import (
+    VectorizedBetaBernoulliSDS,
     VectorizedKalman,
     VectorizedKalmanSDS,
     VectorizedModel,
+    VectorizedOutlierSDS,
     VectorizedParticleFilter,
     register_vectorizer,
     vectorize_model,
@@ -45,13 +47,22 @@ class TestBackendSelection:
         engine = infer(model_cls(), n_particles=4, method="pf", backend="vectorized")
         assert isinstance(engine, VectorizedParticleFilter)
 
-    def test_sds_vectorizes_conjugate_chain_only(self):
+    def test_sds_vectorizes_conjugate_chains_only(self):
         assert isinstance(
             infer(KalmanModel(), method="sds", backend="vectorized"),
             VectorizedKalmanSDS,
         )
         assert isinstance(
             infer(CoinModel(), method="sds", backend="vectorized"),
+            VectorizedBetaBernoulliSDS,
+        )
+        assert isinstance(
+            infer(OutlierModel(), method="sds", backend="vectorized"),
+            VectorizedOutlierSDS,
+        )
+        # no closed-form SDS engine registered: scalar fallback
+        assert isinstance(
+            infer(WalkModel(), method="sds", backend="vectorized"),
             StreamingDelayedSampler,
         )
 
