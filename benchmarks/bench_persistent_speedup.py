@@ -1,0 +1,112 @@
+"""Persistent executors: per-step latency on the Fig. 2 HMM at 10k particles.
+
+ISSUE 3 acceptance: `ProcessShardExecutor` only breaks even near 10k
+particles because every step pickles the whole shard payload both ways
+(see EXPERIMENTS.md). `PersistentProcessExecutor` keeps the shards
+resident in its workers — per-step traffic is the step input out and
+per-shard weight/output vectors back, plus the few particles that
+migrate at the resample barrier — so at 10,000 particles and 4 workers
+`pf@scalar@processes-persistent:4` must beat `pf@scalar@processes:4`
+per step. The bar is asserted whenever the machine has multiple cores;
+a single-core run is still recorded (it isolates the shipping overhead
+the persistent mode removes).
+
+Correctness is asserted unconditionally: the persistent executor must
+produce the bit-identical posterior to `serial` at a fixed seed — the
+shard partition, not the residency, owns the randomness.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import HmmModel, format_sweep, kalman_data, latency_sweep
+from repro.inference import infer
+
+from conftest import emit
+
+PARTICLES = 10_000
+WORKERS = 4
+MULTICORE = (os.cpu_count() or 1) >= 2
+
+
+@pytest.fixture(scope="module")
+def hmm_data(bench_config):
+    return kalman_data(
+        max(6, bench_config["sweep_steps"] // 5), seed=42,
+        prior_var=1.0, motion_var=1.0, obs_var=1.0,
+    )
+
+
+def test_persistent_bit_identical(hmm_data):
+    """Resident shards reproduce the serial posterior exactly."""
+    def run(executor, method):
+        engine = infer(
+            HmmModel(), n_particles=64, method=method, seed=5, executor=executor
+        )
+        state = engine.init()
+        means = []
+        for y in hmm_data.observations:
+            dist, state = engine.step(state, y)
+            means.append(dist.mean())
+        return means
+
+    for method in ("pf", "bds"):
+        serial = run("serial", method)
+        assert run(f"processes-persistent:{WORKERS}", method) == serial
+        assert run("processes-persistent:2", method) == serial
+
+
+def test_persistent_speedup(benchmark, hmm_data, bench_config):
+    def sweep():
+        return latency_sweep(
+            HmmModel, hmm_data, particle_counts=[PARTICLES],
+            methods=[
+                "pf",
+                f"pf@scalar@processes:{WORKERS}",
+                f"pf@scalar@processes-persistent:{WORKERS}",
+            ],
+            runs=1,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(
+        result,
+        f"Fig. 2 HMM step latency (ms) at {PARTICLES} particles: "
+        f"pooled vs persistent {WORKERS}-worker process executors "
+        f"({os.cpu_count()} core(s) visible)",
+    ))
+    pooled = result.get(f"pf@scalar@processes:{WORKERS}", PARTICLES).median
+    persistent = result.get(
+        f"pf@scalar@processes-persistent:{WORKERS}", PARTICLES
+    ).median
+    serial = result.get("pf", PARTICLES).median
+    emit(f"pf serial                     : {serial:.2f} ms/step")
+    emit(f"pf processes:{WORKERS}            : {pooled:.2f} ms/step")
+    emit(f"pf processes-persistent:{WORKERS} : {persistent:.2f} ms/step")
+    emit(f"persistent vs pooled: {pooled / persistent:.2f}x less per-step time")
+
+    if MULTICORE:
+        # acceptance: resident shards beat per-step payload pickling at
+        # the pf-at-10k crossover. One re-measure absorbs transient
+        # load on shared runners; a real regression fails both.
+        if persistent >= pooled:
+            retry = latency_sweep(
+                HmmModel, hmm_data, particle_counts=[PARTICLES],
+                methods=[
+                    f"pf@scalar@processes:{WORKERS}",
+                    f"pf@scalar@processes-persistent:{WORKERS}",
+                ],
+                runs=1,
+            )
+            pooled = retry.get(f"pf@scalar@processes:{WORKERS}", PARTICLES).median
+            persistent = retry.get(
+                f"pf@scalar@processes-persistent:{WORKERS}", PARTICLES
+            ).median
+            emit(f"after re-measure: {pooled / persistent:.2f}x")
+        assert persistent < pooled
+    else:
+        emit(
+            "single-core machine: the persistent-vs-pooled acceptance bar "
+            "is asserted on multi-core runners (CI)."
+        )

@@ -12,9 +12,18 @@ import os
 
 import pytest
 
+from repro.exec.executor import shutdown_executors
+
 
 def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _release_executor_pools():
+    """Release the spec-cached executor pools the sweeps warm up."""
+    yield
+    shutdown_executors()
 
 
 @pytest.fixture(scope="session")

@@ -54,11 +54,14 @@ from repro.errors import (
 )
 from repro.exec import (
     Executor,
+    PersistentProcessExecutor,
     ProcessShardExecutor,
+    ResidentPopulation,
     SerialExecutor,
     ShardedPopulation,
     StreamServer,
     ThreadShardExecutor,
+    shutdown_executors,
 )
 from repro.inference import (
     BoundedDelayedSampler,
@@ -133,8 +136,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadShardExecutor",
     "ProcessShardExecutor",
+    "PersistentProcessExecutor",
     "ShardedPopulation",
+    "ResidentPopulation",
     "StreamServer",
+    "shutdown_executors",
     # runtime
     "Node",
     "ProbNode",

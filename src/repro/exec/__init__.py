@@ -6,8 +6,10 @@ plan — map the step over population shards, merge the weight vectors,
 resample at a barrier — and this package owns that plan:
 
 * :class:`Executor` and its implementations (:class:`SerialExecutor`,
-  :class:`ThreadShardExecutor`, :class:`ProcessShardExecutor`) decide
-  where shard tasks run,
+  :class:`ThreadShardExecutor`, :class:`ProcessShardExecutor`,
+  :class:`PersistentProcessExecutor` — the worker-resident mode, where
+  shards stay loaded in long-lived workers and only commands cross the
+  process boundary) decide where shard tasks run,
 * :class:`ShardedPopulation` fixes the deterministic partition: shard
   count and per-shard ``SeedSequence`` substreams are independent of
   the executor, so any worker count reproduces the serial posterior
@@ -24,17 +26,22 @@ Select it through the public API::
 from repro.exec.executor import (
     EXECUTORS,
     Executor,
+    PersistentProcessExecutor,
     ProcessShardExecutor,
     SerialExecutor,
     ThreadShardExecutor,
     default_workers,
     parse_executor,
+    shutdown_executors,
 )
 from repro.exec.population import (
     DEFAULT_SHARDS,
+    ResidentPopulation,
     Shard,
     ShardResult,
+    ShardSummary,
     ShardedPopulation,
+    build_exchange_plan,
     map_step,
     shard_bounds,
     shard_sizes,
@@ -48,14 +55,19 @@ __all__ = [
     "SerialExecutor",
     "ThreadShardExecutor",
     "ProcessShardExecutor",
+    "PersistentProcessExecutor",
     "EXECUTORS",
     "parse_executor",
+    "shutdown_executors",
     "default_workers",
     "DEFAULT_SHARDS",
     "Shard",
     "ShardResult",
+    "ShardSummary",
     "ShardedPopulation",
+    "ResidentPopulation",
     "map_step",
+    "build_exchange_plan",
     "shard_sizes",
     "shard_bounds",
     "split_sequence",

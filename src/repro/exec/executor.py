@@ -11,19 +11,35 @@ identical across executors and worker counts — the deterministic
 partitioning idea of Bobpp-style parallel search, applied to a particle
 population.
 
+:class:`PersistentProcessExecutor` (``"processes-persistent:N"``) is
+the worker-resident variant: its workers hold their shard — payload
+plus RNG substream — in-process across steps, so per-step traffic is
+command messages (step input out, per-shard weight vectors and outputs
+back) instead of full-population pickles, and the resample barrier
+ships only the global ancestor indices plus the few particles that
+actually migrate between shards.
+
 Executors are selected by spec string (``"serial"``, ``"threads:4"``,
-``"processes:2"``) through :func:`parse_executor`, which caches one
-instance per spec so every engine built from the same spec shares one
-pool (a sweep over ``"pf@scalar@processes:4"`` spins up four workers
-once, not once per run).
+``"processes:2"``, ``"processes-persistent:4"``) through
+:func:`parse_executor`, which caches one instance per spec so every
+engine built from the same spec shares one pool (a sweep over
+``"pf@scalar@processes:4"`` spins up four workers once, not once per
+run). :func:`shutdown_executors` (also registered via :mod:`atexit`)
+closes every cached executor and clears the cache, so sweeps and test
+runs do not accumulate worker processes.
 """
 
 from __future__ import annotations
 
 import abc
+import atexit
+import multiprocessing
 import os
+import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import InferenceError
 
@@ -32,9 +48,12 @@ __all__ = [
     "SerialExecutor",
     "ThreadShardExecutor",
     "ProcessShardExecutor",
+    "PersistentProcessExecutor",
     "EXECUTORS",
     "parse_executor",
+    "shutdown_executors",
     "default_workers",
+    "shard_len",
 ]
 
 
@@ -53,6 +72,11 @@ class Executor(abc.ABC):
 
     #: number of workers the executor schedules onto (1 for serial).
     workers: int = 1
+    #: True when the executor keeps shard payloads resident in its
+    #: workers across steps; engines then drive it through a
+    #: handle-based :class:`~repro.exec.population.ResidentPopulation`
+    #: instead of shipping payloads through ``map_shards``.
+    resident: bool = False
 
     @abc.abstractmethod
     def map_shards(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
@@ -145,11 +169,551 @@ class ProcessShardExecutor(_PooledExecutor):
         return ProcessPoolExecutor(max_workers=self.workers)
 
 
+# ----------------------------------------------------------------------
+# persistent worker-resident execution
+# ----------------------------------------------------------------------
+
+#: connection failures that mean "the worker process died" (as opposed
+#: to a Python exception inside the worker, which comes back as an
+#: ``("err", traceback)`` reply).
+_PIPE_ERRORS = (BrokenPipeError, EOFError, ConnectionResetError, OSError)
+
+
+def _persistent_worker_main(conn) -> None:
+    """Main loop of one persistent worker: resident shards + commands.
+
+    ``homes`` maps ``(population key, shard index)`` to the resident
+    shard, the stepper that advances it, and the accumulated log-weight
+    vector of the most recent step (so the weight commit after a
+    non-resampling barrier needs no data from the coordinator at all).
+    """
+    homes: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        op = msg[0]
+        if op == "stop":
+            return
+        try:
+            if op == "load":
+                _, key, index, shard, stepper = msg
+                homes[(key, index)] = {
+                    "shard": shard, "stepper": stepper, "logw": None,
+                }
+                reply: Any = None
+            elif op == "step":
+                _, key, index, inp = msg
+                home = homes[(key, index)]
+                shard = home["shard"]
+                result = home["stepper"].step_shard(shard.payload, shard.rng, inp)
+                shard.payload = result.payload
+                shard.rng = result.rng
+                home["logw"] = result.prev_log_weights + result.step_log_weights
+                reply = (
+                    result.outs,
+                    result.step_log_weights,
+                    result.prev_log_weights,
+                )
+            elif op == "export":
+                _, key, index, local_indices = msg
+                home = homes[(key, index)]
+                reply = home["stepper"].shard_export(
+                    home["shard"].payload, local_indices
+                )
+            elif op == "assemble":
+                _, key, index, plan, imports = msg
+                home = homes[(key, index)]
+                home["shard"].payload = home["stepper"].shard_assemble(
+                    home["shard"].payload, plan, imports
+                )
+                home["logw"] = None
+                reply = None
+            elif op == "weights":
+                _, key, index = msg
+                home = homes[(key, index)]
+                if home["logw"] is None:
+                    raise InferenceError(
+                        "weight commit without a preceding step"
+                    )
+                home["shard"].payload = home["stepper"].shard_commit_weights(
+                    home["shard"].payload, home["logw"]
+                )
+                reply = None
+            elif op == "pull":
+                _, key, index = msg
+                reply = homes[(key, index)]["shard"]
+            elif op == "unload":
+                _, key = msg
+                for home_key in [k for k in homes if k[0] == key]:
+                    del homes[home_key]
+                reply = None
+            elif op == "call":
+                _, fn, task = msg
+                reply = fn(task)
+            else:
+                raise InferenceError(f"unknown persistent-worker op {op!r}")
+        except BaseException:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except Exception:
+                return
+        else:
+            try:
+                conn.send(("ok", reply))
+            except Exception:
+                return
+
+
+class _WorkerSlot:
+    """One persistent worker process and the coordinator's pipe to it."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+
+class _ResidentState:
+    """Coordinator-side record of one worker-resident population.
+
+    ``checkpoints`` holds one recovery copy of every shard (refreshed
+    every ``checkpoint_every`` committed steps), ``oplogs`` the
+    per-shard commands applied since that checkpoint. Together they let
+    the coordinator rebuild any shard deterministically — after a
+    worker crash, or after :meth:`PersistentProcessExecutor.close` —
+    by reloading the checkpoint and replaying the log.
+    """
+
+    __slots__ = (
+        "key", "stepper", "sizes", "checkpoints", "oplogs", "steps", "poisoned",
+    )
+
+    def __init__(self, key: int, stepper: Any, sizes: List[int], checkpoints):
+        self.key = key
+        self.stepper = stepper
+        self.sizes = list(sizes)
+        self.checkpoints = list(checkpoints)
+        self.oplogs: List[List[tuple]] = [[] for _ in sizes]
+        self.steps = 0
+        #: set when a mutating command failed part-way: some shards
+        #: advanced, others did not, and the oplog no longer describes
+        #: the worker state — the population must not be used again.
+        self.poisoned = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.sizes)
+
+
+class PersistentProcessExecutor(Executor):
+    """Process execution with worker-resident shards.
+
+    Where :class:`ProcessShardExecutor` pickles the whole shard payload
+    to a pool worker and back on *every* step, this executor loads each
+    shard — payload plus RNG substream — into a long-lived worker once
+    and then drives it with small command messages:
+
+    * ``step``: the step input goes out; the per-shard outputs and
+      ``step_log_weights`` / ``prev_log_weights`` vectors come back.
+      The advanced payload and generator stay in the worker.
+    * resample barrier: the coordinator draws the global ancestor
+      indices and ships only the exchange plan plus the few particles
+      that actually migrate between shards (with systematic or
+      stratified resampling the sorted indices keep most ancestors
+      shard-local).
+    * no-resample barrier: a bare ``weights`` command; each worker
+      folds its own step log-weights into its resident payload.
+
+    The schedule still never changes what is computed: the shard
+    partition and RNG substreams are identical to every other executor,
+    so the posterior matches ``"serial"`` bit-for-bit at a fixed seed.
+
+    Fault tolerance: the coordinator checkpoints every shard on load
+    and every ``checkpoint_every`` committed steps, and logs the
+    commands in between. A worker that dies mid-stream is respawned and
+    its shards are rebuilt by replaying the log against the checkpoint
+    — deterministically, because the checkpoint includes the shard's
+    generator state. ``close()`` uses the same mechanism: it terminates
+    the workers but keeps the checkpoints, so resident populations
+    survive an executor shutdown and resume on the next command.
+
+    Multiple populations (one per engine — e.g. every session of a
+    :class:`~repro.exec.server.StreamServer`) share the same worker
+    pool; shard ``i`` of every population lives on worker
+    ``i % workers``.
+    """
+
+    resident = True
+
+    def __init__(self, workers: Optional[int] = None, checkpoint_every: int = 8):
+        workers = default_workers() if workers is None else int(workers)
+        if workers < 1:
+            raise InferenceError("executor needs at least one worker")
+        if int(checkpoint_every) < 1:
+            raise InferenceError("checkpoint_every must be at least 1")
+        self.workers = workers
+        self.checkpoint_every = int(checkpoint_every)
+        self._slots: Optional[List[_WorkerSlot]] = None
+        self._populations: Dict[int, _ResidentState] = {}
+        self._next_key = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def _spawn_slot(self) -> _WorkerSlot:
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_persistent_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerSlot(process, parent_conn)
+
+    def _ensure_started(self) -> None:
+        if self._slots is not None:
+            return
+        self._slots = [self._spawn_slot() for _ in range(self.workers)]
+        # Resuming after close(): restore every registered population
+        # from its checkpoint + oplog.
+        for slot_index in range(self.workers):
+            self._reload_slot(slot_index)
+
+    def _slot_of(self, shard_index: int) -> int:
+        return shard_index % self.workers
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (diagnostics / tests)."""
+        self._ensure_started()
+        return [slot.process.pid for slot in self._slots]
+
+    def close(self) -> None:
+        """Terminate the workers; resident populations stay recoverable."""
+        if self._slots is None:
+            return
+        for slot in self._slots:
+            try:
+                slot.conn.send(("stop",))
+            except Exception:
+                pass
+        for slot in self._slots:
+            slot.process.join(timeout=2)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=2)
+            try:
+                slot.conn.close()
+            except Exception:
+                pass
+        self._slots = None
+
+    # The executor rides along when an engine is pickled into a worker
+    # (the stepper references it); the worker-side copy is a shell with
+    # no processes, pipes, or resident bookkeeping.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_slots"] = None
+        state["_populations"] = {}
+        state["_next_key"] = 0
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"PersistentProcessExecutor(workers={self.workers}, "
+            f"checkpoint_every={self.checkpoint_every})"
+        )
+
+    # -- messaging ------------------------------------------------------
+    def _reload_slot(self, slot_index: int) -> None:
+        """Rebuild every resident shard assigned to one (fresh) worker."""
+        conn = self._slots[slot_index].conn
+        for state in self._populations.values():
+            if state.poisoned:  # unusable anyway; nothing to rebuild
+                continue
+            for index in range(state.n_shards):
+                if self._slot_of(index) != slot_index:
+                    continue
+                conn.send(
+                    ("load", state.key, index, state.checkpoints[index],
+                     state.stepper)
+                )
+                self._expect_ok(conn)
+                for entry in state.oplogs[index]:
+                    conn.send(self._replay_msg(state.key, index, entry))
+                    self._expect_ok(conn)
+
+    @staticmethod
+    def _replay_msg(key: int, index: int, entry: tuple) -> tuple:
+        if entry[0] == "step":
+            return ("step", key, index, entry[1])
+        if entry[0] == "assemble":
+            return ("assemble", key, index, entry[1], entry[2])
+        if entry[0] == "weights":
+            return ("weights", key, index)
+        raise InferenceError(f"unknown oplog entry {entry[0]!r}")
+
+    @staticmethod
+    def _expect_ok(conn) -> Any:
+        tag, value = conn.recv()
+        if tag == "err":
+            raise InferenceError(f"persistent worker failed:\n{value}")
+        return value
+
+    def _revive_slot(self, slot_index: int) -> None:
+        """Replace a dead worker and rebuild its resident shards."""
+        old = self._slots[slot_index]
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(timeout=2)
+        try:
+            old.conn.close()
+        except Exception:
+            pass
+        self._slots[slot_index] = self._spawn_slot()
+        self._reload_slot(slot_index)
+
+    def _scatter_gather(self, msgs: Sequence[Tuple[int, tuple]]) -> List[Any]:
+        """Send addressed commands, collect replies in command order.
+
+        ``msgs`` is a list of ``(slot_index, message)``. Slots run
+        concurrently, but each slot has at most **one** command in
+        flight: the next command is sent only after the previous reply
+        is fully received, so whenever the coordinator blocks in
+        ``send`` the worker is guaranteed to be draining its request
+        pipe — no message size can deadlock the pair (a worker
+        serializes its commands anyway, so nothing is lost). A slot
+        whose pipe fails — the worker process died — is revived (fresh
+        process, checkpoint + oplog replay) and its commands are
+        retried once; a Python exception *inside* a worker comes back
+        as an ``("err", ...)`` reply and is raised only after every
+        pending reply has been drained, so the pipes stay in sync.
+        """
+        self._ensure_started()
+        queues: Dict[int, deque] = {}
+        for position, (slot_index, msg) in enumerate(msgs):
+            queues.setdefault(slot_index, deque()).append((position, msg))
+        all_items = {slot_index: list(queue) for slot_index, queue in queues.items()}
+        results: List[Any] = [None] * len(msgs)
+        errors: List[str] = []
+        failed: Dict[int, List[Tuple[int, tuple]]] = {}
+        in_flight: Dict[Any, Tuple[int, int]] = {}  # conn -> (slot, position)
+
+        def send_next(slot_index: int) -> None:
+            queue = queues[slot_index]
+            if not queue:
+                return
+            position, msg = queue.popleft()
+            conn = self._slots[slot_index].conn
+            try:
+                conn.send(msg)
+            except _PIPE_ERRORS:
+                failed[slot_index] = all_items[slot_index]
+                queue.clear()
+                return
+            in_flight[conn] = (slot_index, position)
+
+        for slot_index in list(queues):
+            send_next(slot_index)
+        while in_flight:
+            for conn in _connection_wait(list(in_flight)):
+                slot_index, position = in_flight.pop(conn)
+                try:
+                    tag, value = conn.recv()
+                except _PIPE_ERRORS:
+                    failed[slot_index] = all_items[slot_index]
+                    queues[slot_index].clear()
+                    continue
+                if tag == "err":
+                    errors.append(value)
+                else:
+                    results[position] = value
+                send_next(slot_index)
+        for slot_index, items in failed.items():
+            # The worker died mid-burst: its resident state is rebuilt
+            # to the pre-burst point, so every command of the burst is
+            # re-run (including any that had already been answered).
+            self._revive_slot(slot_index)
+            conn = self._slots[slot_index].conn
+            for position, msg in items:
+                conn.send(msg)
+                tag, value = conn.recv()
+                if tag == "err":
+                    errors.append(value)
+                else:
+                    results[position] = value
+        if errors:
+            raise InferenceError(f"persistent worker failed:\n{errors[0]}")
+        return results
+
+    # -- generic executor protocol -------------------------------------
+    def map_shards(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        """One-off task mapping on the persistent workers (round-robin)."""
+        return self._scatter_gather(
+            [(i % self.workers, ("call", fn, task)) for i, task in enumerate(tasks)]
+        )
+
+    # -- resident-population protocol ----------------------------------
+    def new_key(self) -> int:
+        """A fresh population key, unique within this executor."""
+        key = self._next_key
+        self._next_key += 1
+        return key
+
+    def load_population(self, key: int, stepper: Any, shards: Sequence[Any]) -> None:
+        """Make ``shards`` resident, keyed by ``key``; checkpoint them.
+
+        ``stepper`` is the engine: it is pickled to each worker once and
+        supplies ``step_shard`` plus the worker-side shard operations
+        (``shard_export`` / ``shard_assemble`` / ``shard_commit_weights``).
+        """
+        if key in self._populations:
+            raise InferenceError(f"population key {key!r} already resident")
+        self._ensure_started()
+        self._populations[key] = _ResidentState(
+            key, stepper, [shard_len(shard) for shard in shards], shards
+        )
+        self._scatter_gather(
+            [
+                (self._slot_of(i), ("load", key, i, shard, stepper))
+                for i, shard in enumerate(shards)
+            ]
+        )
+
+    def _mutate(self, state: "_ResidentState", msgs) -> List[Any]:
+        """Run mutating commands; a failure part-way poisons the key.
+
+        When one shard's command errors, the other shards have already
+        advanced in their workers, so the resident state no longer
+        matches the oplog (or anything the serial path could produce).
+        Nothing can repair that consistently — the population is marked
+        unusable and every later command on it raises, instead of
+        silently stepping desynchronized shards.
+        """
+        try:
+            return self._scatter_gather(msgs)
+        except Exception:
+            state.poisoned = True
+            raise
+
+    def step_population(self, key: int, inp: Any) -> List[Tuple[Any, Any, Any]]:
+        """Advance every shard; returns per-shard (outs, step_logw, prev_logw)."""
+        state = self._state(key)
+        summaries = self._mutate(
+            state,
+            [
+                (self._slot_of(i), ("step", key, i, inp))
+                for i in range(state.n_shards)
+            ],
+        )
+        for oplog in state.oplogs:
+            oplog.append(("step", inp))
+        return summaries
+
+    def commit_population_weights(self, key: int) -> None:
+        """No-resample barrier: workers fold step weights in-place."""
+        state = self._state(key)
+        self._mutate(
+            state,
+            [(self._slot_of(i), ("weights", key, i)) for i in range(state.n_shards)],
+        )
+        for oplog in state.oplogs:
+            oplog.append(("weights",))
+        self._after_commit(state)
+
+    def exchange_population(
+        self,
+        key: int,
+        requests: Sequence[Dict[int, List[int]]],
+        plans: Sequence[List[tuple]],
+    ) -> None:
+        """Resample barrier: export migrating particles, rebuild shards.
+
+        ``requests[d][s]`` lists the source-local indices destination
+        shard ``d`` needs from shard ``s``; ``plans[d]`` is the slot
+        plan the destination worker rebuilds from (see
+        :func:`~repro.exec.population.build_exchange_plan`). Exports
+        are gathered *before* any shard mutates, so a crash anywhere in
+        the barrier stays recoverable.
+        """
+        state = self._state(key)
+        pairs = [
+            (dest, source, local_indices)
+            for dest, request in enumerate(requests)
+            for source, local_indices in sorted(request.items())
+        ]
+        packages = self._scatter_gather(
+            [
+                (self._slot_of(source), ("export", key, source, local_indices))
+                for _, source, local_indices in pairs
+            ]
+        )
+        imports: List[Dict[int, Any]] = [{} for _ in range(state.n_shards)]
+        for (dest, source, _), package in zip(pairs, packages):
+            imports[dest][source] = package
+        self._mutate(
+            state,
+            [
+                (self._slot_of(d), ("assemble", key, d, plans[d], imports[d]))
+                for d in range(state.n_shards)
+            ],
+        )
+        for d in range(state.n_shards):
+            state.oplogs[d].append(("assemble", plans[d], imports[d]))
+        self._after_commit(state)
+
+    def pull_population(self, key: int) -> List[Any]:
+        """Fresh copies of every resident shard, in shard order."""
+        state = self._state(key)
+        return self._scatter_gather(
+            [(self._slot_of(i), ("pull", key, i)) for i in range(state.n_shards)]
+        )
+
+    def release_population(self, key: int) -> None:
+        """Drop a resident population (worker memory and checkpoints)."""
+        state = self._populations.pop(key, None)
+        if state is None or self._slots is None:
+            return
+        for slot in self._slots:
+            try:
+                slot.conn.send(("unload", key))
+                slot.conn.recv()
+            except Exception:
+                continue
+
+    def _state(self, key: int) -> _ResidentState:
+        try:
+            state = self._populations[key]
+        except KeyError:
+            raise InferenceError(f"no resident population with key {key!r}")
+        if state.poisoned:
+            raise InferenceError(
+                "this resident population is inconsistent after a prior "
+                "worker error; rebuild the engine state with init()"
+            )
+        return state
+
+    def _after_commit(self, state: _ResidentState) -> None:
+        """Count a committed step; refresh checkpoints on the interval."""
+        state.steps += 1
+        if state.steps % self.checkpoint_every == 0:
+            state.checkpoints = self.pull_population(state.key)
+            state.oplogs = [[] for _ in state.sizes]
+
+
+def shard_len(shard: Any) -> int:
+    """Particle count of a shard payload (list or ParticleBatch-like)."""
+    payload = shard.payload
+    if hasattr(payload, "n"):
+        return int(payload.n)
+    return len(payload)
+
+
 #: spec name -> executor class, for ``"name"`` / ``"name:N"`` specs.
 EXECUTORS: Dict[str, Callable[..., Executor]] = {
     "serial": SerialExecutor,
     "threads": ThreadShardExecutor,
     "processes": ProcessShardExecutor,
+    "processes-persistent": PersistentProcessExecutor,
 }
 
 #: one shared instance per spec string, so engines built from the same
@@ -161,9 +725,11 @@ def parse_executor(spec: Union[None, str, Executor]) -> Executor:
     """Resolve an executor spec to an :class:`Executor` instance.
 
     ``None`` means serial; an :class:`Executor` instance passes through;
-    a string is ``"serial"``, ``"threads"``, ``"processes"``, optionally
-    with a worker count (``"threads:4"``). String specs are cached
-    process-wide: the same spec always returns the same instance.
+    a string is ``"serial"``, ``"threads"``, ``"processes"``, or
+    ``"processes-persistent"``, optionally with a worker count
+    (``"threads:4"``). String specs are cached process-wide: the same
+    spec always returns the same instance (release the cache with
+    :func:`shutdown_executors`).
     """
     if spec is None:
         return SerialExecutor()
@@ -192,3 +758,22 @@ def parse_executor(spec: Union[None, str, Executor]) -> Executor:
         executor = EXECUTORS[name]()
     _INSTANCES[spec] = executor
     return executor
+
+
+def shutdown_executors() -> None:
+    """Close every spec-cached executor and clear the cache.
+
+    The per-spec cache otherwise keeps thread/process pools alive for
+    the lifetime of the interpreter. Call this in test teardown or at
+    the end of a sweep; it is also registered via :mod:`atexit`.
+    Closing is non-destructive — pooled executors lazily re-create
+    their pool on next use, and :class:`PersistentProcessExecutor`
+    restores resident populations from its checkpoints — so an engine
+    holding a cached executor keeps working after a shutdown.
+    """
+    while _INSTANCES:
+        _, executor = _INSTANCES.popitem()
+        executor.close()
+
+
+atexit.register(shutdown_executors)

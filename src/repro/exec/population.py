@@ -23,24 +23,35 @@ shard, the vectorized engines a
 :class:`~repro.vectorized.batch.ParticleBatch` slice. The engine
 supplies the per-shard stepper; :func:`map_step` owns scheduling and
 RNG-state bookkeeping.
+
+:class:`ResidentPopulation` is the worker-resident variant of the same
+plan for :class:`~repro.exec.executor.PersistentProcessExecutor`: the
+shards stay loaded in long-lived workers, the engine sees only a
+handle, and each phase of the cycle becomes a command — ``map_step``
+returns light :class:`ShardSummary` records, the resample barrier
+ships the :func:`build_exchange_plan` output plus the few migrating
+particles, and a barrier without resampling ships nothing at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import InferenceError
-from repro.exec.executor import Executor
+from repro.exec.executor import Executor, shard_len
 
 __all__ = [
     "DEFAULT_SHARDS",
     "Shard",
     "ShardResult",
+    "ShardSummary",
     "ShardedPopulation",
+    "ResidentPopulation",
     "map_step",
+    "build_exchange_plan",
     "shard_sizes",
     "shard_bounds",
     "split_sequence",
@@ -203,6 +214,156 @@ class _ShardStepTask:
 
 def _run_shard_task(task: _ShardStepTask) -> ShardResult:
     return task()
+
+
+@dataclass
+class ShardSummary:
+    """What a *resident* shard reports back from the map phase.
+
+    The light-weight counterpart of :class:`ShardResult`: the advanced
+    payload and generator stay in the worker, only the per-particle
+    outputs and the two log-weight vectors cross the process boundary.
+    """
+
+    #: stacked per-particle outputs (list for scalar shards, array
+    #: pytree for batch shards)
+    outs: Any
+    #: this step's observe/factor log-weight contributions
+    step_log_weights: np.ndarray
+    #: accumulated log-weights carried into the step
+    prev_log_weights: np.ndarray
+
+
+def build_exchange_plan(
+    indices: np.ndarray, sizes: Sequence[int]
+) -> Tuple[List[List[tuple]], List[Dict[int, List[int]]]]:
+    """Plan the resample barrier against worker-resident shards.
+
+    ``indices`` are the global ancestor indices (engine-drawn) and
+    ``sizes`` the fixed shard partition; destination shard ``d``
+    receives the contiguous slice ``indices[start_d:stop_d]`` — exactly
+    the re-scatter of the materialized plan. Returns ``(plans,
+    requests)``:
+
+    * ``plans[d]`` — one entry per destination slot, either
+      ``("local", local_index)`` (the ancestor already lives in shard
+      ``d``) or ``("import", source_shard, row)`` (the ancestor
+      migrates; ``row`` indexes the export package requested from that
+      source).
+    * ``requests[d][s]`` — the source-local indices destination ``d``
+      needs from shard ``s``, in row order. An ancestor needed several
+      times by one destination is shipped once and referenced per slot.
+    """
+    offsets = np.concatenate([[0], np.cumsum(np.asarray(sizes, dtype=int))])
+    if len(indices) != int(offsets[-1]):
+        raise InferenceError(
+            f"need exactly {int(offsets[-1])} ancestor indices, got {len(indices)}"
+        )
+    plans: List[List[tuple]] = []
+    requests: List[Dict[int, List[int]]] = []
+    for dest in range(len(sizes)):
+        slots = indices[int(offsets[dest]) : int(offsets[dest + 1])]
+        plan: List[tuple] = []
+        rows_by_source: Dict[int, Dict[int, int]] = {}
+        for ancestor in slots:
+            ancestor = int(ancestor)
+            source = int(np.searchsorted(offsets, ancestor, side="right") - 1)
+            local = ancestor - int(offsets[source])
+            if source == dest:
+                plan.append(("local", local))
+            else:
+                rows = rows_by_source.setdefault(source, {})
+                row = rows.setdefault(local, len(rows))
+                plan.append(("import", source, row))
+        plans.append(plan)
+        requests.append({s: list(rows) for s, rows in rows_by_source.items()})
+    return plans, requests
+
+
+class ResidentPopulation:
+    """A handle to a population whose shards live in executor workers.
+
+    The worker-resident counterpart of :class:`ShardedPopulation`: the
+    partition (shard count, sizes, RNG substreams) is identical, but
+    the payloads stay resident in the workers of a
+    :class:`~repro.exec.executor.PersistentProcessExecutor` and the
+    engine drives them through commands — step, weight commit, resample
+    exchange — instead of shipping them through every call.
+    """
+
+    def __init__(self, executor: Executor, key: int, sizes: Sequence[int]):
+        self.executor = executor
+        self.key = key
+        self.sizes = list(sizes)
+        self._released = False
+
+    @classmethod
+    def create(
+        cls, executor: Executor, stepper: Any, shards: Sequence[Shard]
+    ) -> "ResidentPopulation":
+        """Load ``shards`` into the executor's workers under a new key."""
+        sizes = [shard_len(shard) for shard in shards]
+        key = executor.new_key()
+        executor.load_population(key, stepper, shards)
+        return cls(executor, key, sizes)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def n_particles(self) -> int:
+        return sum(self.sizes)
+
+    def _check_live(self) -> None:
+        if self._released:
+            raise InferenceError("this resident population has been released")
+
+    def map_step(self, inp: Any) -> List[ShardSummary]:
+        """Advance every resident shard one step; collect the summaries."""
+        self._check_live()
+        return [
+            ShardSummary(*summary)
+            for summary in self.executor.step_population(self.key, inp)
+        ]
+
+    def resample(self, indices: np.ndarray) -> None:
+        """Barrier with resampling: ship the plan, exchange migrants."""
+        self._check_live()
+        plans, requests = build_exchange_plan(np.asarray(indices), self.sizes)
+        self.executor.exchange_population(self.key, requests, plans)
+
+    def commit_weights(self) -> None:
+        """Barrier without resampling: workers fold weights locally."""
+        self._check_live()
+        self.executor.commit_population_weights(self.key)
+
+    def materialize(self) -> ShardedPopulation:
+        """Pull every shard out of the workers (diagnostics, checkpoints)."""
+        self._check_live()
+        return ShardedPopulation(self.executor.pull_population(self.key))
+
+    def release(self) -> None:
+        """Free the worker-resident shards and coordinator checkpoints."""
+        if self._released:
+            return
+        self._released = True
+        self.executor.release_population(self.key)
+
+    def __del__(self) -> None:
+        try:
+            self.release()
+        except Exception:
+            pass
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def __repr__(self) -> str:
+        return (
+            f"ResidentPopulation(key={self.key}, n_shards={self.n_shards}, "
+            f"released={self._released})"
+        )
 
 
 def map_step(

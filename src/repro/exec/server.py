@@ -29,6 +29,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 from repro.dists import Distribution
 from repro.errors import InferenceError
 from repro.exec.executor import Executor, parse_executor
+from repro.exec.population import ResidentPopulation
 
 __all__ = ["StreamSession", "StreamServer"]
 
@@ -78,7 +79,11 @@ class StreamServer:
 
     Engines opened through the server share the server's executor (each
     engine's shards are scheduled on the same pool), so total worker
-    count is a server-level resource, not per-session.
+    count is a server-level resource, not per-session. With a
+    worker-resident executor (``"processes-persistent:N"``) every
+    session's shards stay loaded in the same persistent pool — one set
+    of worker processes serves all sessions, and closing a session
+    releases its shards from that pool.
     """
 
     def __init__(
@@ -123,10 +128,30 @@ class StreamServer:
         return session_id
 
     def close(self, session_id: str) -> List[Distribution]:
-        """Close a session, returning every posterior it produced."""
+        """Close a session, returning every posterior it produced.
+
+        A session running on a worker-resident executor releases its
+        shards from the shared pool, so closed sessions do not
+        accumulate worker memory.
+        """
         session = self._session(session_id)
         del self._sessions[session_id]
+        if isinstance(session.state, ResidentPopulation):
+            session.state.release()
         return session.outputs
+
+    def shutdown(self) -> Dict[str, List[Distribution]]:
+        """Close every open session; returns their produced posteriors.
+
+        The executor itself is left alive — it may be shared with other
+        servers or engines through the spec cache; release it with
+        :func:`~repro.exec.executor.shutdown_executors` (or its own
+        ``close()``) when the process is done with it.
+        """
+        return {
+            session_id: self.close(session_id)
+            for session_id in list(self._sessions)
+        }
 
     def _session(self, session_id: str) -> StreamSession:
         try:

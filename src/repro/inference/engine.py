@@ -34,7 +34,7 @@ whose results are identical for any worker count.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.errors import InferenceError
 from repro.exec.executor import Executor, parse_executor
 from repro.exec.population import (
     DEFAULT_SHARDS,
+    ResidentPopulation,
     ShardResult,
     ShardedPopulation,
     map_step,
@@ -87,13 +88,17 @@ class InferenceEngine(Node):
     particle, multinomial on the fractional remainder).
 
     ``executor`` selects where the per-shard work of a step runs
-    (``"serial"``, ``"threads:N"``, ``"processes:N"``, or an
+    (``"serial"``, ``"threads:N"``, ``"processes:N"``,
+    ``"processes-persistent:N"``, or an
     :class:`~repro.exec.executor.Executor` instance). Requesting an
     executor — or passing ``n_shards`` — switches the engine state from
     a plain particle list to a :class:`ShardedPopulation` whose shard
     count and per-shard RNG substreams are fixed independently of the
     executor, so every executor and worker count produces the same
-    posterior bit-for-bit at a fixed seed. Without either knob the
+    posterior bit-for-bit at a fixed seed. With a *resident* executor
+    the state is instead a :class:`ResidentPopulation` handle — same
+    partition, same substreams, but the payloads live in the executor's
+    workers and the step is driven by commands. Without either knob the
     population is one shard on the engine's own generator: exactly the
     classic sequential behaviour.
     """
@@ -151,7 +156,7 @@ class InferenceEngine(Node):
         self.last_stats = None
 
     # ------------------------------------------------------------------
-    def init(self) -> Union[List[Particle], ShardedPopulation]:
+    def init(self) -> Union[List[Particle], ShardedPopulation, ResidentPopulation]:
         particles = []
         for _ in range(self.n_particles):
             graph = self._fresh_graph() if self.persistent_graph else None
@@ -159,13 +164,18 @@ class InferenceEngine(Node):
         if not self.sharded:
             return particles
         rngs = spawn_shard_rngs(self.n_shards, seed=self._seed, rng=self.rng)
-        return ShardedPopulation.build(
+        population = ShardedPopulation.build(
             split_sequence(particles, self.n_shards), rngs
         )
+        if self.executor.resident:
+            return ResidentPopulation.create(self.executor, self, population.shards)
+        return population
 
     def step(
         self, state: Union[List[Particle], ShardedPopulation], inp: Any
     ) -> Tuple[Distribution, Union[List[Particle], ShardedPopulation]]:
+        if isinstance(state, ResidentPopulation):
+            return self._step_resident(state, inp)
         sharded = isinstance(state, ShardedPopulation)
         if sharded:
             population = state
@@ -220,6 +230,90 @@ class InferenceEngine(Node):
             prev_log_weights=np.asarray(prev_logws, dtype=float),
             rng=rng,
         )
+
+    # ------------------------------------------------------------------
+    # worker-resident execution (PersistentProcessExecutor)
+    # ------------------------------------------------------------------
+    def _step_resident(
+        self, population: ResidentPopulation, inp: Any
+    ) -> Tuple[Distribution, ResidentPopulation]:
+        """One step as commands against resident shard handles.
+
+        The same plan as the materialized path — map the step, merge
+        the weight vectors, resample at a global barrier — but the
+        shard payloads never leave their workers: the map phase returns
+        only outputs and weight vectors, the barrier ships only the
+        global ancestor indices plus the migrating particles (or, when
+        resampling does not trigger, nothing at all).
+        """
+        summaries = population.map_step(inp)
+        outs = self._merge_shard_outs([s.outs for s in summaries])
+        step_logw = np.concatenate([s.step_log_weights for s in summaries])
+        prev_logw = np.concatenate([s.prev_log_weights for s in summaries])
+        weights = normalize_log_weights(prev_logw + step_logw)
+        self._record_stats(prev_logw, step_logw, weights)
+        output = self._output_distribution(outs, weights)
+        if self.resample and self._should_resample(weights):
+            # Barrier: ancestor indices from the engine-level generator
+            # in the coordinator — identical under every executor.
+            indices = np.asarray(self.resampler(weights, self.n_particles, self.rng))
+            population.resample(indices)
+        else:
+            population.commit_weights()
+        return output, population
+
+    def _merge_shard_outs(self, chunks: List[Any]) -> Any:
+        """Concatenate per-shard step outputs in shard order."""
+        return [out for chunk in chunks for out in chunk]
+
+    def shard_export(
+        self, payload: List[Particle], indices: Sequence[int]
+    ) -> List[Particle]:
+        """Worker-side: the particles another shard needs at the barrier.
+
+        Exports travel through the coordinator as pickled messages, so
+        the receiving shard always gets private copies — a migrated
+        particle never aliases its source.
+        """
+        return [payload[int(i)] for i in indices]
+
+    def shard_assemble(
+        self,
+        payload: List[Particle],
+        plan: Sequence[tuple],
+        imports: Dict[int, List[Particle]],
+    ) -> List[Particle]:
+        """Worker-side: rebuild one shard from the barrier exchange plan.
+
+        ``plan`` entries are ``("local", index)`` or ``("import",
+        source, row)``; the selection replays the serial re-scatter
+        exactly. Cloning follows ``clone_on_resample``, with one
+        economy: an import's first use *is* its clone (the pickle copy),
+        so only repeated uses clone again.
+        """
+        clone_all = self.clone_on_resample == "all"
+        used = set()
+        rebuilt: List[Particle] = []
+        for entry in plan:
+            if entry[0] == "local":
+                source = payload[entry[1]]
+                needs_clone = clone_all or entry in used
+            else:
+                source = imports[entry[1]][entry[2]]
+                needs_clone = entry in used
+            used.add(entry)
+            particle = clone_particle(source) if needs_clone else source
+            particle.log_weight = 0.0
+            rebuilt.append(particle)
+        return rebuilt
+
+    def shard_commit_weights(
+        self, payload: List[Particle], log_weights: np.ndarray
+    ) -> List[Particle]:
+        """Worker-side: fold the step's log-weights into the particles."""
+        for particle, logw in zip(payload, log_weights):
+            particle.log_weight = float(logw)
+        return payload
 
     def _record_stats(self, prev_log_weights, step_log_weights, weights) -> None:
         """Update :attr:`last_stats` with this step's diagnostics.
@@ -299,6 +393,8 @@ class InferenceEngine(Node):
         (Section 6.3): model state plus every graph node reachable from
         it through the pointers the graph implementation retains.
         """
+        if isinstance(state, ResidentPopulation):
+            state = state.materialize()
         if isinstance(state, ShardedPopulation):
             particles = [p for chunk in state.payloads() for p in chunk]
         else:

@@ -8,6 +8,7 @@ normalization is shared by every engine.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -28,21 +29,61 @@ __all__ = [
 def normalize_log_weights(log_weights: Sequence[float]) -> np.ndarray:
     """Normalized linear weights from log weights.
 
-    Degenerate inputs (all ``-inf``: every particle scored zero
-    likelihood) fall back to uniform weights rather than dying, which is
-    what a streaming filter must do to keep running.
+    A ``NaN`` log-weight (a broken kernel scored one particle) is
+    treated as ``-inf`` for that particle alone — zero weight, with a
+    :class:`RuntimeWarning` so the breakage is visible — never as a
+    reason to reset the whole population. Degenerate inputs (all
+    ``-inf``: every particle scored zero likelihood) fall back to
+    uniform weights rather than dying, which is what a streaming filter
+    must do to keep running.
     """
     logw = np.asarray(log_weights, dtype=float)
     if logw.size == 0:
         raise InferenceError("cannot normalize an empty weight vector")
+    nan_mask = np.isnan(logw)
+    if nan_mask.any():
+        warnings.warn(
+            f"{int(nan_mask.sum())} NaN log-weight(s) treated as -inf "
+            "(zero weight); check the model/kernel that produced them",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        logw = np.where(nan_mask, -np.inf, logw)
     top = logw.max()
-    if np.isneginf(top) or np.isnan(top):
+    if np.isneginf(top):
         return np.full(logw.size, 1.0 / logw.size)
     w = np.exp(logw - top)
     total = w.sum()
     if not total > 0:
         return np.full(logw.size, 1.0 / logw.size)
     return w / total
+
+
+def _normalized_weights(weights: Sequence[float]) -> np.ndarray:
+    """The weight vector every resampler actually draws from.
+
+    The resamplers' cumulative-sum machinery assumes the weights sum to
+    one; historically only ``residual_indices`` normalized internally,
+    so an unnormalized vector silently dumped its missing mass on the
+    last particle. Normalizing here makes all four schemes agree. An
+    already-normalized vector (within round-off of the log-weight
+    pipeline) passes through untouched so existing seeded streams are
+    preserved bit-for-bit.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.size == 0:
+        raise InferenceError("cannot resample from an empty weight vector")
+    if np.any(w < 0):
+        raise InferenceError("resampling weights must be non-negative")
+    total = float(w.sum())
+    if not np.isfinite(total) or total <= 0.0:
+        raise InferenceError(
+            "resampling weights must have a positive finite sum, "
+            f"got {total!r}"
+        )
+    if abs(total - 1.0) > 1e-9:
+        w = w / total
+    return w
 
 
 def ess(weights: Sequence[float]) -> float:
@@ -58,7 +99,7 @@ def systematic_indices(
     weights: Sequence[float], n: int, rng: np.random.Generator
 ) -> np.ndarray:
     """Systematic resampling: one uniform offset, ``n`` evenly spaced picks."""
-    w = np.asarray(weights, dtype=float)
+    w = _normalized_weights(weights)
     positions = (rng.random() + np.arange(n)) / n
     cumulative = np.cumsum(w)
     cumulative[-1] = 1.0  # guard against round-off
@@ -69,7 +110,7 @@ def stratified_indices(
     weights: Sequence[float], n: int, rng: np.random.Generator
 ) -> np.ndarray:
     """Stratified resampling: one uniform draw per stratum."""
-    w = np.asarray(weights, dtype=float)
+    w = _normalized_weights(weights)
     positions = (rng.random(n) + np.arange(n)) / n
     cumulative = np.cumsum(w)
     cumulative[-1] = 1.0
@@ -80,7 +121,7 @@ def multinomial_indices(
     weights: Sequence[float], n: int, rng: np.random.Generator
 ) -> np.ndarray:
     """Plain multinomial resampling."""
-    w = np.asarray(weights, dtype=float)
+    w = _normalized_weights(weights)
     return rng.choice(w.size, size=n, p=w).astype(int)
 
 
@@ -94,7 +135,7 @@ def residual_indices(
     from the fractional residuals. The deterministic part removes most
     of the multinomial variance while remaining unbiased.
     """
-    w = np.asarray(weights, dtype=float)
+    w = _normalized_weights(weights)
     expected = n * w
     copies = np.floor(expected).astype(int)
     deterministic = np.repeat(np.arange(w.size), copies)

@@ -31,6 +31,7 @@ __all__ = [
     "batch_state_words",
     "slice_state",
     "concat_states",
+    "state_rows",
 ]
 
 
@@ -101,6 +102,27 @@ def concat_states(states: Any) -> Any:
     raise InferenceError(
         f"batch state leaves must be arrays (or None), got {type(head).__name__}"
     )
+
+
+def state_rows(state: Any) -> int:
+    """Leading-axis (particle) count of a batch state.
+
+    The length of the first array leaf found; every leaf shares the
+    particle axis, so any one of them answers for the whole pytree.
+    """
+    if isinstance(state, np.ndarray):
+        return int(state.shape[0])
+    leaves: Any = ()
+    if isinstance(state, (tuple, list)):
+        leaves = state
+    elif isinstance(state, dict):
+        leaves = state.values()
+    for leaf in leaves:
+        try:
+            return state_rows(leaf)
+        except InferenceError:
+            continue
+    raise InferenceError("batch state has no array leaf to measure")
 
 
 def batch_state_words(state: Any) -> int:

@@ -47,6 +47,7 @@ import numpy as np
 from repro.dists import Distribution
 from repro.errors import InferenceError
 from repro.exec.population import (
+    ResidentPopulation,
     ShardResult,
     ShardedPopulation,
     map_step,
@@ -56,7 +57,13 @@ from repro.exec.population import (
 from repro.inference.engine import InferenceEngine
 from repro.inference.resampling import normalize_log_weights
 from repro.runtime.node import ProbNode
-from repro.vectorized.batch import ParticleBatch, concat_states, gather, slice_state
+from repro.vectorized.batch import (
+    ParticleBatch,
+    concat_states,
+    gather,
+    slice_state,
+    state_rows,
+)
 from repro.vectorized.dists import (
     ArrayEmpirical,
     BetaMixtureArray,
@@ -99,7 +106,7 @@ class VectorizedEngine(InferenceEngine):
     substrates.
     """
 
-    def init(self) -> Union[ParticleBatch, ShardedPopulation]:
+    def init(self) -> Union[ParticleBatch, ShardedPopulation, ResidentPopulation]:
         if not self.sharded:
             return ParticleBatch(
                 state=self._init_batch_state(self.n_particles, self.rng),
@@ -111,11 +118,16 @@ class VectorizedEngine(InferenceEngine):
             ParticleBatch(self._init_batch_state(size, rng), np.zeros(size))
             for size, rng in zip(sizes, rngs)
         ]
-        return ShardedPopulation.build(chunks, rngs)
+        population = ShardedPopulation.build(chunks, rngs)
+        if self.executor.resident:
+            return ResidentPopulation.create(self.executor, self, population.shards)
+        return population
 
     def step(
         self, state: Union[ParticleBatch, ShardedPopulation], inp: Any
     ) -> Tuple[Distribution, Union[ParticleBatch, ShardedPopulation]]:
+        if isinstance(state, ResidentPopulation):
+            return self._step_resident(state, inp)
         sharded = isinstance(state, ShardedPopulation)
         if sharded:
             population = state
@@ -174,7 +186,52 @@ class VectorizedEngine(InferenceEngine):
             rng=rng,
         )
 
+    # ------------------------------------------------------------------
+    # worker-resident execution (PersistentProcessExecutor)
+    # ------------------------------------------------------------------
+    def _merge_shard_outs(self, chunks: List[Any]) -> Any:
+        return _merge(chunks)
+
+    def shard_export(self, batch: ParticleBatch, indices: Any) -> Any:
+        """Worker-side: the state rows another shard needs at the barrier."""
+        return gather(batch.state, np.asarray(indices, dtype=int))
+
+    def shard_assemble(self, batch: ParticleBatch, plan: Any, imports: Any) -> ParticleBatch:
+        """Worker-side: rebuild one shard slice from the exchange plan.
+
+        Local survivors and imported row blocks are stacked into one
+        combined state, then the plan becomes a single :func:`gather` —
+        selecting exactly the rows the serial re-scatter would, so the
+        fresh arrays are bit-identical to the materialized path.
+        """
+        sources = sorted(imports)
+        offsets, total = {}, batch.n
+        for source in sources:
+            offsets[source] = total
+            total += state_rows(imports[source])
+        if sources:
+            combined = concat_states([batch.state] + [imports[s] for s in sources])
+        else:
+            combined = batch.state
+        indices = np.fromiter(
+            (
+                entry[1] if entry[0] == "local" else offsets[entry[1]] + entry[2]
+                for entry in plan
+            ),
+            dtype=int,
+            count=len(plan),
+        )
+        return ParticleBatch(gather(combined, indices), np.zeros(len(plan)))
+
+    def shard_commit_weights(
+        self, batch: ParticleBatch, log_weights: np.ndarray
+    ) -> ParticleBatch:
+        """Worker-side: fold the step's log-weights into the batch."""
+        return ParticleBatch(batch.state, np.asarray(log_weights, dtype=float))
+
     def memory_words(self, state: Union[ParticleBatch, ShardedPopulation]) -> int:
+        if isinstance(state, ResidentPopulation):
+            state = state.materialize()
         if isinstance(state, ShardedPopulation):
             return sum(batch.memory_words() for batch in state.payloads())
         return state.memory_words()

@@ -3,6 +3,20 @@
 import numpy as np
 import pytest
 
+from repro.exec.executor import shutdown_executors
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _release_executor_pools():
+    """Tear down spec-cached executor pools after the test session.
+
+    Without this, every ``"threads:N"`` / ``"processes:N"`` /
+    ``"processes-persistent:N"`` spec touched by a test keeps its
+    worker pool alive until interpreter exit.
+    """
+    yield
+    shutdown_executors()
+
 
 @pytest.fixture
 def rng():

@@ -1,4 +1,4 @@
-"""The executor protocol: scheduling, specs, caching, pickling."""
+"""The executor protocol: scheduling, specs, caching, pickling, lifecycle."""
 
 import pickle
 
@@ -7,12 +7,14 @@ import pytest
 from repro.errors import InferenceError
 from repro.exec import (
     EXECUTORS,
+    PersistentProcessExecutor,
     ProcessShardExecutor,
     SerialExecutor,
     ThreadShardExecutor,
     parse_executor,
     shard_bounds,
     shard_sizes,
+    shutdown_executors,
     spawn_shard_rngs,
     split_sequence,
 )
@@ -65,7 +67,9 @@ class TestSpecs:
         assert parse_executor("threads:2") is not parse_executor("threads:3")
 
     def test_registry_names(self):
-        assert set(EXECUTORS) == {"serial", "threads", "processes"}
+        assert set(EXECUTORS) == {
+            "serial", "threads", "processes", "processes-persistent",
+        }
 
     def test_bad_specs_rejected(self):
         with pytest.raises(InferenceError):
@@ -80,6 +84,49 @@ class TestSpecs:
     def test_zero_workers_rejected(self):
         with pytest.raises(InferenceError):
             ThreadShardExecutor(workers=0)
+
+
+class TestLifecycle:
+    """shutdown_executors(): the spec cache must be releasable.
+
+    Regression (ISSUE 3): the per-spec cache used to keep thread and
+    process pools alive for the interpreter's lifetime with no way to
+    release them, so sweeps and pytest runs accumulated worker
+    processes.
+    """
+
+    def test_shutdown_clears_the_cache(self):
+        executor = parse_executor("threads:2")
+        assert "threads:2" in _INSTANCES
+        shutdown_executors()
+        assert _INSTANCES == {}
+        # a fresh instance is built on next request
+        assert parse_executor("threads:2") is not executor
+
+    def test_shutdown_closes_pools(self):
+        executor = parse_executor("threads:2")
+        executor.map_shards(_square, [1])  # force pool creation
+        shutdown_executors()
+        assert executor._pool is None
+
+    def test_shutdown_terminates_persistent_workers(self):
+        executor = parse_executor("processes-persistent:2")
+        pids = executor.worker_pids()
+        assert len(pids) == 2
+        shutdown_executors()
+        assert executor._slots is None
+
+    def test_closed_executor_recovers_on_next_use(self):
+        executor = parse_executor("threads:2")
+        shutdown_executors()
+        assert executor.map_shards(_square, [3]) == [9]
+        executor.close()
+
+    def test_shutdown_is_idempotent(self):
+        parse_executor("threads:2")
+        shutdown_executors()
+        shutdown_executors()
+        assert _INSTANCES == {}
 
 
 class TestPickling:

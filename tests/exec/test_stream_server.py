@@ -151,3 +151,49 @@ class TestDeterminism:
             dist, state = engine.step(state, y)
             plain.append(dist.mean())
         assert served == plain
+
+
+class TestPersistentPool:
+    """Sessions share one persistent worker pool; closing releases shards."""
+
+    def test_sessions_share_one_persistent_pool(self):
+        from repro.exec import PersistentProcessExecutor
+
+        executor = PersistentProcessExecutor(workers=2)
+        try:
+            server = StreamServer(executor=executor)
+            alice = server.open(HmmModel(), n_particles=8, seed=0)
+            bob = server.open(HmmModel(), n_particles=8, seed=1)
+            assert len(executor._populations) == 2
+            assert len(executor.worker_pids()) == 2  # one pool for both
+            server.submit_many(alice, [0.5, 1.0])
+            server.submit_many(bob, [0.1])
+            server.drain()
+            assert len(server.outputs(alice)) == 2
+            assert len(server.outputs(bob)) == 1
+            server.close(alice)
+            assert len(executor._populations) == 1  # alice's shards freed
+            server.shutdown()
+            assert len(executor._populations) == 0
+        finally:
+            executor.close()
+
+    def test_persistent_sessions_match_serial_sessions(self):
+        from repro.exec import PersistentProcessExecutor
+
+        observations = [0.5, 1.0, -0.3, 0.8]
+
+        def serve(executor):
+            server = StreamServer(executor=executor)
+            sid = server.open(HmmModel(), n_particles=12, seed=4)
+            server.submit_many(sid, observations)
+            server.drain()
+            means = [d.mean() for d in server.outputs(sid)]
+            server.shutdown()
+            return means
+
+        executor = PersistentProcessExecutor(workers=2)
+        try:
+            assert serve(executor) == serve("serial")
+        finally:
+            executor.close()

@@ -41,6 +41,33 @@ class TestNormalizeLogWeights:
         with pytest.raises(InferenceError):
             normalize_log_weights([])
 
+    def test_single_nan_zeroes_only_that_particle(self):
+        """Regression: one NaN log-weight must not reset the population.
+
+        ``normalize_log_weights([0.0, nan, 0.0])`` used to return
+        all-uniform — silently discarding the two healthy particles and
+        masking the broken kernel that produced the NaN.
+        """
+        with pytest.warns(RuntimeWarning, match="NaN log-weight"):
+            weights = normalize_log_weights([0.0, math.nan, 0.0])
+        assert np.allclose(weights, [0.5, 0.0, 0.5])
+
+    def test_nan_among_finite_keeps_relative_weights(self):
+        with pytest.warns(RuntimeWarning):
+            weights = normalize_log_weights([math.log(3.0), math.nan, math.log(1.0)])
+        assert np.allclose(weights, [0.75, 0.0, 0.25])
+
+    def test_all_nan_falls_back_to_uniform(self):
+        """Only a fully degenerate vector may reset to uniform."""
+        with pytest.warns(RuntimeWarning):
+            weights = normalize_log_weights([math.nan, math.nan])
+        assert np.allclose(weights, [0.5, 0.5])
+
+    def test_nan_and_neg_inf_mix(self):
+        with pytest.warns(RuntimeWarning):
+            weights = normalize_log_weights([math.nan, -math.inf, 0.0])
+        assert np.allclose(weights, [0.0, 0.0, 1.0])
+
     @given(
         logw=st.lists(
             st.floats(min_value=-500, max_value=500, allow_nan=False),
@@ -97,6 +124,61 @@ class TestIndices:
         idx = systematic_indices(weights, n, rng)
         count0 = int(np.sum(idx == 0))
         assert abs(count0 - n / 2) <= 1.0
+
+
+class TestUnnormalizedWeights:
+    """Regression: resamplers must normalize, not dump mass on the last particle.
+
+    ``systematic_indices``/``stratified_indices`` used to assume
+    normalized weights — the ``cumulative[-1] = 1.0`` round-off guard
+    handed any missing mass to the last particle, so uniform-but-
+    unnormalized ``[0.2, 0.2, 0.2]`` resampled to ``[1, 2, 2]`` instead
+    of ``[0, 1, 2]``.
+    """
+
+    def test_systematic_uniform_unnormalized(self, rng):
+        idx = systematic_indices([0.2, 0.2, 0.2], 3, rng)
+        assert list(idx) == [0, 1, 2]
+
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLERS))
+    def test_scaling_weights_changes_nothing(self, scheme, rng_factory):
+        """Every scheme: w and c*w draw identical ancestor indices.
+
+        Power-of-two scales make the internal normalization bit-exact,
+        so the comparison can demand identical index vectors.
+        """
+        weights = np.array([0.5, 0.125, 0.25, 0.125])
+        for scale in (0.25, 1.0, 8.0):
+            a = RESAMPLERS[scheme](weights, 12, rng_factory(9))
+            b = RESAMPLERS[scheme](weights * scale, 12, rng_factory(9))
+            assert np.array_equal(a, b), (scheme, scale)
+
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLERS))
+    def test_normalized_input_unchanged(self, scheme, rng_factory):
+        """Already-normalized vectors keep their historical streams."""
+        weights = normalize_log_weights([0.0, -1.0, -2.0, -0.5])
+        a = RESAMPLERS[scheme](weights, 10, rng_factory(4))
+        b = RESAMPLERS[scheme](list(weights), 10, rng_factory(4))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLERS))
+    def test_schemes_agree_on_proportions(self, scheme, rng):
+        """Unnormalized weights keep every scheme unbiased."""
+        weights = np.array([5.0, 3.0, 2.0])  # sums to 10, not 1
+        counts = np.zeros(3)
+        for _ in range(200):
+            idx = RESAMPLERS[scheme](weights, 100, rng)
+            counts += np.bincount(idx, minlength=3)
+        assert np.allclose(counts / counts.sum(), weights / weights.sum(), atol=0.02)
+
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLERS))
+    def test_degenerate_sums_rejected(self, scheme, rng):
+        with pytest.raises(InferenceError):
+            RESAMPLERS[scheme]([0.0, 0.0], 4, rng)
+        with pytest.raises(InferenceError):
+            RESAMPLERS[scheme]([], 4, rng)
+        with pytest.raises(InferenceError):
+            RESAMPLERS[scheme]([0.5, -0.5, 1.0], 4, rng)
 
 
 class TestResidual:
