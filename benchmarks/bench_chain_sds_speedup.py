@@ -1,0 +1,131 @@
+"""Array-native delayed sampling: scalar vs batched Gaussian-chain graphs.
+
+The acceptance bar of the chain-SDS subsystem: at 1000 particles the
+``bds@vectorized`` / ``sds@vectorized`` specs — one
+structure-of-arrays delayed-sampling graph for the whole population —
+must beat the scalar per-particle graphs by a wide margin on the
+Kalman / Fig. 2 HMM chains and on the robot tracker's multivariate
+chain (the committed run in EXPERIMENTS.md shows the measured factors).
+
+Besides the text tables, the run writes a machine-readable
+``BENCH_PR4.json`` (method spec -> particle count -> step-latency
+quantiles, via :func:`repro.bench.reporting.write_bench_json`) — the
+perf-trajectory artifact CI archives so later PRs can diff step
+latencies mechanically. Override the output path with
+``REPRO_BENCH_JSON``.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    HmmModel,
+    KalmanModel,
+    RobotModel,
+    format_sweep,
+    kalman_data,
+    latency_sweep,
+    robot_data,
+    sweep_records,
+    write_bench_json,
+)
+
+from conftest import emit
+
+COUNTS = [100, 1000]
+#: minimum accepted speedup at 1000 particles (the committed run shows
+#: far more; the bar leaves margin for CI noise on shared runners).
+MIN_SPEEDUP = 4.0
+
+_RECORDS = []
+
+
+def _sweep_and_record(model_factory, data, model_name, methods, runs=3):
+    result = latency_sweep(
+        model_factory, data, particle_counts=COUNTS, methods=methods, runs=runs
+    )
+    _RECORDS.extend(
+        sweep_records(result, model_name, extra={"benchmark": "chain_sds_speedup"})
+    )
+    return result
+
+
+@pytest.fixture(scope="module")
+def hmm_data(bench_config):
+    return kalman_data(
+        bench_config["sweep_steps"], seed=42,
+        prior_var=1.0, motion_var=1.0, obs_var=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def tracker_data(bench_config):
+    return robot_data(bench_config["sweep_steps"], seed=42)
+
+
+def _assert_speedup(result, scalar_spec, vector_spec, label):
+    speedup = (
+        result.get(scalar_spec, 1000).median / result.get(vector_spec, 1000).median
+    )
+    emit(f"{label} speedup at 1000 particles: {speedup:.1f}x")
+    assert speedup >= MIN_SPEEDUP
+    return speedup
+
+
+def test_chain_bds_speedup_hmm(benchmark, hmm_data, bench_config):
+    def sweep():
+        return _sweep_and_record(
+            HmmModel, hmm_data, "hmm", ["bds", "bds@vectorized"]
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "HMM step latency (ms): scalar vs batched-graph BDS"))
+    _assert_speedup(result, "bds", "bds@vectorized", "HMM bds")
+
+
+def test_chain_sds_speedup_kalman(benchmark, hmm_data, bench_config):
+    """sds@vectorized on the Kalman chain (closed-form engine) stays fast."""
+
+    def sweep():
+        return _sweep_and_record(
+            KalmanModel, hmm_data, "kalman",
+            ["sds", "sds@vectorized", "bds", "bds@vectorized"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "Kalman step latency (ms): scalar vs vectorized"))
+    _assert_speedup(result, "sds", "sds@vectorized", "Kalman sds")
+    _assert_speedup(result, "bds", "bds@vectorized", "Kalman bds")
+
+
+def test_chain_sds_speedup_robot(benchmark, tracker_data, bench_config):
+    """The multivariate chain: per-particle matrix Kalman graphs vs arrays."""
+
+    def sweep():
+        return _sweep_and_record(
+            RobotModel, tracker_data, "robot",
+            ["sds", "sds@vectorized", "bds", "bds@vectorized"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "Robot step latency (ms): scalar vs batched-graph"))
+    _assert_speedup(result, "sds", "sds@vectorized", "robot sds")
+    _assert_speedup(result, "bds", "bds@vectorized", "robot bds")
+
+
+def test_write_bench_json(bench_config):
+    """Persist the perf trajectory collected by the sweeps above."""
+    if not _RECORDS:
+        pytest.skip("no sweep ran in this session (tests were deselected)")
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_PR4.json")
+    write_bench_json(
+        path,
+        _RECORDS,
+        meta={
+            "benchmark": "chain_sds_speedup",
+            "sweep_steps": bench_config["sweep_steps"],
+            "particle_counts": COUNTS,
+        },
+    )
+    emit(f"wrote {len(_RECORDS)} perf-trajectory records to {path}")

@@ -1,6 +1,12 @@
 """Benchmark models, data generation, and the evaluation harness."""
 
-from repro.bench.data import Dataset, coin_data, kalman_data, outlier_data
+from repro.bench.data import (
+    Dataset,
+    coin_data,
+    kalman_data,
+    outlier_data,
+    robot_data,
+)
 from repro.bench.harness import (
     ProfileResult,
     Quantiles,
@@ -22,13 +28,24 @@ from repro.bench.models import (
     OutlierModel,
     WalkModel,
 )
-from repro.bench.reporting import format_profile, format_sweep, summarize_profile
+from repro.bench.reporting import (
+    format_profile,
+    format_sweep,
+    summarize_profile,
+    sweep_records,
+    write_bench_json,
+)
+from repro.bench.robot import RobotConfig, RobotEnv, RobotModel
 
 __all__ = [
     "Dataset",
     "kalman_data",
     "coin_data",
     "outlier_data",
+    "robot_data",
+    "RobotConfig",
+    "RobotEnv",
+    "RobotModel",
     "KalmanModel",
     "HmmModel",
     "CoinModel",
@@ -49,4 +66,6 @@ __all__ = [
     "format_sweep",
     "format_profile",
     "summarize_profile",
+    "sweep_records",
+    "write_bench_json",
 ]

@@ -14,7 +14,7 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["Dataset", "kalman_data", "coin_data", "outlier_data"]
+__all__ = ["Dataset", "kalman_data", "coin_data", "outlier_data", "robot_data"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +54,27 @@ def coin_data(steps: int, seed: int = 0, alpha: float = 1.0, beta: float = 1.0) 
     bias = rng.beta(alpha, beta)
     observations = [bool(rng.random() < bias) for _ in range(steps)]
     return Dataset([bias] * steps, observations)
+
+
+def robot_data(steps: int, seed: int = 0, config=None, cmd: float = 0.0) -> Dataset:
+    """Simulate the Fig. 5 robot with a constant command.
+
+    Observations are the ``(a_obs, gps_or_None, cmd)`` input tuples the
+    :class:`~repro.bench.robot.RobotModel` consumes (GPS present every
+    ``gps_period`` steps); truths are the simulator's positions. Used by
+    the chain-SDS benchmarks, which need a multivariate Gaussian chain
+    in the sweep.
+    """
+    from repro.bench.robot import RobotConfig, RobotEnv
+
+    env = RobotEnv(config if config is not None else RobotConfig(), seed=seed)
+    truths: List[float] = []
+    observations: List = []
+    for _ in range(steps):
+        a_obs, gps, true_position = env.step(cmd)
+        truths.append(true_position)
+        observations.append((a_obs, gps, cmd))
+    return Dataset(truths, observations)
 
 
 def outlier_data(

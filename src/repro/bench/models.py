@@ -266,6 +266,7 @@ from repro.vectorized.models import (  # noqa: E402
     kalman_vectorizer,
     outlier_vectorizer,
     register_conjugate_gaussian_chain,
+    register_gaussian_chain_model,
     register_sds_engine,
     register_vectorizer,
 )
@@ -278,3 +279,8 @@ register_conjugate_gaussian_chain(KalmanModel)
 register_conjugate_gaussian_chain(HmmModel)
 register_sds_engine(CoinModel, VectorizedBetaBernoulliSDS)
 register_sds_engine(OutlierModel, VectorizedOutlierSDS)
+# The Kalman/HMM chains keep their dedicated closed-form SDS recursions
+# (registered above); this additionally routes their *bounded* delayed
+# sampling to the array-native graph engine of repro.vectorized.sds_graph.
+register_gaussian_chain_model(KalmanModel)
+register_gaussian_chain_model(HmmModel)

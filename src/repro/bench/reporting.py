@@ -1,18 +1,35 @@
-"""Text rendering of benchmark results.
+"""Text and machine-readable rendering of benchmark results.
 
 The paper presents its evaluation as log-scale plots; the harness
 renders the same series as aligned text tables (one row per particle
 count or step index, one column group per method) so a terminal run of
 the benchmark suite reproduces every figure's data.
+
+:func:`sweep_records` / :func:`write_bench_json` are the machine-readable
+side: a flat ``method spec -> particle count -> quantiles`` record list
+serialized as JSON, so CI can archive each run as a perf-trajectory
+artifact (``BENCH_PR4.json`` and successors) and later runs can be
+diffed mechanically instead of by reading tables.
 """
 
 from __future__ import annotations
 
-from typing import List
+import json
+import platform
+from typing import Dict, List, Optional
 
 from repro.bench.harness import ProfileResult, SweepResult
 
-__all__ = ["format_sweep", "format_profile", "summarize_profile"]
+__all__ = [
+    "format_sweep",
+    "format_profile",
+    "summarize_profile",
+    "sweep_records",
+    "write_bench_json",
+]
+
+#: schema tag stamped into every benchmark JSON file.
+BENCH_JSON_SCHEMA = "repro-bench/1"
 
 
 def _fmt(value: float) -> str:
@@ -66,6 +83,60 @@ def format_profile(result: ProfileResult, title: str, max_rows: int = 20) -> str
     for row in rows:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def sweep_records(
+    result: SweepResult, model: str, extra: Optional[Dict] = None
+) -> List[dict]:
+    """Flatten a sweep into JSON-ready records, one per (spec, count) cell.
+
+    Each record carries the method spec, the particle count, and the
+    cell's quantiles under metric-specific keys (``median_ms`` for
+    latency sweeps, ``median`` otherwise); ``extra`` entries are merged
+    into every record (e.g. a benchmark name).
+    """
+    suffix = "_ms" if result.metric.endswith("_ms") else ""
+    records: List[dict] = []
+    for spec in result.methods:
+        for particles in result.particle_counts:
+            cell = result.cells[spec][particles]
+            record = {
+                "model": model,
+                "spec": spec,
+                "particles": int(particles),
+                "metric": result.metric,
+                f"q10{suffix}": cell.q10,
+                f"median{suffix}": cell.median,
+                f"q90{suffix}": cell.q90,
+            }
+            if extra:
+                record.update(extra)
+            records.append(record)
+    return records
+
+
+def write_bench_json(
+    path, records: List[dict], meta: Optional[Dict] = None
+) -> None:
+    """Write benchmark records as one machine-readable JSON document.
+
+    The document is ``{"schema", "host", "meta", "entries"}``; entries
+    are the flat records of :func:`sweep_records` (possibly from several
+    sweeps concatenated). The file is the unit CI uploads as the
+    perf-trajectory artifact.
+    """
+    document = {
+        "schema": BENCH_JSON_SCHEMA,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "meta": dict(meta or {}),
+        "entries": list(records),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def summarize_profile(result: ProfileResult) -> dict:

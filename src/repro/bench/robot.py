@@ -129,3 +129,20 @@ class RobotEnv:
 def reached_target(p_dist, config: RobotConfig) -> bool:
     """The Fig. 5 guard: P(p in [target-eps, target+eps]) > confidence."""
     return probability(p_dist, config.target, config.epsilon) > config.confidence
+
+
+# Register the robot tracker with the array-native delayed-sampling
+# backend. Unlike the scalar Kalman chains (whose conjugate structure is
+# declared by hand in repro.bench.models), the robot's chain structure is
+# *detected*: a two-step probe — one instant with a GPS fix, one without,
+# covering both transition shapes — confirms the model stays inside the
+# linear-Gaussian fragment before the graph engine claims its bds/sds
+# specs. A future model edit that breaks the chain (a non-Gaussian
+# sensor, a branch on a sampled value) silently reverts to the scalar
+# engines instead of crashing the vectorized path.
+from repro.delayed.detect import probe_gaussian_chain  # noqa: E402
+from repro.vectorized.models import register_gaussian_chain_model  # noqa: E402
+
+_probe = probe_gaussian_chain(RobotModel(), [(0.0, 0.0, 0.0), (0.1, None, 0.0)])
+if _probe.is_chain:
+    register_gaussian_chain_model(RobotModel)

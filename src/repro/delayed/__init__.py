@@ -23,10 +23,18 @@ from repro.delayed.interface import (
     observe_dist,
     value_expr,
 )
+from repro.delayed.detect import (
+    GAUSSIAN_FAMILIES,
+    ChainProbeReport,
+    probe_gaussian_chain,
+)
 from repro.delayed.node import DSNode, NodeState, family_of_dist
 from repro.delayed.streaming import StreamingGraph
 
 __all__ = [
+    "ChainProbeReport",
+    "probe_gaussian_chain",
+    "GAUSSIAN_FAMILIES",
     "BaseGraph",
     "DelayedGraph",
     "StreamingGraph",

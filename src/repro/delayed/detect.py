@@ -1,0 +1,144 @@
+"""Structure detection: is a model a linear-Gaussian chain?
+
+The array-native delayed-sampling runtime
+(:mod:`repro.vectorized.sds_graph`) handles exactly the models whose
+delayed-sampling execution stays inside the linear-Gaussian chain
+fragment: every random variable is Gaussian or multivariate Gaussian,
+every dependency is affine in a single chain variable, and the model
+never branches on (or otherwise forces) a sampled value mid-step — the
+lockstep condition that lets one run of the model's Python code drive
+all particles at once.
+
+:func:`probe_gaussian_chain` answers that question *empirically*: it
+steps the scalar model against an instrumented pointer-minimal graph
+over a short probe input stream and reports which conjugacy families
+appeared and whether any realization was forced outside ``observe``.
+The benchmark layer uses the probe to register its chain models with
+the vectorized backend (see ``repro.bench.robot``); user models can do
+the same::
+
+    from repro.delayed.detect import probe_gaussian_chain
+    from repro.vectorized import register_gaussian_chain_model
+
+    report = probe_gaussian_chain(MyModel(), probe_inputs)
+    if report.is_chain:
+        register_gaussian_chain_model(MyModel)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.delayed.streaming import StreamingGraph
+from repro.errors import GraphError, SymbolicError
+
+__all__ = ["ChainProbeReport", "probe_gaussian_chain", "GAUSSIAN_FAMILIES"]
+
+#: conjugacy families the array-native chain runtime implements.
+GAUSSIAN_FAMILIES = frozenset({"gaussian", "mv_gaussian"})
+
+
+@dataclass(frozen=True)
+class ChainProbeReport:
+    """What a probe run of a model observed.
+
+    ``is_chain`` is the verdict; the remaining fields say why: the
+    conjugacy ``families`` touched, how many realizations were
+    ``forced`` outside ``observe`` (value forcing / dependency
+    breaking — both defeat lockstep batching), the number of probe
+    ``steps`` executed, and a human-readable ``reason`` when the model
+    is rejected.
+    """
+
+    is_chain: bool
+    families: frozenset = frozenset()
+    forced: int = 0
+    steps: int = 0
+    reason: str = ""
+
+
+class _ProbeGraph(StreamingGraph):
+    """A streaming graph that records families and observe realizations."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        super().__init__(rng=rng)
+        self.families: Set[str] = set()
+        self.observed = 0
+
+    def assume_root(self, marginal, name=""):
+        node = super().assume_root(marginal, name=name)
+        self.families.add(node.family)
+        return node
+
+    def assume_conditional(self, cdistr, parent, name=""):
+        node = super().assume_conditional(cdistr, parent, name=name)
+        self.families.add(node.family)
+        return node
+
+    def observe(self, node, value):
+        self.observed += 1
+        return super().observe(node, value)
+
+
+def probe_gaussian_chain(
+    model: Any,
+    inputs: Sequence[Any],
+    seed: int = 0,
+) -> ChainProbeReport:
+    """Run ``model`` over ``inputs`` and report its chain structure.
+
+    The probe executes the model's *scalar* delayed-sampling semantics
+    (a single pointer-minimal graph, i.e. one particle) for a few steps.
+    Two or more inputs are recommended so both the initial and the
+    steady-state transition structure are observed — e.g. for the robot
+    tracker, one step with a GPS fix and one without.
+
+    The verdict is conservative in both directions it needs to be:
+    a model is a chain only if every assumed variable is Gaussian /
+    multivariate Gaussian *and* no realization happened outside
+    ``observe`` (``ctx.value`` forcing, or ``assume`` breaking a
+    non-affine dependency by realization — either one means per-particle
+    values feed the graph structure, which the lockstep batched runtime
+    does not admit). A model that raises a graph or symbolic error
+    (e.g. branching on a symbolic value) is likewise not a chain.
+    """
+    # Imported lazily: repro.inference.contexts itself imports the
+    # delayed-sampling package, so a module-level import would be circular.
+    from repro.inference.contexts import DelayedCtx
+
+    if not inputs:
+        return ChainProbeReport(False, reason="no probe inputs provided")
+    graph = _ProbeGraph(rng=np.random.default_rng(seed))
+    ctx = DelayedCtx(graph)
+    state = model.init()
+    steps = 0
+    try:
+        for inp in inputs:
+            _, state = model.step(state, inp, ctx)
+            steps += 1
+    except (GraphError, SymbolicError, ValueError, TypeError) as exc:
+        return ChainProbeReport(
+            False,
+            families=frozenset(graph.families),
+            steps=steps,
+            reason=f"probe step raised {type(exc).__name__}: {exc}",
+        )
+    # Each observe realizes exactly one node; anything beyond that was a
+    # forced realization (ctx.value or dependency breaking).
+    forced = graph.n_realized - graph.observed
+    families = frozenset(graph.families)
+    if not families <= GAUSSIAN_FAMILIES:
+        extra = sorted(families - GAUSSIAN_FAMILIES)
+        return ChainProbeReport(
+            False, families, forced, steps,
+            reason=f"non-Gaussian families in the graph: {extra}",
+        )
+    if forced > 0:
+        return ChainProbeReport(
+            False, families, forced, steps,
+            reason=f"{forced} realization(s) forced outside observe",
+        )
+    return ChainProbeReport(True, families, forced, steps)

@@ -224,7 +224,12 @@ class BaseGraph:
         without mutating the graph.
         """
         if node.state is NodeState.REALIZED:
-            return Delta(node.value)
+            # Realized values are final; the persistent delayed engines
+            # snapshot every particle's output each step, so memoize the
+            # Dirac instead of re-allocating it per step per particle.
+            if node.snapshot_cache is None:
+                node.snapshot_cache = Delta(node.value)
+            return node.snapshot_cache
         if node.state is NodeState.MARGINALIZED:
             return self.posterior_marginal(node)
         # Initialized: fold conditionals down from the nearest

@@ -92,6 +92,7 @@ class DSNode:
         "marginal",
         "value",
         "folded",
+        "snapshot_cache",
     )
 
     def __init__(
@@ -114,6 +115,9 @@ class DSNode:
         self.marginal = marginal
         self.value: Any = None
         self.folded = False
+        #: memoized Dirac snapshot of a realized node (the value never
+        #: changes after realization, so the lift can reuse one object).
+        self.snapshot_cache: Any = None
 
     @property
     def dim(self) -> Optional[int]:

@@ -48,7 +48,14 @@ class Distribution(abc.ABC):
 
     Subclasses must be immutable; all parameters are fixed at
     construction time and validated there.
+
+    The empty ``__slots__`` here matters: distributions are the hottest
+    allocation in the scalar delayed samplers (every conjugate update
+    builds a new object), and a slotted subclass only sheds its
+    per-instance ``__dict__`` if *every* base declares slots too.
     """
+
+    __slots__ = ()
 
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator) -> Any:
@@ -83,6 +90,8 @@ class Distribution(abc.ABC):
 
 class ScalarDistribution(Distribution):
     """A distribution over real scalars (or scalar-like values)."""
+
+    __slots__ = ()
 
     def sample(self, rng: np.random.Generator) -> float:
         raise NotImplementedError

@@ -13,7 +13,70 @@ import numpy as np
 from repro.dists.base import Distribution
 from repro.errors import DistributionError
 
-__all__ = ["MvGaussian"]
+__all__ = [
+    "MvGaussian",
+    "batched_matvec",
+    "batched_rowdot",
+    "batched_mv_log_pdf",
+]
+
+
+def batched_matvec(a, x: np.ndarray) -> np.ndarray:
+    """``A @ x_i`` for every particle row of ``x`` — ``(n, d_in) -> (n, d_out)``.
+
+    Expanded into per-column elementwise products summed left to right,
+    so each output row is computed independently of every other row:
+    slicing the particle axis (sharded execution) cannot change a single
+    bit of the result, which BLAS-backed ``matmul`` does not guarantee.
+    State dimensions are tiny (the robot's is 3), so the Python loop is
+    over matrix entries, not particles.
+    """
+    a = np.asarray(a, dtype=float)
+    x = np.asarray(x, dtype=float)
+    cols = []
+    for i in range(a.shape[0]):
+        acc = a[i, 0] * x[:, 0]
+        for j in range(1, a.shape[1]):
+            acc = acc + a[i, j] * x[:, j]
+        cols.append(acc)
+    return np.stack(cols, axis=1)
+
+
+def batched_rowdot(row, x: np.ndarray) -> np.ndarray:
+    """``row . x_i`` for every particle row of ``x`` — ``(n, d) -> (n,)``.
+
+    The projection kernel (``x[i]`` observations, GPS fixes); same
+    fixed-order summation guarantee as :func:`batched_matvec`.
+    """
+    row = np.asarray(row, dtype=float)
+    x = np.asarray(x, dtype=float)
+    acc = row[0] * x[:, 0]
+    for j in range(1, row.size):
+        acc = acc + row[j] * x[:, j]
+    return acc
+
+
+def batched_mv_log_pdf(value, means: np.ndarray, cov: np.ndarray) -> np.ndarray:
+    """``log N(value; mean_i, cov)`` for per-particle means, shared cov.
+
+    The batched counterpart of :meth:`MvGaussian.log_pdf` under the
+    Gaussian-chain invariant that covariances are particle-independent
+    (covariance arithmetic never touches realized values). Uses the same
+    pseudo-inverse / pseudo-determinant treatment of degenerate
+    covariances as the scalar method.
+    """
+    means = np.asarray(means, dtype=float)
+    cov = np.asarray(cov, dtype=float)
+    d = cov.shape[0]
+    diff = np.asarray(value, dtype=float).reshape(1, -1) - means
+    sign, logdet = np.linalg.slogdet(cov)
+    if sign <= 0:
+        eigvals = np.linalg.eigvalsh(cov)
+        pos = eigvals[eigvals > 1e-12]
+        logdet = float(np.sum(np.log(pos)))
+    pinv = np.linalg.pinv(cov)
+    maha = batched_rowdot(np.ones(d), diff * batched_matvec(pinv, diff))
+    return -0.5 * (d * np.log(2.0 * np.pi) + logdet + maha)
 
 
 class MvGaussian(Distribution):

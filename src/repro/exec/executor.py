@@ -17,7 +17,11 @@ plus RNG substream — in-process across steps, so per-step traffic is
 command messages (step input out, per-shard weight vectors and outputs
 back) instead of full-population pickles, and the resample barrier
 ships only the global ancestor indices plus the few particles that
-actually migrate between shards.
+actually migrate between shards. The reply arrays themselves (the
+per-step outs/weights vectors) travel through one shared-memory ring
+per worker (:mod:`repro.exec.shm`) when the platform offers it, with
+the pickle path kept as an automatic fallback — pass ``shm_bytes=0``
+to force pickling.
 
 Executors are selected by spec string (``"serial"``, ``"threads:4"``,
 ``"processes:2"``, ``"processes-persistent:4"``) through
@@ -42,6 +46,7 @@ from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import InferenceError
+from repro.exec.shm import ShmRing
 
 __all__ = [
     "Executor",
@@ -179,15 +184,31 @@ class ProcessShardExecutor(_PooledExecutor):
 _PIPE_ERRORS = (BrokenPipeError, EOFError, ConnectionResetError, OSError)
 
 
-def _persistent_worker_main(conn) -> None:
+def _persistent_worker_main(conn, ring_name: Optional[str] = None) -> None:
     """Main loop of one persistent worker: resident shards + commands.
 
     ``homes`` maps ``(population key, shard index)`` to the resident
     shard, the stepper that advances it, and the accumulated log-weight
     vector of the most recent step (so the weight commit after a
     non-resampling barrier needs no data from the coordinator at all).
+
+    When the coordinator allocated a shared-memory ring for this worker
+    (``ring_name``), reply payloads are routed through it: array leaves
+    park in the ring and only small descriptors cross the pipe (see
+    :mod:`repro.exec.shm`). Attachment failure silently degrades to the
+    pickle path — the ring is a latency optimization, never a
+    correctness dependency.
     """
     homes: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    ring = ShmRing.attach(ring_name)
+    try:
+        _persistent_worker_loop(conn, homes, ring)
+    finally:
+        if ring is not None:
+            ring.close()
+
+
+def _persistent_worker_loop(conn, homes, ring) -> None:
     while True:
         try:
             msg = conn.recv()
@@ -261,19 +282,39 @@ def _persistent_worker_main(conn) -> None:
                 return
         else:
             try:
+                if ring is not None:
+                    reply = ring.pack(reply)
                 conn.send(("ok", reply))
             except Exception:
                 return
 
 
 class _WorkerSlot:
-    """One persistent worker process and the coordinator's pipe to it."""
+    """One persistent worker process, the coordinator's pipe, and its ring."""
 
-    __slots__ = ("process", "conn")
+    __slots__ = ("process", "conn", "ring")
 
-    def __init__(self, process, conn):
+    def __init__(self, process, conn, ring=None):
         self.process = process
         self.conn = conn
+        self.ring = ring
+
+    def recv_reply(self) -> Tuple[str, Any]:
+        """Receive one reply, materializing ring-parked arrays."""
+        tag, value = self.conn.recv()
+        if tag == "ok" and self.ring is not None:
+            value = self.ring.unpack(value)
+        return tag, value
+
+    def discard(self) -> None:
+        """Release the coordinator-side resources of a dead/replaced worker."""
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        if self.ring is not None:
+            self.ring.close()
+            self.ring = None
 
 
 class _ResidentState:
@@ -348,7 +389,16 @@ class PersistentProcessExecutor(Executor):
 
     resident = True
 
-    def __init__(self, workers: Optional[int] = None, checkpoint_every: int = 8):
+    #: default shared-memory ring size per worker (bytes); holds the
+    #: per-step outs/weights vectors of ~100k-particle shards.
+    DEFAULT_SHM_BYTES = 4 * 1024 * 1024
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        checkpoint_every: int = 8,
+        shm_bytes: Optional[int] = None,
+    ):
         workers = default_workers() if workers is None else int(workers)
         if workers < 1:
             raise InferenceError("executor needs at least one worker")
@@ -356,6 +406,11 @@ class PersistentProcessExecutor(Executor):
             raise InferenceError("checkpoint_every must be at least 1")
         self.workers = workers
         self.checkpoint_every = int(checkpoint_every)
+        #: per-worker shared-memory ring size; 0 disables the ring and
+        #: every reply ships fully pickled (the fallback path).
+        self.shm_bytes = (
+            self.DEFAULT_SHM_BYTES if shm_bytes is None else int(shm_bytes)
+        )
         self._slots: Optional[List[_WorkerSlot]] = None
         self._populations: Dict[int, _ResidentState] = {}
         self._next_key = 0
@@ -363,12 +418,15 @@ class PersistentProcessExecutor(Executor):
     # -- lifecycle ------------------------------------------------------
     def _spawn_slot(self) -> _WorkerSlot:
         parent_conn, child_conn = multiprocessing.Pipe()
+        ring = ShmRing.create(self.shm_bytes)
         process = multiprocessing.Process(
-            target=_persistent_worker_main, args=(child_conn,), daemon=True
+            target=_persistent_worker_main,
+            args=(child_conn, ring.name if ring is not None else None),
+            daemon=True,
         )
         process.start()
         child_conn.close()
-        return _WorkerSlot(process, parent_conn)
+        return _WorkerSlot(process, parent_conn, ring)
 
     def _ensure_started(self) -> None:
         if self._slots is not None:
@@ -401,10 +459,7 @@ class PersistentProcessExecutor(Executor):
             if slot.process.is_alive():
                 slot.process.terminate()
                 slot.process.join(timeout=2)
-            try:
-                slot.conn.close()
-            except Exception:
-                pass
+            slot.discard()
         self._slots = None
 
     # The executor rides along when an engine is pickled into a worker
@@ -426,21 +481,21 @@ class PersistentProcessExecutor(Executor):
     # -- messaging ------------------------------------------------------
     def _reload_slot(self, slot_index: int) -> None:
         """Rebuild every resident shard assigned to one (fresh) worker."""
-        conn = self._slots[slot_index].conn
+        slot = self._slots[slot_index]
         for state in self._populations.values():
             if state.poisoned:  # unusable anyway; nothing to rebuild
                 continue
             for index in range(state.n_shards):
                 if self._slot_of(index) != slot_index:
                     continue
-                conn.send(
+                slot.conn.send(
                     ("load", state.key, index, state.checkpoints[index],
                      state.stepper)
                 )
-                self._expect_ok(conn)
+                self._expect_ok(slot)
                 for entry in state.oplogs[index]:
-                    conn.send(self._replay_msg(state.key, index, entry))
-                    self._expect_ok(conn)
+                    slot.conn.send(self._replay_msg(state.key, index, entry))
+                    self._expect_ok(slot)
 
     @staticmethod
     def _replay_msg(key: int, index: int, entry: tuple) -> tuple:
@@ -453,8 +508,8 @@ class PersistentProcessExecutor(Executor):
         raise InferenceError(f"unknown oplog entry {entry[0]!r}")
 
     @staticmethod
-    def _expect_ok(conn) -> Any:
-        tag, value = conn.recv()
+    def _expect_ok(slot: _WorkerSlot) -> Any:
+        tag, value = slot.recv_reply()
         if tag == "err":
             raise InferenceError(f"persistent worker failed:\n{value}")
         return value
@@ -465,10 +520,7 @@ class PersistentProcessExecutor(Executor):
         if old.process.is_alive():
             old.process.terminate()
         old.process.join(timeout=2)
-        try:
-            old.conn.close()
-        except Exception:
-            pass
+        old.discard()
         self._slots[slot_index] = self._spawn_slot()
         self._reload_slot(slot_index)
 
@@ -518,7 +570,10 @@ class PersistentProcessExecutor(Executor):
             for conn in _connection_wait(list(in_flight)):
                 slot_index, position = in_flight.pop(conn)
                 try:
-                    tag, value = conn.recv()
+                    # recv_reply materializes ring-parked arrays *before*
+                    # the next command is sent to this worker, which is
+                    # what lets the worker rewind its ring per message.
+                    tag, value = self._slots[slot_index].recv_reply()
                 except _PIPE_ERRORS:
                     failed[slot_index] = all_items[slot_index]
                     queues[slot_index].clear()
@@ -533,10 +588,10 @@ class PersistentProcessExecutor(Executor):
             # to the pre-burst point, so every command of the burst is
             # re-run (including any that had already been answered).
             self._revive_slot(slot_index)
-            conn = self._slots[slot_index].conn
+            slot = self._slots[slot_index]
             for position, msg in items:
-                conn.send(msg)
-                tag, value = conn.recv()
+                slot.conn.send(msg)
+                tag, value = slot.recv_reply()
                 if tag == "err":
                     errors.append(value)
                 else:

@@ -1,0 +1,217 @@
+"""Shared-memory transport for per-step worker replies.
+
+The persistent executor's per-step traffic is dominated by the arrays a
+worker sends back from each ``step`` command: the stacked outputs and
+the two log-weight vectors. (Checkpoint ``pull`` replies are opaque
+:class:`~repro.exec.population.Shard` objects the structural walk does
+not open, so they still ship pickled — they happen once per
+``checkpoint_every`` steps, not per step.)
+Pickling ships those arrays through the pipe byte by byte; this module
+moves the array *payloads* through one
+:class:`multiprocessing.shared_memory.SharedMemory` ring per worker
+instead, so the pipe carries only small descriptors.
+
+Protocol fit: the coordinator keeps **at most one command in flight per
+worker** and consumes (copies out of the ring) every reply before the
+next command to that worker is sent, so writer and reader can never
+race on a region. The ring therefore degenerates to a bump allocator
+that rewinds for every message — :meth:`ShmRing.pack` starts at offset
+0, lays arrays head to tail, and anything that does not fit simply
+stays inline in the pickle (the fallback path, also taken when shared
+memory is unavailable on the platform or disabled with
+``shm_bytes=0``). Correctness never depends on the ring; only latency
+does.
+
+The coordinator owns each ring's lifetime: it creates one per worker
+slot, hands the name to the worker, and unlinks it when the worker is
+replaced or the executor closes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised by absence only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = ["ShmRing", "ShmBlock", "ShmLeaf", "register_shm_leaf", "shm_available"]
+
+#: minimum array payload worth redirecting through the ring; tiny arrays
+#: cost more in descriptor + copy bookkeeping than they save.
+MIN_BYTES = 128
+
+
+def shm_available() -> bool:
+    """True when the platform offers POSIX/Windows shared memory."""
+    return _shared_memory is not None
+
+
+#: opaque reply types the transport knows how to open up:
+#: type -> (decompose(obj) -> walkable pytree, rebuild(pytree) -> obj).
+#: Layers that own array-carrying reply objects (e.g. the vectorized
+#: package's ChainOuts) register here so their arrays ride the ring too;
+#: registration happens at import time on both sides of the pipe, since
+#: workers import the same modules to unpickle the stepper.
+_LEAF_CODECS: dict = {}
+
+
+def register_shm_leaf(cls: type, decompose: Any, rebuild: Any) -> None:
+    """Teach the transport to park an opaque reply type's arrays."""
+    _LEAF_CODECS[cls] = (decompose, rebuild)
+
+
+class ShmLeaf:
+    """A registered opaque object, decomposed for transport."""
+
+    __slots__ = ("cls", "parts")
+
+    def __init__(self, cls: type, parts: Any):
+        self.cls = cls
+        self.parts = parts
+
+    def __repr__(self) -> str:
+        return f"ShmLeaf({self.cls.__name__})"
+
+
+class ShmBlock:
+    """Descriptor of one array parked in a ring (travels in the pickle)."""
+
+    __slots__ = ("offset", "shape", "dtype")
+
+    def __init__(self, offset: int, shape: Tuple[int, ...], dtype: str):
+        self.offset = offset
+        self.shape = shape
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return f"ShmBlock(offset={self.offset}, shape={self.shape}, dtype={self.dtype})"
+
+
+class ShmRing:
+    """One shared-memory ring: created by the coordinator, attached by a worker.
+
+    ``pack`` (worker side) rewrites a reply, parking eligible ndarray
+    leaves in the ring and replacing them with :class:`ShmBlock`
+    descriptors; ``unpack`` (coordinator side) materializes fresh array
+    copies from the descriptors. Both walk tuples/lists/dicts
+    structurally and leave every other object alone, so replies that
+    contain no arrays (scalar-engine particle lists, plain acks) pass
+    through untouched.
+    """
+
+    def __init__(self, shm: Any, owner: bool):
+        self._shm = shm
+        self._owner = owner
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def create(cls, nbytes: int) -> Optional["ShmRing"]:
+        """Coordinator side: allocate a ring, or None when unavailable."""
+        if _shared_memory is None or nbytes <= 0:
+            return None
+        try:
+            shm = _shared_memory.SharedMemory(create=True, size=int(nbytes))
+        except OSError:
+            return None
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: Optional[str]) -> Optional["ShmRing"]:
+        """Worker side: attach to the coordinator's ring by name."""
+        if _shared_memory is None or name is None:
+            return None
+        try:
+            shm = _shared_memory.SharedMemory(name=name)
+        except (OSError, FileNotFoundError):
+            return None
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._shm.size)
+
+    def close(self) -> None:
+        """Detach; the owner also unlinks the segment."""
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:
+                pass
+
+    # -- transport ------------------------------------------------------
+    def pack(self, obj: Any) -> Any:
+        """Park array leaves of a reply in the ring (one message at a time).
+
+        The cursor rewinds to 0 for every call — valid because the
+        executor protocol guarantees the previous reply has been fully
+        unpacked before this one is produced. Arrays that do not fit in
+        the remaining space stay inline.
+        """
+        cursor = [0]
+        return self._pack(obj, cursor)
+
+    def _pack(self, obj: Any, cursor: List[int]) -> Any:
+        if isinstance(obj, np.ndarray):
+            return self._park(obj, cursor)
+        if isinstance(obj, tuple):
+            return tuple(self._pack(o, cursor) for o in obj)
+        if isinstance(obj, list):
+            return [self._pack(o, cursor) for o in obj]
+        if isinstance(obj, dict):
+            return {k: self._pack(v, cursor) for k, v in obj.items()}
+        codec = _LEAF_CODECS.get(type(obj))
+        if codec is not None:
+            return ShmLeaf(type(obj), self._pack(codec[0](obj), cursor))
+        return obj
+
+    def _park(self, array: np.ndarray, cursor: List[int]) -> Any:
+        if array.dtype.hasobject or array.nbytes < MIN_BYTES:
+            return array
+        data = np.ascontiguousarray(array)
+        start = cursor[0]
+        # 8-byte alignment keeps frombuffer happy for every numeric dtype.
+        start = (start + 7) & ~7
+        end = start + data.nbytes
+        if end > self.nbytes:
+            return array  # ring full: ship inline
+        view = np.frombuffer(
+            self._shm.buf, dtype=data.dtype, count=data.size, offset=start
+        )
+        view[:] = data.reshape(-1)
+        cursor[0] = end
+        return ShmBlock(start, data.shape, data.dtype.str)
+
+    def unpack(self, obj: Any) -> Any:
+        """Materialize :class:`ShmBlock` descriptors as fresh array copies."""
+        if isinstance(obj, ShmBlock):
+            count = int(np.prod(obj.shape, dtype=np.int64)) if obj.shape else 1
+            view = np.frombuffer(
+                self._shm.buf, dtype=np.dtype(obj.dtype), count=count,
+                offset=obj.offset,
+            )
+            return np.array(view).reshape(obj.shape)
+        if isinstance(obj, tuple):
+            return tuple(self.unpack(o) for o in obj)
+        if isinstance(obj, list):
+            return [self.unpack(o) for o in obj]
+        if isinstance(obj, dict):
+            return {k: self.unpack(v) for k, v in obj.items()}
+        if isinstance(obj, ShmLeaf):
+            return _LEAF_CODECS[obj.cls][1](self.unpack(obj.parts))
+        return obj
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "worker"
+        return f"ShmRing(name={self.name!r}, nbytes={self.nbytes}, {role})"

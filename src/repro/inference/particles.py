@@ -48,6 +48,7 @@ def _clone_node_shells(nodes) -> Dict[int, DSNode]:
         clone.marginal = node.marginal  # immutable, shared
         clone.value = node.value
         clone.folded = node.folded
+        clone.snapshot_cache = node.snapshot_cache  # immutable, shared
         clone.parent = None
         clone.children = []
         clone.marginal_child = None

@@ -3,6 +3,7 @@
 from repro.symbolic.affine import AffineForm, extract_affine
 from repro.symbolic.expr import (
     App,
+    BatchConst,
     RVar,
     SymExpr,
     app,
@@ -17,6 +18,7 @@ from repro.symbolic.expr import (
 __all__ = [
     "SymExpr",
     "RVar",
+    "BatchConst",
     "App",
     "app",
     "is_symbolic",

@@ -18,7 +18,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.symbolic.expr import App, RVar, SymExpr
+from repro.symbolic.expr import App, BatchConst, RVar, SymExpr
 
 __all__ = ["AffineForm", "extract_affine"]
 
@@ -93,6 +93,10 @@ def extract_affine(expr: Any) -> Optional[AffineForm]:
     """
     if isinstance(expr, RVar):
         return AffineForm(expr.node, 1.0, 0.0)
+    if isinstance(expr, BatchConst):
+        # A per-particle constant: no random variable involved, but the
+        # constant part of the form is an array (particle-major).
+        return AffineForm(None, 0.0, expr.values)
     if not isinstance(expr, SymExpr):
         return AffineForm(None, 0.0, expr)
     if not isinstance(expr, App):
@@ -131,13 +135,27 @@ def extract_affine(expr: Any) -> Optional[AffineForm]:
             return None
         matrix = np.asarray(matrix, dtype=float)
         if inner.rv is None:
-            return AffineForm(None, 0.0, matrix @ np.asarray(inner.const))
+            const = np.asarray(inner.const)
+            if const.ndim == 2:
+                # Particle-major batched constant (one row per particle):
+                # apply the matrix rowwise with the row-stable kernel, so
+                # sharded evaluation matches unsharded bit for bit.
+                from repro.dists.mv_gaussian import batched_matvec
+
+                return AffineForm(None, 0.0, batched_matvec(matrix, const))
+            return AffineForm(None, 0.0, matrix @ const)
         coeff = matrix @ np.atleast_2d(inner.coeff) if np.ndim(inner.coeff) == 2 else (
             matrix * inner.coeff
         )
-        const = matrix @ np.asarray(inner.const) if np.ndim(inner.const) >= 1 else (
-            matrix @ (np.zeros(matrix.shape[1]) + inner.const)
-        )
+        if np.ndim(inner.const) == 2:
+            # Particle-major batched constant: rowwise, as above.
+            from repro.dists.mv_gaussian import batched_matvec
+
+            const = batched_matvec(matrix, np.asarray(inner.const))
+        elif np.ndim(inner.const) >= 1:
+            const = matrix @ np.asarray(inner.const)
+        else:
+            const = matrix @ (np.zeros(matrix.shape[1]) + inner.const)
         return AffineForm(inner.rv, coeff, const)
     if op == "getitem":
         vector, index = args[0], args[1]
@@ -158,7 +176,12 @@ def extract_affine(expr: Any) -> Optional[AffineForm]:
             row[index] = 1.0
         else:
             return None
-        const = inner.const[index] if np.ndim(inner.const) >= 1 else inner.const
+        if np.ndim(inner.const) == 2:
+            const = np.asarray(inner.const)[:, index]  # particle-major rows
+        elif np.ndim(inner.const) >= 1:
+            const = inner.const[index]
+        else:
+            const = inner.const
         return AffineForm(inner.rv, row, const)
     return None
 

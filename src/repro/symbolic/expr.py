@@ -33,6 +33,7 @@ from repro.errors import SymbolicError
 __all__ = [
     "SymExpr",
     "RVar",
+    "BatchConst",
     "App",
     "is_symbolic",
     "free_rvars",
@@ -108,6 +109,32 @@ class RVar(SymExpr):
 
     def __repr__(self) -> str:
         return f"RVar({self.node!r})"
+
+
+class BatchConst(SymExpr):
+    """A concrete *per-particle* constant inside a symbolic expression.
+
+    The array-native delayed-sampling runtime threads whole-population
+    arrays through model code written for scalars: after a forced
+    realization, "the previous state" is one value per particle, i.e.
+    an array with the particle index as leading axis. Wrapping it keeps
+    ``is_symbolic`` true, so lifted constructors still produce
+    :class:`~repro.lang.lifted.SymDist` terms and the batched ``assume``
+    can turn ``gaussian(BatchConst(x), v)`` into a marginalized root
+    with a per-particle mean — instead of a scalar ``Gaussian``
+    constructor choking on an array parameter.
+
+    In affine analysis it behaves as a constant (no random variable),
+    and evaluation simply unwraps the array.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Any):
+        self.values = np.asarray(values)
+
+    def __repr__(self) -> str:
+        return f"BatchConst(shape={self.values.shape})"
 
 
 class App(SymExpr):
@@ -204,6 +231,8 @@ def eval_expr(value: Any, lookup: Callable[[Any], Any]) -> Any:
     """
     if isinstance(value, RVar):
         return lookup(value.node)
+    if isinstance(value, BatchConst):
+        return value.values
     if isinstance(value, App):
         impl = _OP_IMPLS.get(value.op)
         if impl is None:

@@ -28,13 +28,23 @@ from repro.vectorized.dists import (
     ArrayEmpirical,
     BetaMixtureArray,
     GaussianMixtureArray,
+    MvGaussianMixtureArray,
 )
 from repro.vectorized.engine import (
     VectorizedBetaBernoulliSDS,
     VectorizedEngine,
+    VectorizedGaussianChainSDS,
     VectorizedKalmanSDS,
     VectorizedOutlierSDS,
     VectorizedParticleFilter,
+)
+from repro.vectorized.sds_graph import (
+    BatchedDelayedCtx,
+    BatchedGaussianChainGraph,
+    BatchedNode,
+    ChainOuts,
+    ChainState,
+    ChainStructureError,
 )
 from repro.vectorized.kernels import (
     BATCH_KERNELS,
@@ -46,6 +56,7 @@ from repro.vectorized.kernels import (
     supports_batch,
 )
 from repro.vectorized.models import (
+    BDS_ENGINES,
     CONJUGATE_GAUSSIAN_CHAINS,
     SDS_ENGINES,
     VECTORIZED_MODELS,
@@ -53,7 +64,9 @@ from repro.vectorized.models import (
     VectorizedKalman,
     VectorizedModel,
     VectorizedOutlier,
+    register_bds_engine,
     register_conjugate_gaussian_chain,
+    register_gaussian_chain_model,
     register_sds_engine,
     register_vectorizer,
     vectorize_model,
@@ -67,12 +80,20 @@ __all__ = [
     "batch_state_words",
     "ArrayEmpirical",
     "GaussianMixtureArray",
+    "MvGaussianMixtureArray",
     "BetaMixtureArray",
     "VectorizedEngine",
     "VectorizedParticleFilter",
     "VectorizedKalmanSDS",
+    "VectorizedGaussianChainSDS",
     "VectorizedBetaBernoulliSDS",
     "VectorizedOutlierSDS",
+    "BatchedGaussianChainGraph",
+    "BatchedDelayedCtx",
+    "BatchedNode",
+    "ChainOuts",
+    "ChainState",
+    "ChainStructureError",
     "BATCH_KERNELS",
     "supports_batch",
     "sample_n",
@@ -87,8 +108,11 @@ __all__ = [
     "VECTORIZED_MODELS",
     "CONJUGATE_GAUSSIAN_CHAINS",
     "SDS_ENGINES",
+    "BDS_ENGINES",
     "register_vectorizer",
     "register_conjugate_gaussian_chain",
     "register_sds_engine",
+    "register_bds_engine",
+    "register_gaussian_chain_model",
     "vectorize_model",
 ]

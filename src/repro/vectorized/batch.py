@@ -14,6 +14,16 @@ leading dimension ``n``, or a tuple/list/dict of batch states. The
 helpers here (:func:`gather`, :func:`batch_state_words`) traverse that
 shape, so vectorized models are free to keep whatever state structure
 mirrors their scalar counterpart.
+
+Opaque leaves can opt in through the **row protocol**: any object
+exposing ``batch_gather(indices)``, ``batch_slice(start, stop)``,
+``batch_concat(tail)``, ``batch_rows()``, and ``batch_words()`` is
+treated as one structure-of-arrays leaf whose particle axis the
+helpers delegate to. This is how the array-native delayed-sampling
+state (:class:`~repro.vectorized.sds_graph.ChainState`) — a whole
+graph of per-slot arrays, not a flat array — flows through the engine
+plan, the resample gather, and the worker-resident shard operations
+without special cases in the executors.
 """
 
 from __future__ import annotations
@@ -44,6 +54,8 @@ def gather(state: Any, indices: np.ndarray) -> Any:
     """
     if state is None:
         return None
+    if hasattr(state, "batch_gather"):
+        return state.batch_gather(np.asarray(indices))
     if isinstance(state, np.ndarray):
         return state[indices]
     if isinstance(state, tuple):
@@ -66,6 +78,8 @@ def slice_state(state: Any, start: int, stop: int) -> Any:
     """
     if state is None:
         return None
+    if hasattr(state, "batch_slice"):
+        return state.batch_slice(start, stop)
     if isinstance(state, np.ndarray):
         return state[start:stop]
     if isinstance(state, tuple):
@@ -91,6 +105,8 @@ def concat_states(states: Any) -> Any:
     head = states[0]
     if head is None:
         return None
+    if hasattr(head, "batch_concat"):
+        return head.batch_concat(states[1:])
     if isinstance(head, np.ndarray) or np.isscalar(head):
         return np.concatenate([np.atleast_1d(np.asarray(s)) for s in states])
     if isinstance(head, tuple):
@@ -110,6 +126,8 @@ def state_rows(state: Any) -> int:
     The length of the first array leaf found; every leaf shares the
     particle axis, so any one of them answers for the whole pytree.
     """
+    if hasattr(state, "batch_rows"):
+        return int(state.batch_rows())
     if isinstance(state, np.ndarray):
         return int(state.shape[0])
     leaves: Any = ()
@@ -129,6 +147,8 @@ def batch_state_words(state: Any) -> int:
     """Abstract heap words of a batch state (cf. ``state_words``)."""
     if state is None:
         return 1
+    if hasattr(state, "batch_words"):
+        return int(state.batch_words())
     if isinstance(state, np.ndarray):
         return 1 + int(state.size)
     if isinstance(state, (tuple, list)):

@@ -16,11 +16,17 @@ from typing import Any
 
 import numpy as np
 
-from repro.dists import Beta, Gaussian
+from repro.dists import Beta, Gaussian, MvGaussian
 from repro.dists.base import Distribution
+from repro.dists.mv_gaussian import batched_mv_log_pdf
 from repro.errors import DistributionError
 
-__all__ = ["ArrayEmpirical", "GaussianMixtureArray", "BetaMixtureArray"]
+__all__ = [
+    "ArrayEmpirical",
+    "GaussianMixtureArray",
+    "MvGaussianMixtureArray",
+    "BetaMixtureArray",
+]
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -169,6 +175,81 @@ class GaussianMixtureArray(Distribution):
 
     def __repr__(self) -> str:
         return f"GaussianMixtureArray(n={len(self)})"
+
+
+class MvGaussianMixtureArray(Distribution):
+    """Mixture of ``n`` multivariate Gaussians with a *shared* covariance.
+
+    The vectorized counterpart of the SDS output on multivariate
+    Gaussian chains (the robot tracker): every particle contributes one
+    ``N(mean_i, cov)`` component. Covariances are shared because the
+    Gaussian-chain arithmetic never feeds realized values into the
+    covariance recursion — the same invariant the batched graph exploits
+    — so the whole posterior is one ``(n, d)`` mean matrix plus one
+    ``(d, d)`` matrix.
+    """
+
+    __slots__ = ("means", "cov", "weights")
+
+    def __init__(self, means, cov, weights=None):
+        # Copies, not views: the engines pass the live posterior arrays.
+        means = np.array(means, dtype=float)
+        cov = np.array(cov, dtype=float)
+        if means.ndim != 2 or means.shape[0] == 0:
+            raise DistributionError("need a non-empty (n, d) mean matrix")
+        if cov.shape != (means.shape[1], means.shape[1]):
+            raise DistributionError(
+                f"cov shape {cov.shape} does not match mean dim {means.shape[1]}"
+            )
+        self.means = means
+        self.cov = cov
+        self.weights = _normalize_weights(weights, means.shape[0])
+        self.means.setflags(write=False)
+        self.cov.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    @property
+    def dim(self) -> int:
+        return int(self.means.shape[1])
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        idx = int(rng.choice(self.weights.size, p=self.weights))
+        return rng.multivariate_normal(self.means[idx], self.cov, method="svd")
+
+    def log_pdf(self, value) -> float:
+        logs = batched_mv_log_pdf(value, self.means, self.cov)
+        with np.errstate(divide="ignore"):
+            terms = np.where(
+                self.weights > 0,
+                np.log(np.maximum(self.weights, 1e-300)),
+                -np.inf,
+            ) + logs
+        top = terms.max()
+        if np.isneginf(top):
+            return -math.inf
+        return float(top + np.log(np.sum(np.exp(terms - top))))
+
+    def mean(self) -> np.ndarray:
+        return self.weights @ self.means
+
+    def variance(self) -> np.ndarray:
+        # Law of total variance: shared within-component covariance plus
+        # the between-component spread of the means.
+        diff = self.means - self.mean()
+        return self.cov + (self.weights[:, None] * diff).T @ diff
+
+    def component(self, i: int) -> MvGaussian:
+        """The ``i``-th component as a scalar MvGaussian object."""
+        return MvGaussian(self.means[i], self.cov)
+
+    def memory_words(self) -> int:
+        return 2 + int(self.means.size) + int(self.cov.size) + self.weights.size
+
+    def __len__(self) -> int:
+        return int(self.means.shape[0])
+
+    def __repr__(self) -> str:
+        return f"MvGaussianMixtureArray(n={len(self)}, dim={self.dim})"
 
 
 class BetaMixtureArray(Distribution):

@@ -68,6 +68,7 @@ from repro.vectorized.dists import (
     ArrayEmpirical,
     BetaMixtureArray,
     GaussianMixtureArray,
+    MvGaussianMixtureArray,
 )
 from repro.vectorized.kernels import (
     bernoulli_sample,
@@ -77,11 +78,21 @@ from repro.vectorized.kernels import (
     gaussian_log_prob,
 )
 from repro.vectorized.models import VectorizedModel, vectorize_model
+from repro.vectorized.sds_graph import (
+    BatchedDelayedCtx,
+    BatchedGaussianChainGraph,
+    ChainOuts,
+    ChainState,
+    delta_rows,
+    lift_output,
+    wrap_batch_state,
+)
 
 __all__ = [
     "VectorizedEngine",
     "VectorizedParticleFilter",
     "VectorizedKalmanSDS",
+    "VectorizedGaussianChainSDS",
     "VectorizedBetaBernoulliSDS",
     "VectorizedOutlierSDS",
     "make_vectorized_engine",
@@ -330,6 +341,89 @@ class VectorizedKalmanSDS(VectorizedEngine):
         return GaussianMixtureArray(post_mean, post_var, weights)
 
 
+class VectorizedGaussianChainSDS(VectorizedEngine):
+    """Array-native delayed sampling over a batched Gaussian-chain graph.
+
+    The tentpole of the vectorized subsystem: instead of one
+    pointer-based delayed-sampling graph per particle, the engine runs
+    the *scalar model code once per step* against a
+    :class:`~repro.vectorized.sds_graph.BatchedGaussianChainGraph`
+    holding every particle's delayed-sampling state as
+    structure-of-arrays, so graft / marginalize / condition / realize
+    are whole-population conjugacy kernels. Works for any model inside
+    the linear-Gaussian chain fragment — scalar Kalman/HMM chains,
+    multivariate (robot-tracker) chains, scalar projections of vector
+    states — as admitted by the structure detector
+    (:func:`repro.delayed.detect.probe_gaussian_chain`) and the
+    registries in :mod:`repro.vectorized.models`.
+
+    ``mode`` selects the paper's two streaming delayed samplers:
+
+    * ``"sds"`` (Section 5.3) — the graph persists across steps; the
+      step output is the exact per-particle marginal
+      (:class:`GaussianMixtureArray` / :class:`MvGaussianMixtureArray`).
+    * ``"bds"`` (Section 5.2) — a fresh graph per step, every symbolic
+      value force-realized at the end of the instant with one batched
+      posterior draw; between steps the state is plain value arrays.
+
+    Randomness is consumed in the same particle-major order as the
+    scalar engines, so a ``bds`` run at a fixed seed reproduces the
+    scalar ``bds`` draws; all kernels are row-stable, so every executor
+    and worker count reproduces the serial posterior bit for bit.
+    """
+
+    def __init__(self, model: Any, mode: str = "sds", **kwargs):
+        if mode not in ("sds", "bds"):
+            raise InferenceError(
+                f"chain-SDS mode must be 'sds' or 'bds', got {mode!r}"
+            )
+        super().__init__(model, **kwargs)
+        self.mode = mode
+
+    def _init_batch_state(self, n: int, rng: np.random.Generator) -> Any:
+        return None
+
+    def _step_batch(self, state: Any, inp: Any, n: int, rng: np.random.Generator):
+        if state is None:
+            graph = BatchedGaussianChainGraph(n)
+            model_state = self.model.init()
+        elif state.graph is None:
+            # BDS: between steps the state is concrete value arrays;
+            # wrap them so the model's lifted constructors stay symbolic.
+            graph = BatchedGaussianChainGraph(n)
+            model_state = wrap_batch_state(state.model_state, n)
+        else:
+            graph = state.graph
+            model_state = state.model_state
+        graph.rng = rng
+        ctx = BatchedDelayedCtx(graph)
+        out, new_model_state = self.model.step(model_state, inp, ctx)
+        if self.mode == "bds":
+            # End of the instant: delay expires, every symbolic term is
+            # realized (one batched draw per forced variable) and the
+            # step's graph is dropped.
+            outs = ChainOuts("delta", delta_rows(ctx.value(out), n))
+            new_state = ChainState(None, ctx.value(new_model_state), n)
+        else:
+            outs = lift_output(graph, out, n)
+            new_state = ChainState(graph, new_model_state, n)
+            graph.sweep(new_state.slot_roots())
+        step_logw = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(ctx.log_weight, dtype=float), (n,))
+        )
+        return outs, new_state, step_logw
+
+    def _output_distribution(self, outs: ChainOuts, weights) -> Distribution:
+        if outs.kind == "gaussian":
+            variances = np.broadcast_to(
+                np.asarray(outs.var, dtype=float), outs.mean.shape
+            )
+            return GaussianMixtureArray(outs.mean, variances, weights)
+        if outs.kind == "mv_gaussian":
+            return MvGaussianMixtureArray(outs.mean, outs.var, weights)
+        return ArrayEmpirical(outs.mean, weights)
+
+
 class VectorizedBetaBernoulliSDS(VectorizedEngine):
     """Exact SDS for the Beta-Bernoulli chain (Coin model), batched.
 
@@ -448,18 +542,27 @@ def make_vectorized_engine(method_key: str, model: Any, **kwargs) -> Optional[Ve
     """The vectorized engine for a ``(method, model)`` pair, or None.
 
     This is the fallback policy behind ``infer(..., backend=...)``:
-    ``"pf"`` vectorizes whenever the model has a batched equivalent;
-    ``"sds"`` vectorizes models whose delayed-sampling semantics has a
-    registered closed-form engine — the ``SDS_ENGINES`` registry
-    (Beta-Bernoulli and Outlier chains) plus the conjugate Gaussian
-    chains of :class:`VectorizedKalmanSDS` (registered via
-    ``register_conjugate_gaussian_chain`` — exact classes only, because
-    a subclass may override ``step`` with non-conjugate structure the
-    closed-form update would miss). Everything else (``"bds"``,
-    ``"ds"``, ``"importance"``, unknown models) reports None so the
-    caller uses the scalar engine.
+
+    * ``"pf"`` vectorizes whenever the model has a batched equivalent;
+    * ``"sds"`` vectorizes models whose delayed-sampling semantics has a
+      registered engine — the ``SDS_ENGINES`` registry (the closed-form
+      Beta-Bernoulli / Outlier chains, plus any linear-Gaussian chain
+      routed to :class:`VectorizedGaussianChainSDS` by
+      ``register_gaussian_chain_model``) or the conjugate Gaussian
+      chains of :class:`VectorizedKalmanSDS` (registered via
+      ``register_conjugate_gaussian_chain`` — exact classes only,
+      because a subclass may override ``step`` with non-conjugate
+      structure the closed-form update would miss);
+    * ``"bds"`` vectorizes models in the ``BDS_ENGINES`` registry —
+      linear-Gaussian chains running on the array-native graph of
+      :mod:`repro.vectorized.sds_graph` with forced end-of-step
+      realization.
+
+    Everything else (``"ds"``, ``"importance"``, unknown models)
+    reports None so the caller uses the scalar engine.
     """
     from repro.vectorized.models import (
+        BDS_ENGINES,
         CONJUGATE_GAUSSIAN_CHAINS,
         SDS_ENGINES,
         VectorizedKalman,
@@ -476,5 +579,10 @@ def make_vectorized_engine(method_key: str, model: Any, **kwargs) -> Optional[Ve
             return factory(model, **kwargs)
         if type(model) in CONJUGATE_GAUSSIAN_CHAINS or isinstance(model, VectorizedKalman):
             return VectorizedKalmanSDS(model, **kwargs)
+        return None
+    if method_key == "bds":
+        factory = BDS_ENGINES.get(type(model))
+        if factory is not None:
+            return factory(model, **kwargs)
         return None
     return None

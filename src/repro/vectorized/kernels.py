@@ -49,6 +49,8 @@ __all__ = [
     "beta_bernoulli_predictive",
     "beta_bernoulli_log_prob",
     "beta_bernoulli_update",
+    "mv_gaussian_svd_factor",
+    "mv_gaussian_sample",
 ]
 
 _LOG_2PI = math.log(2.0 * math.pi)
@@ -102,6 +104,40 @@ def categorical_sample(probs: np.ndarray, rng: np.random.Generator) -> np.ndarra
     cumulative[..., -1] = 1.0  # guard against round-off
     u = rng.random(probs.shape[:-1] + (1,))
     return np.sum(u > cumulative, axis=-1).astype(int)
+
+
+def mv_gaussian_svd_factor(cov) -> np.ndarray:
+    """The ``sqrt(s)[:, None] * vh`` factor of NumPy's svd sampling path.
+
+    :meth:`numpy.random.Generator.multivariate_normal` (``method="svd"``)
+    transforms standard normals as ``z @ (sqrt(s)[:, None] * vh)``;
+    computing the factor once per shared covariance lets a batched draw
+    consume the generator stream exactly as ``n`` sequential scalar
+    calls would.
+    """
+    _, s, vh = np.linalg.svd(np.asarray(cov, dtype=float))
+    return np.sqrt(s)[:, None] * vh
+
+
+def mv_gaussian_sample(
+    means: np.ndarray, cov, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``x_i ~ N(mean_i, cov)`` with per-particle means, shared cov.
+
+    One ``standard_normal((n, d))`` call consumes the stream in the same
+    particle-major order as ``n`` sequential
+    ``rng.multivariate_normal(mean_i, cov, method="svd")`` calls, so a
+    batched chain engine replays the scalar engines' randomness. The
+    transform is applied with the row-stable kernel of
+    :func:`repro.dists.mv_gaussian.batched_matvec`, so sharded execution
+    reproduces the unsharded draw bit for bit.
+    """
+    from repro.dists.mv_gaussian import batched_matvec
+
+    means = np.asarray(means, dtype=float)
+    factor = mv_gaussian_svd_factor(cov)
+    z = rng.standard_normal(means.shape)
+    return means + batched_matvec(factor.T, z)
 
 
 # ----------------------------------------------------------------------

@@ -40,9 +40,12 @@ __all__ = [
     "VECTORIZED_MODELS",
     "CONJUGATE_GAUSSIAN_CHAINS",
     "SDS_ENGINES",
+    "BDS_ENGINES",
     "register_vectorizer",
     "register_conjugate_gaussian_chain",
     "register_sds_engine",
+    "register_bds_engine",
+    "register_gaussian_chain_model",
     "vectorize_model",
     "kalman_vectorizer",
     "coin_vectorizer",
@@ -215,6 +218,13 @@ CONJUGATE_GAUSSIAN_CHAINS: Set[Type[ProbNode]] = set()
 #: own the scalar models, like ``VECTORIZED_MODELS``.
 SDS_ENGINES: Dict[Type[ProbNode], Callable[..., Any]] = {}
 
+#: exact scalar model type -> factory of the vectorized engine that
+#: reproduces its *bounded* delayed-sampling semantics (fresh graph per
+#: step, forced realization at the end of each instant). Populated like
+#: ``SDS_ENGINES``; ``register_gaussian_chain_model`` fills both from
+#: one call for models inside the linear-Gaussian chain fragment.
+BDS_ENGINES: Dict[Type[ProbNode], Callable[..., Any]] = {}
+
 
 def register_vectorizer(
     model_cls: Type[ProbNode],
@@ -240,6 +250,39 @@ def register_sds_engine(
     may override ``step`` with structure the closed form would miss.
     """
     SDS_ENGINES[model_cls] = factory
+
+
+def register_bds_engine(
+    model_cls: Type[ProbNode], factory: Callable[..., Any]
+) -> None:
+    """Register a vectorized BDS engine for a model class (exact classes)."""
+    BDS_ENGINES[model_cls] = factory
+
+
+def register_gaussian_chain_model(model_cls: Type[ProbNode]) -> None:
+    """Route a linear-Gaussian chain model to the array-native graph engine.
+
+    Registers :class:`~repro.vectorized.engine.VectorizedGaussianChainSDS`
+    factories for the model class: always for ``bds`` (the graph engine
+    is the only batched BDS), and for ``sds`` only when no closed-form
+    engine already claims the class (``SDS_ENGINES`` /
+    ``CONJUGATE_GAUSSIAN_CHAINS`` win — e.g. the Kalman/HMM chains keep
+    their dedicated mean/variance recursions). Callers should verify
+    chain structure first, e.g. with
+    :func:`repro.delayed.detect.probe_gaussian_chain`.
+    """
+    # Imported lazily: the engine module imports this registry module.
+    from repro.vectorized.engine import VectorizedGaussianChainSDS
+
+    def bds_factory(model: ProbNode, **kwargs: Any) -> Any:
+        return VectorizedGaussianChainSDS(model, mode="bds", **kwargs)
+
+    def sds_factory(model: ProbNode, **kwargs: Any) -> Any:
+        return VectorizedGaussianChainSDS(model, mode="sds", **kwargs)
+
+    register_bds_engine(model_cls, bds_factory)
+    if model_cls not in SDS_ENGINES and model_cls not in CONJUGATE_GAUSSIAN_CHAINS:
+        register_sds_engine(model_cls, sds_factory)
 
 
 def vectorize_model(model: Any) -> Optional[VectorizedModel]:

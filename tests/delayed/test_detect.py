@@ -1,0 +1,82 @@
+"""The Gaussian-chain structure detector."""
+
+import pytest
+
+from repro.bench.models import (
+    CoinModel,
+    HmmModel,
+    KalmanModel,
+    OutlierModel,
+    WalkModel,
+)
+from repro.bench.robot import RobotModel
+from repro.delayed.detect import GAUSSIAN_FAMILIES, probe_gaussian_chain
+
+
+class TestChainModels:
+    def test_kalman_is_a_chain(self):
+        report = probe_gaussian_chain(KalmanModel(), [0.5, -0.2, 1.1])
+        assert report.is_chain
+        assert report.families == frozenset({"gaussian"})
+        assert report.forced == 0
+        assert report.steps == 3
+
+    def test_hmm_is_a_chain(self):
+        assert probe_gaussian_chain(HmmModel(), [0.1, 0.2]).is_chain
+
+    def test_robot_is_a_chain_with_and_without_gps(self):
+        report = probe_gaussian_chain(
+            RobotModel(), [(0.0, 0.0, 0.0), (0.1, None, 0.0)]
+        )
+        assert report.is_chain
+        assert report.families == frozenset({"gaussian", "mv_gaussian"})
+
+
+class TestNonChainModels:
+    def test_coin_rejected_by_family(self):
+        report = probe_gaussian_chain(CoinModel(), [True, False])
+        assert not report.is_chain
+        assert "beta" in report.reason or "bernoulli" in report.reason
+
+    def test_outlier_rejected(self):
+        """Beta/Bernoulli families *and* a forced indicator realization."""
+        report = probe_gaussian_chain(OutlierModel(), [0.5, 0.7])
+        assert not report.is_chain
+        assert not report.families <= GAUSSIAN_FAMILIES
+        assert report.forced > 0
+
+    def test_walk_is_gaussian_but_forced_forcing_matters(self):
+        """The unobserved walk stays Gaussian and unforced: it IS a chain.
+
+        (It is still not *registered* for vectorization — registration is
+        a separate, explicit step — but the detector's verdict is about
+        structure, and the walk's structure is a chain.)
+        """
+        report = probe_gaussian_chain(WalkModel(), [None, None])
+        assert report.is_chain
+
+    def test_empty_probe_rejected(self):
+        report = probe_gaussian_chain(KalmanModel(), [])
+        assert not report.is_chain
+        assert "no probe inputs" in report.reason
+
+
+class TestRobustness:
+    def test_model_raising_is_rejected_not_propagated(self):
+        class Broken(KalmanModel):
+            def step(self, state, yobs, ctx):
+                raise ValueError("boom")
+
+        report = probe_gaussian_chain(Broken(), [0.5])
+        assert not report.is_chain
+        assert "ValueError" in report.reason
+
+    def test_registration_wiring(self):
+        """The bench layer registered its chains with the backend."""
+        from repro.vectorized.models import BDS_ENGINES, SDS_ENGINES
+
+        assert KalmanModel in BDS_ENGINES
+        assert HmmModel in BDS_ENGINES
+        assert RobotModel in BDS_ENGINES
+        assert RobotModel in SDS_ENGINES  # graph engine claims robot sds
+        assert KalmanModel not in SDS_ENGINES  # closed form keeps Kalman sds

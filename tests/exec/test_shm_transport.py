@@ -1,0 +1,189 @@
+"""Shared-memory transport of per-step worker replies.
+
+Unit tests of the :class:`~repro.exec.shm.ShmRing` pack/unpack protocol
+plus end-to-end checks that the persistent executor produces the same
+posterior with the ring enabled, disabled (``shm_bytes=0``), and
+undersized (inline fallback for arrays that do not fit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import KalmanModel, kalman_data
+from repro.exec.executor import PersistentProcessExecutor
+from repro.exec.shm import MIN_BYTES, ShmBlock, ShmRing, shm_available
+from repro.inference import infer
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform has no shared memory"
+)
+
+DATA = kalman_data(10, seed=42, prior_var=1.0)
+
+
+class TestShmRing:
+    def test_roundtrip_nested_structures(self):
+        ring = ShmRing.create(1 << 16)
+        payload = (
+            np.arange(500, dtype=float),
+            [np.ones((4, 8)), "tag", 7],
+            {"w": np.linspace(0, 1, 64), "k": None},
+        )
+        try:
+            packed = ring.pack(payload)
+            assert isinstance(packed[0], ShmBlock)
+            assert packed[1][1] == "tag" and packed[1][2] == 7
+            out = ring.unpack(packed)
+            assert np.array_equal(out[0], payload[0])
+            assert np.array_equal(out[1][0], payload[1][0])
+            assert np.array_equal(out[2]["w"], payload[2]["w"])
+            assert out[2]["k"] is None
+        finally:
+            ring.close()
+
+    def test_unpacked_arrays_are_private_copies(self):
+        ring = ShmRing.create(1 << 12)
+        try:
+            first = ring.unpack(ring.pack(np.full(100, 1.0)))
+            second = ring.unpack(ring.pack(np.full(100, 2.0)))
+            # the second message reused the ring bytes; the first copy
+            # must not have been disturbed
+            assert np.all(first == 1.0) and np.all(second == 2.0)
+        finally:
+            ring.close()
+
+    def test_small_arrays_stay_inline(self):
+        ring = ShmRing.create(1 << 12)
+        try:
+            tiny = np.arange(3, dtype=float)  # under MIN_BYTES
+            assert tiny.nbytes < MIN_BYTES
+            packed = ring.pack((tiny,))
+            assert isinstance(packed[0], np.ndarray)
+        finally:
+            ring.close()
+
+    def test_overflow_falls_back_inline(self):
+        ring = ShmRing.create(1 << 10)
+        try:
+            big = np.zeros(1 << 10)  # 8 KiB > 1 KiB ring
+            packed = ring.pack((big, big))
+            assert all(isinstance(p, np.ndarray) for p in packed)
+            out = ring.unpack(packed)
+            assert all(np.array_equal(o, big) for o in out)
+        finally:
+            ring.close()
+
+    def test_mixed_fit_and_overflow(self):
+        ring = ShmRing.create(4096 + 64)
+        try:
+            fits = np.zeros(512)      # 4 KiB: parks in the ring
+            too_big = np.zeros(1024)  # 8 KiB: stays inline
+            packed = ring.pack([fits, too_big])
+            assert isinstance(packed[0], ShmBlock)
+            assert isinstance(packed[1], np.ndarray)
+        finally:
+            ring.close()
+
+    def test_disabled_ring_returns_none(self):
+        assert ShmRing.create(0) is None
+        assert ShmRing.attach(None) is None
+
+    def test_registered_leaf_types_park_their_arrays(self):
+        """ChainOuts — the chain engines' dominant reply payload — is a
+        registered opaque leaf: its mean matrix rides the ring."""
+        from repro.exec.shm import ShmLeaf
+        from repro.vectorized import ChainOuts
+
+        ring = ShmRing.create(1 << 14)
+        try:
+            outs = ChainOuts("gaussian", np.linspace(0, 1, 300), 0.5)
+            packed = ring.pack((outs, np.zeros(200)))
+            assert isinstance(packed[0], ShmLeaf)
+            assert isinstance(packed[0].parts[1], ShmBlock)
+            out = ring.unpack(packed)
+            assert isinstance(out[0], ChainOuts)
+            assert out[0].kind == "gaussian" and out[0].var == 0.5
+            assert np.array_equal(out[0].mean, outs.mean)
+        finally:
+            ring.close()
+
+
+class TestExecutorTransport:
+    def _means(self, executor, n=3000, seed=3):
+        engine = infer(
+            KalmanModel(), n_particles=n, method="pf", backend="vectorized",
+            seed=seed, executor=executor,
+        )
+        state = engine.init()
+        means = []
+        for y in DATA.observations:
+            dist, state = engine.step(state, y)
+            means.append(dist.mean())
+        if hasattr(state, "release"):
+            state.release()
+        return np.asarray(means)
+
+    def test_ring_and_pickle_paths_bit_identical(self):
+        base = self._means("serial")
+        variants = {
+            "shm": PersistentProcessExecutor(workers=2),
+            "pickle": PersistentProcessExecutor(workers=2, shm_bytes=0),
+            "tiny": PersistentProcessExecutor(workers=2, shm_bytes=256),
+        }
+        try:
+            for label, executor in variants.items():
+                assert np.array_equal(base, self._means(executor)), label
+        finally:
+            for executor in variants.values():
+                executor.close()
+
+    def test_ring_survives_worker_revival(self):
+        import signal
+        import os
+
+        executor = PersistentProcessExecutor(workers=2, checkpoint_every=3)
+        try:
+            engine = infer(
+                KalmanModel(), n_particles=64, method="bds",
+                backend="vectorized", seed=5, executor=executor,
+            )
+            state = engine.init()
+            for y in DATA.observations[:4]:
+                _, state = engine.step(state, y)
+            os.kill(executor.worker_pids()[0], signal.SIGKILL)
+            for y in DATA.observations[4:]:
+                dist, state = engine.step(state, y)
+            reference_engine = infer(
+                KalmanModel(), n_particles=64, method="bds",
+                backend="vectorized", seed=5, executor="serial",
+            )
+            ref_state = reference_engine.init()
+            for y in DATA.observations:
+                ref_dist, ref_state = reference_engine.step(ref_state, y)
+            assert np.array_equal(ref_dist.values, dist.values)
+            state.release()
+        finally:
+            executor.close()
+
+    def test_scalar_engine_replies_pack_too(self):
+        """Scalar shards: logw vectors pack, particle lists stay inline."""
+        executor = PersistentProcessExecutor(workers=2)
+        try:
+            engine = infer(
+                KalmanModel(), n_particles=40, method="pf", seed=1,
+                executor=executor,
+            )
+            state = engine.init()
+            for y in DATA.observations:
+                dist, state = engine.step(state, y)
+            serial = infer(
+                KalmanModel(), n_particles=40, method="pf", seed=1,
+                executor="serial",
+            )
+            s_state = serial.init()
+            for y in DATA.observations:
+                s_dist, s_state = serial.step(s_state, y)
+            assert dist.mean() == pytest.approx(s_dist.mean())
+            state.release()
+        finally:
+            executor.close()

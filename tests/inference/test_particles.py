@@ -90,6 +90,19 @@ class TestCloneGraph:
         (clone_rv,) = free_rvars(clone.state)
         assert clone_rv.node is not root
 
+    def test_cloned_realized_node_lifts(self, rng):
+        """Every DSNode slot — including the memoized snapshot — must be
+        initialized on clone shells; lifting a cloned realized node used
+        to raise AttributeError on the unset cache slot."""
+        from repro.delayed.interface import lift_distribution
+
+        graph = StreamingGraph(rng=rng)
+        node = graph.assume_root(Gaussian(0.0, 1.0))
+        graph.value(node)  # realize (and memoize the Dirac snapshot)
+        clone = clone_particle(Particle(state=RVar(node), graph=graph))
+        dist = lift_distribution(clone.graph, clone.state)
+        assert dist.mean() == node.value
+
 
 class TestStateWords:
     def test_scalars(self):

@@ -19,6 +19,7 @@ from repro.inference.engine import (
 )
 from repro.vectorized import (
     VectorizedBetaBernoulliSDS,
+    VectorizedGaussianChainSDS,
     VectorizedKalman,
     VectorizedKalmanSDS,
     VectorizedModel,
@@ -80,9 +81,18 @@ class TestFallback:
         engine = infer(WalkModel(), n_particles=4, method="pf", backend="vectorized")
         assert isinstance(engine, ParticleFilter)
 
-    def test_unvectorizable_method_falls_back(self):
+    def test_chain_bds_vectorizes(self):
+        """Gaussian-chain models route bds to the array-native graph engine."""
         engine = infer(HmmModel(), n_particles=4, method="bds", backend="vectorized")
+        assert isinstance(engine, VectorizedGaussianChainSDS)
+        assert engine.mode == "bds"
+
+    def test_unvectorizable_method_falls_back(self):
+        # WalkModel is not a registered chain; "ds" has no batched engine.
+        engine = infer(WalkModel(), n_particles=4, method="bds", backend="vectorized")
         assert isinstance(engine, BoundedDelayedSampler)
+        engine = infer(HmmModel(), n_particles=4, method="ds", backend="vectorized")
+        assert not isinstance(engine, VectorizedGaussianChainSDS)
 
     def test_fallback_engine_still_runs(self):
         engine = infer(WalkModel(), n_particles=4, method="pf", backend="vectorized", seed=0)
