@@ -1,17 +1,22 @@
-"""Array-native delayed sampling: scalar vs batched Gaussian-chain graphs.
+"""Array-native delayed sampling: scalar vs batched DS graphs.
 
-The acceptance bar of the chain-SDS subsystem: at 1000 particles the
-``bds@vectorized`` / ``sds@vectorized`` specs — one
+The acceptance bar of the batched delayed-sampling subsystem: at 1000
+particles the ``bds@vectorized`` / ``sds@vectorized`` specs — one
 structure-of-arrays delayed-sampling graph for the whole population —
 must beat the scalar per-particle graphs by a wide margin on the
-Kalman / Fig. 2 HMM chains and on the robot tracker's multivariate
-chain (the committed run in EXPERIMENTS.md shows the measured factors).
+Kalman / Fig. 2 HMM chains, on the robot tracker's multivariate chain,
+and (since the generic family-dispatched graph of PR 5) on the
+tree-shaped Outlier model, whose Beta→Bernoulli branch runs as batched
+conjugate slots beside the Gaussian position chain (the committed run
+in EXPERIMENTS.md shows the measured factors).
 
 Besides the text tables, the run writes a machine-readable
-``BENCH_PR4.json`` (method spec -> particle count -> step-latency
+``BENCH_PR5.json`` (method spec -> particle count -> step-latency
 quantiles, via :func:`repro.bench.reporting.write_bench_json`) — the
-perf-trajectory artifact CI archives so later PRs can diff step
-latencies mechanically. Override the output path with
+perf-trajectory artifact CI archives and gates: after the sweep,
+``check_perf_regression.py`` compares the fresh document against the
+committed previous-PR baseline and fails on >30% median step-latency
+regression for any recorded spec. Override the output path with
 ``REPRO_BENCH_JSON``.
 """
 
@@ -22,10 +27,12 @@ import pytest
 from repro.bench import (
     HmmModel,
     KalmanModel,
+    OutlierModel,
     RobotModel,
     format_sweep,
     kalman_data,
     latency_sweep,
+    outlier_data,
     robot_data,
     sweep_records,
     write_bench_json,
@@ -114,11 +121,37 @@ def test_chain_sds_speedup_robot(benchmark, tracker_data, bench_config):
     _assert_speedup(result, "bds", "bds@vectorized", "robot bds")
 
 
+@pytest.fixture(scope="module")
+def faulty_sensor_data(bench_config):
+    return outlier_data(bench_config["sweep_steps"], seed=42)
+
+
+def test_generic_graph_speedup_outlier(benchmark, faulty_sensor_data, bench_config):
+    """The tree-shaped Outlier model on the generic batched DS graph.
+
+    Beta→Bernoulli slots + per-particle masked affine edges vs the
+    scalar per-particle graphs (PR 5 acceptance bar).
+    """
+
+    def sweep():
+        return _sweep_and_record(
+            OutlierModel, faulty_sensor_data, "outlier",
+            ["sds", "sds@vectorized", "bds", "bds@vectorized"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(
+        result, "Outlier step latency (ms): scalar vs generic batched graph"
+    ))
+    _assert_speedup(result, "sds", "sds@vectorized", "outlier sds")
+    _assert_speedup(result, "bds", "bds@vectorized", "outlier bds")
+
+
 def test_write_bench_json(bench_config):
     """Persist the perf trajectory collected by the sweeps above."""
     if not _RECORDS:
         pytest.skip("no sweep ran in this session (tests were deselected)")
-    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_PR4.json")
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_PR5.json")
     write_bench_json(
         path,
         _RECORDS,

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Fail when a fresh benchmark JSON regressed against a committed baseline.
+
+Usage::
+
+    PYTHONPATH=../src python check_perf_regression.py FRESH BASELINE \
+        [--threshold 0.30]
+
+Compares the median step latency of every ``(model, spec, particles)``
+cell present in both documents (see :mod:`repro.bench.regression`) and
+exits non-zero when any cell is more than ``threshold`` slower — the
+mechanical perf-regression gate CI runs after the benchmark sweeps.
+New specs (no baseline entry yet) pass; they start being gated once
+their document is committed as the next baseline.
+
+By default the comparison is corrected for machine drift (the median
+latency ratio across all shared cells): the fresh run and the committed
+baseline usually come from different hosts or differently-loaded
+runners, and a uniformly slower machine is not a code regression. Pass
+``--no-normalize`` for a raw absolute comparison between same-host runs.
+"""
+
+import argparse
+import sys
+
+from repro.bench.regression import (
+    compare_cells,
+    format_regressions,
+    load_bench_cells,
+    machine_drift,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="benchmark JSON produced by this run")
+    parser.add_argument("baseline", help="committed baseline benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="fractional slowdown tolerated per cell (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compare raw medians without machine-drift correction",
+    )
+    args = parser.parse_args(argv)
+    fresh = load_bench_cells(args.fresh)
+    baseline = load_bench_cells(args.baseline)
+    shared = set(fresh) & set(baseline)
+    normalize = not args.no_normalize
+    drift = machine_drift(
+        {k: c.median for k, c in fresh.items()},
+        {k: c.median for k, c in baseline.items()},
+    ) if normalize else 1.0
+    print(
+        f"comparing {len(shared)} shared benchmark cell(s) "
+        f"({len(fresh)} fresh, {len(baseline)} baseline); "
+        f"machine drift {drift:.2f}x"
+    )
+    regressions = compare_cells(
+        fresh, baseline, threshold=args.threshold, normalize=normalize
+    )
+    print(format_regressions(regressions, args.threshold))
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

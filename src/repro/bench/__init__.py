@@ -28,6 +28,12 @@ from repro.bench.models import (
     OutlierModel,
     WalkModel,
 )
+from repro.bench.regression import (
+    compare_medians,
+    format_regressions,
+    load_bench_medians,
+    machine_drift,
+)
 from repro.bench.reporting import (
     format_profile,
     format_sweep,
@@ -68,4 +74,8 @@ __all__ = [
     "summarize_profile",
     "sweep_records",
     "write_bench_json",
+    "load_bench_medians",
+    "machine_drift",
+    "compare_medians",
+    "format_regressions",
 ]

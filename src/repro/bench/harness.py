@@ -217,25 +217,40 @@ def latency_sweep(
 
     Reproduces Fig. 17 (and Fig. 2b): latencies are collected per step
     across ``runs`` runs, after a short warm-up.
+
+    Runs are *interleaved* across the ``(method, particles)`` cells
+    (run 0 of every cell, then run 1 of every cell, …) instead of
+    timing each cell's runs back-to-back. On a shared machine a
+    transient contention phase then inflates every cell a little
+    rather than one cell a lot, which is what keeps the per-cell
+    medians comparable across sweeps — the property the mechanical
+    perf-regression gate (:mod:`repro.bench.regression`) relies on.
     """
     result = SweepResult("latency_ms", list(particle_counts), list(methods))
-    for method in methods:
-        result.cells[method] = {}
-        for particles in particle_counts:
-            latencies: List[float] = []
-            for r in range(runs):
+    samples: Dict[str, Dict[int, List[float]]] = {
+        method: {particles: [] for particles in particle_counts}
+        for method in methods
+    }
+    for r in range(runs):
+        for method in methods:
+            for particles in particle_counts:
                 engine = _build_engine(
                     model_factory(), method, particles, base_seed + r,
                     engine_kwargs,
                 )
                 state = engine.init()
+                latencies = samples[method][particles]
                 for step_idx, obs in enumerate(dataset.observations):
                     start = time.perf_counter()
                     _, state = engine.step(state, obs)
                     elapsed = (time.perf_counter() - start) * 1e3
                     if step_idx >= warmup_steps:
                         latencies.append(elapsed)
-            result.cells[method][particles] = Quantiles.of(latencies)
+    for method in methods:
+        result.cells[method] = {
+            particles: Quantiles.of(samples[method][particles])
+            for particles in particle_counts
+        }
     return result
 
 

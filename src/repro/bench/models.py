@@ -259,14 +259,14 @@ class BoundedWalkModel(ProbNode):
 # points from this benchmark layer to the core, not the other way.
 from repro.vectorized.engine import (  # noqa: E402
     VectorizedBetaBernoulliSDS,
-    VectorizedOutlierSDS,
 )
 from repro.vectorized.models import (  # noqa: E402
+    GraphOutlierModel,
     coin_vectorizer,
     kalman_vectorizer,
     outlier_vectorizer,
     register_conjugate_gaussian_chain,
-    register_gaussian_chain_model,
+    register_ds_graph_model,
     register_sds_engine,
     register_vectorizer,
 )
@@ -278,9 +278,17 @@ register_vectorizer(OutlierModel, outlier_vectorizer)
 register_conjugate_gaussian_chain(KalmanModel)
 register_conjugate_gaussian_chain(HmmModel)
 register_sds_engine(CoinModel, VectorizedBetaBernoulliSDS)
-register_sds_engine(OutlierModel, VectorizedOutlierSDS)
 # The Kalman/HMM chains keep their dedicated closed-form SDS recursions
 # (registered above); this additionally routes their *bounded* delayed
 # sampling to the array-native graph engine of repro.vectorized.sds_graph.
-register_gaussian_chain_model(KalmanModel)
-register_gaussian_chain_model(HmmModel)
+register_ds_graph_model(KalmanModel)
+register_ds_graph_model(HmmModel)
+# The Outlier model runs on the *generic* batched DS graph (PR 5): the
+# lockstep adapter rewrites its per-particle branch as a masked affine
+# observation, and the Beta→Bernoulli branch becomes batched conjugate
+# slots beside the Gaussian position chain. The retired bespoke
+# VectorizedOutlierSDS engine survives only as the equivalence oracle in
+# the test suite. Coin's bounded delayed sampling rides the same graph
+# (its exact SDS stays with the closed-form Beta-Bernoulli engine above).
+register_ds_graph_model(OutlierModel, adapter=GraphOutlierModel)
+register_ds_graph_model(CoinModel)

@@ -1,0 +1,240 @@
+"""Mechanical perf-regression gating over benchmark JSON artifacts.
+
+Every benchmark run writes a machine-readable document
+(:func:`repro.bench.reporting.write_bench_json`) whose entries carry a
+``(model, spec, particles)`` key and median step-latency quantiles.
+This module is the comparison side of that trajectory: load a fresh
+document and a committed baseline (``benchmarks/BENCH_PR4.json`` and
+successors), align entries by key, and report every spec whose median
+step latency regressed beyond a threshold. CI runs the comparison
+after the benchmark sweep and fails the build on regression — closing
+the ROADMAP item "accumulate per-PR baselines and alert on regressions
+mechanically" with a gate instead of a human reading tables.
+
+The command-line entry point is ``benchmarks/check_perf_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "BenchKey",
+    "BenchCell",
+    "Regression",
+    "load_bench_medians",
+    "load_bench_cells",
+    "machine_drift",
+    "compare_medians",
+    "compare_cells",
+    "format_regressions",
+]
+
+#: (model, spec, particles) — the identity of one benchmark cell.
+BenchKey = Tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """The latency quantiles of one benchmark cell."""
+
+    median: float
+    q10: float = float("nan")
+    q90: float = float("nan")
+
+    @property
+    def has_quantiles(self) -> bool:
+        return self.q10 == self.q10 and self.q90 == self.q90  # not NaN
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark cell whose median step latency got slower."""
+
+    key: BenchKey
+    baseline_ms: float
+    fresh_ms: float
+    #: machine-drift scale the comparison was normalized by (1.0 = raw).
+    drift: float = 1.0
+
+    @property
+    def ratio(self) -> float:
+        return self.fresh_ms / self.baseline_ms
+
+    @property
+    def corrected_ratio(self) -> float:
+        return self.ratio / self.drift
+
+    def __str__(self) -> str:
+        model, spec, particles = self.key
+        text = (
+            f"{model} {spec} @{particles}: "
+            f"{self.baseline_ms:.4f} ms -> {self.fresh_ms:.4f} ms "
+            f"({self.ratio:.2f}x)"
+        )
+        if self.drift != 1.0:
+            text += f" [{self.corrected_ratio:.2f}x after {self.drift:.2f}x drift]"
+        return text
+
+
+def load_bench_cells(path) -> Dict[BenchKey, BenchCell]:
+    """Latency quantiles per benchmark cell from one JSON document.
+
+    Accepts any document written by
+    :func:`repro.bench.reporting.write_bench_json`; entries without a
+    median latency (non-latency metrics) are skipped. Missing q10/q90
+    fields load as NaN (``BenchCell.has_quantiles`` is False).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    cells: Dict[BenchKey, BenchCell] = {}
+    for entry in document.get("entries", []):
+        metric = entry.get("metric")
+        if metric is not None and not str(metric).startswith("latency"):
+            # Documents may concatenate several sweeps' records; a
+            # memory/accuracy record for the same (model, spec, count)
+            # must not overwrite the latency cell the gate compares.
+            continue
+        median = entry.get("median_ms", entry.get("median"))
+        if median is None:
+            continue
+        key = (
+            str(entry.get("model", "")),
+            str(entry.get("spec", "")),
+            int(entry.get("particles", 0)),
+        )
+        q10 = entry.get("q10_ms", entry.get("q10"))
+        q90 = entry.get("q90_ms", entry.get("q90"))
+        cells[key] = BenchCell(
+            median=float(median),
+            q10=float(q10) if q10 is not None else float("nan"),
+            q90=float(q90) if q90 is not None else float("nan"),
+        )
+    return cells
+
+
+def load_bench_medians(path) -> Dict[BenchKey, float]:
+    """Median step latency per benchmark cell from one JSON document."""
+    return {key: cell.median for key, cell in load_bench_cells(path).items()}
+
+
+def machine_drift(
+    fresh: Dict[BenchKey, float], baseline: Dict[BenchKey, float]
+) -> float:
+    """Machine-wide slowdown of the fresh run relative to the baseline.
+
+    A code change regresses a handful of specs, while a slower machine
+    (a loaded CI runner, a different host) shifts every cell together —
+    and both code regressions and contention only push latency ratios
+    *up*, never down. The drift is therefore estimated as the *lower
+    quartile* of the per-cell latency ratios: the cleanest cells of the
+    fresh run, which a uniform machine slowdown still shifts but a
+    minority of regressed cells cannot drag along. Clamped at 1.0 (a
+    faster machine needs no correction), and reported as 1.0 when fewer
+    than three shared cells exist — too few to tell drift from
+    regression, so the comparison stays raw and strict.
+    """
+    shared = set(fresh) & set(baseline)
+    ratios = sorted(
+        fresh[key] / baseline[key] for key in shared if baseline[key] > 0
+    )
+    if len(ratios) < 3:
+        return 1.0
+    position = 0.25 * (len(ratios) - 1)
+    lower = int(position)
+    fraction = position - lower
+    quartile = ratios[lower]
+    if fraction and lower + 1 < len(ratios):
+        quartile += fraction * (ratios[lower + 1] - ratios[lower])
+    return max(1.0, quartile)
+
+
+def compare_medians(
+    fresh: Dict[BenchKey, float],
+    baseline: Dict[BenchKey, float],
+    threshold: float = 0.30,
+    normalize: bool = True,
+) -> List[Regression]:
+    """Cells whose fresh median exceeds baseline by more than ``threshold``.
+
+    Only keys present in *both* documents are compared — a new spec has
+    no baseline yet (it becomes one when its document is committed), and
+    a retired spec stops being gated. ``threshold`` is fractional:
+    ``0.30`` fails a cell that got more than 30% slower.
+
+    With ``normalize`` (the default) the comparison is corrected for
+    machine drift first (:func:`machine_drift`): the fresh and baseline
+    documents usually come from different runs — often different hosts,
+    a CI runner against a committed file — and the gate must flag the
+    spec that regressed *relative to the rest of the suite*, not a
+    uniformly slower machine. Pass ``normalize=False`` for a raw
+    absolute-latency comparison between same-host runs.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold!r}")
+    drift = machine_drift(fresh, baseline) if normalize else 1.0
+    regressions: List[Regression] = []
+    for key in sorted(set(fresh) & set(baseline)):
+        base = baseline[key]
+        new = fresh[key]
+        if base > 0 and new > base * drift * (1.0 + threshold):
+            regressions.append(Regression(key, base, new, drift))
+    return regressions
+
+
+def compare_cells(
+    fresh: Dict[BenchKey, BenchCell],
+    baseline: Dict[BenchKey, BenchCell],
+    threshold: float = 0.30,
+    normalize: bool = True,
+) -> List[Regression]:
+    """The gate criterion over full quantile cells.
+
+    A cell regresses when **both** hold (after the machine-drift
+    correction of :func:`compare_medians`):
+
+    * its fresh *median* exceeds the baseline median by ``threshold``
+      (the headline criterion), and
+    * its fresh *q10* exceeds the baseline *q90* by ``threshold`` —
+      the quiet-phase floor of the fresh run must clear even the noisy
+      tail of the baseline run.
+
+    The second condition is the anti-flake confirmation: on a shared
+    machine a contention phase inflates a cell's median while its q10
+    stays at the quiet floor, and a baseline cell recorded in an
+    unusually quiet phase has a q90 close to the machine's true cost —
+    either way, only a genuine code regression moves the *floor* past
+    the *tail*. Cells without recorded quantiles fall back to the
+    median-only criterion.
+    """
+    fresh_medians = {key: cell.median for key, cell in fresh.items()}
+    base_medians = {key: cell.median for key, cell in baseline.items()}
+    candidates = compare_medians(
+        fresh_medians, base_medians, threshold=threshold, normalize=normalize
+    )
+    confirmed: List[Regression] = []
+    for regression in candidates:
+        new = fresh[regression.key]
+        base = baseline[regression.key]
+        if new.has_quantiles and base.has_quantiles and base.q90 > 0:
+            separated = new.q10 > base.q90 * regression.drift * (1.0 + threshold)
+            if not separated:
+                continue
+        confirmed.append(regression)
+    return confirmed
+
+
+def format_regressions(
+    regressions: List[Regression], threshold: float
+) -> str:
+    """Human-readable gate verdict for CI logs."""
+    if not regressions:
+        return f"perf gate OK: no spec regressed beyond {threshold:.0%}"
+    lines = [
+        f"perf gate FAILED: {len(regressions)} spec(s) regressed beyond "
+        f"{threshold:.0%}:"
+    ]
+    lines.extend(f"  {reg}" for reg in regressions)
+    return "\n".join(lines)

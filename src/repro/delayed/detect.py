@@ -1,28 +1,43 @@
-"""Structure detection: is a model a linear-Gaussian chain?
+"""Structure detection: can a model run on the batched DS graph?
 
 The array-native delayed-sampling runtime
 (:mod:`repro.vectorized.sds_graph`) handles exactly the models whose
-delayed-sampling execution stays inside the linear-Gaussian chain
-fragment: every random variable is Gaussian or multivariate Gaussian,
-every dependency is affine in a single chain variable, and the model
-never branches on (or otherwise forces) a sampled value mid-step — the
-lockstep condition that lets one run of the model's Python code drive
-all particles at once.
+delayed-sampling execution is *lockstep-batchable*: every random
+variable belongs to a family with SoA kernels (Gaussian, multivariate
+Gaussian, Beta, Bernoulli), every dependency is one of the batched
+conjugacy edges (affine-Gaussian — possibly with per-particle
+coefficients from a forced indicator — projection, matrix-affine,
+Beta-Bernoulli), and the model's Python control flow never branches on
+a per-particle value — the lockstep condition that lets one run of the
+model's code drive all particles at once.
 
-:func:`probe_gaussian_chain` answers that question *empirically*: it
-steps the scalar model against an instrumented pointer-minimal graph
-over a short probe input stream and reports which conjugacy families
-appeared and whether any realization was forced outside ``observe``.
-The benchmark layer uses the probe to register its chain models with
-the vectorized backend (see ``repro.bench.robot``); user models can do
-the same::
+Two probes answer that question *empirically*:
 
-    from repro.delayed.detect import probe_gaussian_chain
-    from repro.vectorized import register_gaussian_chain_model
+* :func:`probe_gaussian_chain` — the PR-4 detector, restricted to the
+  linear-Gaussian chain fragment (Gaussian families only, no forced
+  realization). Kept for conservative callers.
+* :func:`probe_ds_structure` — the general detector: it first runs the
+  scalar model against an instrumented pointer-minimal graph over a
+  short probe input stream, reporting the conjugacy families touched,
+  how many realizations were forced outside ``observe``, and the shape
+  of the structure (``"chain"`` when one sampled variable line exists,
+  ``"tree"`` when a step assumes several sampled roots — the Outlier
+  model's Beta branch beside its position chain). When the model uses
+  forced realization or families beyond the Gaussian pair, the verdict
+  is confirmed by a small *batched* smoke run (a 3-particle
+  :class:`~repro.vectorized.sds_graph.BatchedDSGraph`): only a model
+  whose batched execution actually succeeds is reported batchable.
 
-    report = probe_gaussian_chain(MyModel(), probe_inputs)
-    if report.is_chain:
-        register_gaussian_chain_model(MyModel)
+The benchmark layer uses the probes to register its models with the
+vectorized backend (see ``repro.bench.robot`` and
+``repro.bench.models``); user models can do the same::
+
+    from repro.delayed.detect import probe_ds_structure
+    from repro.vectorized import register_ds_graph_model
+
+    report = probe_ds_structure(MyModel(), probe_inputs)
+    if report.is_batchable:
+        register_ds_graph_model(MyModel)
 """
 
 from __future__ import annotations
@@ -35,10 +50,20 @@ import numpy as np
 from repro.delayed.streaming import StreamingGraph
 from repro.errors import GraphError, SymbolicError
 
-__all__ = ["ChainProbeReport", "probe_gaussian_chain", "GAUSSIAN_FAMILIES"]
+__all__ = [
+    "ChainProbeReport",
+    "DSStructureReport",
+    "probe_gaussian_chain",
+    "probe_ds_structure",
+    "GAUSSIAN_FAMILIES",
+    "BATCHABLE_FAMILIES",
+]
 
-#: conjugacy families the array-native chain runtime implements.
+#: conjugacy families of the linear-Gaussian chain fragment (PR 4).
 GAUSSIAN_FAMILIES = frozenset({"gaussian", "mv_gaussian"})
+
+#: conjugacy families the generic batched DS graph implements.
+BATCHABLE_FAMILIES = frozenset({"gaussian", "mv_gaussian", "beta", "bernoulli"})
 
 
 @dataclass(frozen=True)
@@ -60,17 +85,57 @@ class ChainProbeReport:
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class DSStructureReport:
+    """What the general delayed-sampling structure probe observed.
+
+    ``is_batchable`` is the verdict: the model can run on the generic
+    batched DS graph. ``families`` is the conjugacy family set touched,
+    ``forced`` the number of realizations outside ``observe`` (allowed
+    here — forced per-particle values may feed parameters, never
+    control flow), ``shape`` is ``"chain"`` or ``"tree"`` (several
+    sampled variable lines alive in one instant, e.g. the Outlier
+    model's Beta→Bernoulli branch beside its position chain), and
+    ``reason`` says why a model was rejected.
+    """
+
+    is_batchable: bool
+    families: frozenset = frozenset()
+    forced: int = 0
+    steps: int = 0
+    shape: str = "chain"
+    reason: str = ""
+
+    @property
+    def is_chain(self) -> bool:
+        """PR-4 compatibility: batchable, Gaussian-only, nothing forced."""
+        return (
+            self.is_batchable
+            and self.forced == 0
+            and self.families <= GAUSSIAN_FAMILIES
+        )
+
+
 class _ProbeGraph(StreamingGraph):
-    """A streaming graph that records families and observe realizations."""
+    """A streaming graph that records families, roots, and realizations."""
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
         super().__init__(rng=rng)
         self.families: Set[str] = set()
         self.observed = 0
+        #: sampled (non-observation) roots assumed in the current step.
+        self.step_sample_roots = 0
+        #: max simultaneous sampled roots over any probed step.
+        self.max_sample_roots = 0
 
     def assume_root(self, marginal, name=""):
         node = super().assume_root(marginal, name=name)
         self.families.add(node.family)
+        if not name.startswith("y"):
+            self.step_sample_roots += 1
+            self.max_sample_roots = max(
+                self.max_sample_roots, self.step_sample_roots
+            )
         return node
 
     def assume_conditional(self, cdistr, parent, name=""):
@@ -81,6 +146,29 @@ class _ProbeGraph(StreamingGraph):
     def observe(self, node, value):
         self.observed += 1
         return super().observe(node, value)
+
+    def next_step(self) -> None:
+        self.step_sample_roots = 0
+
+
+def _run_scalar_probe(model: Any, inputs: Sequence[Any], seed: int):
+    """Step the scalar delayed-sampling semantics; return (graph, steps, err)."""
+    # Imported lazily: repro.inference.contexts itself imports the
+    # delayed-sampling package, so a module-level import would be circular.
+    from repro.inference.contexts import DelayedCtx
+
+    graph = _ProbeGraph(rng=np.random.default_rng(seed))
+    ctx = DelayedCtx(graph)
+    state = model.init()
+    steps = 0
+    try:
+        for inp in inputs:
+            graph.next_step()
+            _, state = model.step(state, inp, ctx)
+            steps += 1
+    except (GraphError, SymbolicError, ValueError, TypeError) as exc:
+        return graph, steps, f"probe step raised {type(exc).__name__}: {exc}"
+    return graph, steps, None
 
 
 def probe_gaussian_chain(
@@ -100,36 +188,21 @@ def probe_gaussian_chain(
     a model is a chain only if every assumed variable is Gaussian /
     multivariate Gaussian *and* no realization happened outside
     ``observe`` (``ctx.value`` forcing, or ``assume`` breaking a
-    non-affine dependency by realization — either one means per-particle
-    values feed the graph structure, which the lockstep batched runtime
-    does not admit). A model that raises a graph or symbolic error
-    (e.g. branching on a symbolic value) is likewise not a chain.
+    non-affine dependency by realization). A model that raises a graph
+    or symbolic error (e.g. branching on a symbolic value) is likewise
+    not a chain. Models that use the wider batched fragment — Beta /
+    Bernoulli slots, forced indicators — are rejected here but may
+    still be batchable; ask :func:`probe_ds_structure`.
     """
-    # Imported lazily: repro.inference.contexts itself imports the
-    # delayed-sampling package, so a module-level import would be circular.
-    from repro.inference.contexts import DelayedCtx
-
     if not inputs:
         return ChainProbeReport(False, reason="no probe inputs provided")
-    graph = _ProbeGraph(rng=np.random.default_rng(seed))
-    ctx = DelayedCtx(graph)
-    state = model.init()
-    steps = 0
-    try:
-        for inp in inputs:
-            _, state = model.step(state, inp, ctx)
-            steps += 1
-    except (GraphError, SymbolicError, ValueError, TypeError) as exc:
-        return ChainProbeReport(
-            False,
-            families=frozenset(graph.families),
-            steps=steps,
-            reason=f"probe step raised {type(exc).__name__}: {exc}",
-        )
+    graph, steps, error = _run_scalar_probe(model, inputs, seed)
+    families = frozenset(graph.families)
+    if error is not None:
+        return ChainProbeReport(False, families=families, steps=steps, reason=error)
     # Each observe realizes exactly one node; anything beyond that was a
     # forced realization (ctx.value or dependency breaking).
     forced = graph.n_realized - graph.observed
-    families = frozenset(graph.families)
     if not families <= GAUSSIAN_FAMILIES:
         extra = sorted(families - GAUSSIAN_FAMILIES)
         return ChainProbeReport(
@@ -142,3 +215,66 @@ def probe_gaussian_chain(
             reason=f"{forced} realization(s) forced outside observe",
         )
     return ChainProbeReport(True, families, forced, steps)
+
+
+def _run_batched_probe(
+    model: Any, inputs: Sequence[Any], seed: int, n: int
+) -> Optional[str]:
+    """Smoke-run the model on a small batched graph; None means success."""
+    # Imported lazily: repro.vectorized imports this module's package.
+    from repro.errors import InferenceError
+    from repro.vectorized.sds_graph import BatchedDelayedCtx, BatchedDSGraph
+
+    graph = BatchedDSGraph(n, rng=np.random.default_rng(seed))
+    ctx = BatchedDelayedCtx(graph)
+    state = model.init()
+    try:
+        for inp in inputs:
+            _, state = model.step(state, inp, ctx)
+    except (GraphError, SymbolicError, InferenceError, ValueError, TypeError) as exc:
+        return f"batched probe raised {type(exc).__name__}: {exc}"
+    return None
+
+
+def probe_ds_structure(
+    model: Any,
+    inputs: Sequence[Any],
+    seed: int = 0,
+    batch_check: int = 3,
+) -> DSStructureReport:
+    """Run ``model`` over ``inputs``; report families, shape, batchability.
+
+    The general counterpart of :func:`probe_gaussian_chain` for the
+    generic batched DS graph. The scalar probe collects the family set,
+    the forced-realization count, and the structure shape; a model
+    whose families lie inside :data:`BATCHABLE_FAMILIES` is then
+    *verified* by a ``batch_check``-particle batched smoke run whenever
+    the scalar probe alone cannot vouch for lockstep execution (forced
+    realizations, non-Gaussian families) — a forced per-particle value
+    that feeds a parameter batches fine, one that feeds an ``if`` does
+    not, and only actually running the batched semantics tells them
+    apart.
+    """
+    if not inputs:
+        return DSStructureReport(False, reason="no probe inputs provided")
+    graph, steps, error = _run_scalar_probe(model, inputs, seed)
+    families = frozenset(graph.families)
+    forced = max(0, graph.n_realized - graph.observed)
+    shape = "tree" if graph.max_sample_roots >= 2 else "chain"
+    if error is not None:
+        return DSStructureReport(
+            False, families, forced, steps, shape, reason=error
+        )
+    if not families <= BATCHABLE_FAMILIES:
+        extra = sorted(families - BATCHABLE_FAMILIES)
+        return DSStructureReport(
+            False, families, forced, steps, shape,
+            reason=f"families without batched kernels: {extra}",
+        )
+    if forced == 0 and families <= GAUSSIAN_FAMILIES:
+        # Pure chain: the scalar probe is already conclusive.
+        return DSStructureReport(True, families, forced, steps, shape)
+    reason = _run_batched_probe(model, inputs, seed, batch_check)
+    if reason is not None:
+        return DSStructureReport(False, families, forced, steps, shape, reason)
+    return DSStructureReport(True, families, forced, steps, shape)

@@ -12,6 +12,7 @@ correct marginal view for reporting per-component posteriors.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Any, Sequence, Tuple
 
 import numpy as np
@@ -19,7 +20,29 @@ import numpy as np
 from repro.dists.base import Distribution
 from repro.errors import DistributionError
 
-__all__ = ["Mixture", "TupleDist"]
+__all__ = ["Mixture", "TupleDist", "zero_nan_weights"]
+
+
+def zero_nan_weights(weights: np.ndarray, stacklevel: int = 3) -> np.ndarray:
+    """Replace NaN mixture weights with zero, loudly.
+
+    ``np.any(weights < 0)`` is silently False for NaN, so without this
+    check the mixture constructors accepted NaN weights and poisoned
+    every downstream moment. The policy matches the per-particle NaN
+    handling of :func:`repro.inference.resampling.normalize_log_weights`:
+    zero weight for that component alone, with a :class:`RuntimeWarning`
+    so the broken kernel stays visible.
+    """
+    nan_mask = np.isnan(weights)
+    if nan_mask.any():
+        warnings.warn(
+            f"{int(nan_mask.sum())} NaN mixture weight(s) treated as zero; "
+            "check the kernel that produced them",
+            RuntimeWarning,
+            stacklevel=stacklevel,
+        )
+        weights = np.where(nan_mask, 0.0, weights)
+    return weights
 
 
 def _logsumexp(values) -> float:
@@ -45,6 +68,7 @@ class Mixture(Distribution):
             weights = np.asarray(weights, dtype=float)
             if weights.size != len(components):
                 raise DistributionError("components/weights length mismatch")
+            weights = zero_nan_weights(weights, stacklevel=3)
             if np.any(weights < 0):
                 raise DistributionError("weights must be non-negative")
             total = weights.sum()

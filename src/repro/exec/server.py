@@ -193,12 +193,17 @@ class StreamServer:
 
         ``round_robin`` advances each ready session once; ``as_ready``
         processes the single globally oldest pending observation.
+
+        A session whose ``step_once`` raises is *evicted* before the
+        error propagates: its worker-resident shards (if any) are
+        released from the shared persistent pool, so a failing session
+        never strands shards — or worker memory — in the executor that
+        every other session shares.
         """
         if self.policy == "round_robin":
             ready = [s for s in self._sessions.values() if s.pending]
             for session in ready:
-                session.step_once()
-            self._processed += len(ready)
+                self._step_session(session)
             return len(ready)
         oldest: Optional[StreamSession] = None
         for session in self._sessions.values():
@@ -208,9 +213,34 @@ class StreamServer:
                 oldest = session
         if oldest is None:
             return 0
-        oldest.step_once()
-        self._processed += 1
+        self._step_session(oldest)
         return 1
+
+    def _step_session(self, session: StreamSession) -> Distribution:
+        """Advance one session; evict it (releasing shards) on failure.
+
+        Only ordinary exceptions evict: a ``KeyboardInterrupt`` mid-step
+        is not a failed session, and destroying its produced posteriors
+        on an interrupt would be worse than the shard leak being fixed.
+        """
+        try:
+            dist = session.step_once()
+        except Exception:
+            self._evict(session.session_id)
+            raise
+        self._processed += 1
+        return dist
+
+    def _evict(self, session_id: str) -> None:
+        """Drop a failed session, releasing any worker-resident shards."""
+        session = self._sessions.pop(session_id, None)
+        if session is not None and isinstance(session.state, ResidentPopulation):
+            try:
+                session.state.release()
+            except Exception:
+                # Releasing is best-effort on the error path: the
+                # original failure is the one the caller must see.
+                pass
 
     def drain(self) -> int:
         """Run scheduling rounds until no session has pending input."""

@@ -31,6 +31,7 @@ from repro.vectorized.dists import (
     MvGaussianMixtureArray,
 )
 from repro.vectorized.engine import (
+    ScalarFallbackState,
     VectorizedBetaBernoulliSDS,
     VectorizedEngine,
     VectorizedGaussianChainSDS,
@@ -39,12 +40,18 @@ from repro.vectorized.engine import (
     VectorizedParticleFilter,
 )
 from repro.vectorized.sds_graph import (
+    FAMILY_KERNELS,
     BatchedDelayedCtx,
+    BatchedDSGraph,
     BatchedGaussianChainGraph,
     BatchedNode,
+    BetaBernoulliEdge,
+    ChainFragmentError,
     ChainOuts,
     ChainState,
     ChainStructureError,
+    SlotFamily,
+    register_slot_family,
 )
 from repro.vectorized.kernels import (
     BATCH_KERNELS,
@@ -60,12 +67,14 @@ from repro.vectorized.models import (
     CONJUGATE_GAUSSIAN_CHAINS,
     SDS_ENGINES,
     VECTORIZED_MODELS,
+    GraphOutlierModel,
     VectorizedCoin,
     VectorizedKalman,
     VectorizedModel,
     VectorizedOutlier,
     register_bds_engine,
     register_conjugate_gaussian_chain,
+    register_ds_graph_model,
     register_gaussian_chain_model,
     register_sds_engine,
     register_vectorizer,
@@ -88,12 +97,19 @@ __all__ = [
     "VectorizedGaussianChainSDS",
     "VectorizedBetaBernoulliSDS",
     "VectorizedOutlierSDS",
+    "ScalarFallbackState",
+    "BatchedDSGraph",
     "BatchedGaussianChainGraph",
     "BatchedDelayedCtx",
     "BatchedNode",
+    "BetaBernoulliEdge",
+    "SlotFamily",
+    "FAMILY_KERNELS",
+    "register_slot_family",
     "ChainOuts",
     "ChainState",
     "ChainStructureError",
+    "ChainFragmentError",
     "BATCH_KERNELS",
     "supports_batch",
     "sample_n",
@@ -105,6 +121,7 @@ __all__ = [
     "VectorizedKalman",
     "VectorizedCoin",
     "VectorizedOutlier",
+    "GraphOutlierModel",
     "VECTORIZED_MODELS",
     "CONJUGATE_GAUSSIAN_CHAINS",
     "SDS_ENGINES",
@@ -113,6 +130,7 @@ __all__ = [
     "register_conjugate_gaussian_chain",
     "register_sds_engine",
     "register_bds_engine",
+    "register_ds_graph_model",
     "register_gaussian_chain_model",
     "vectorize_model",
 ]

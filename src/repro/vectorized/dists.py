@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.dists import Beta, Gaussian, MvGaussian
 from repro.dists.base import Distribution
+from repro.dists.mixture import zero_nan_weights
 from repro.dists.mv_gaussian import batched_mv_log_pdf
 from repro.errors import DistributionError
 
@@ -37,6 +38,7 @@ def _normalize_weights(weights, size: int) -> np.ndarray:
     weights = np.asarray(weights, dtype=float)
     if weights.size != size:
         raise DistributionError("values and weights must have equal length")
+    weights = zero_nan_weights(weights, stacklevel=4)
     if np.any(weights < 0):
         raise DistributionError("weights must be non-negative")
     total = weights.sum()

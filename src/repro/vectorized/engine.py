@@ -40,11 +40,12 @@ each advanced with its own RNG substream.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.dists import Distribution
+from repro.dists import Bernoulli, Distribution
 from repro.errors import InferenceError
 from repro.exec.population import (
     ResidentPopulation,
@@ -80,9 +81,11 @@ from repro.vectorized.kernels import (
 from repro.vectorized.models import VectorizedModel, vectorize_model
 from repro.vectorized.sds_graph import (
     BatchedDelayedCtx,
-    BatchedGaussianChainGraph,
+    BatchedDSGraph,
     ChainOuts,
     ChainState,
+    ChainStructureError,
+    _map_leaves,
     delta_rows,
     lift_output,
     wrap_batch_state,
@@ -95,6 +98,7 @@ __all__ = [
     "VectorizedGaussianChainSDS",
     "VectorizedBetaBernoulliSDS",
     "VectorizedOutlierSDS",
+    "ScalarFallbackState",
     "make_vectorized_engine",
 ]
 
@@ -341,35 +345,71 @@ class VectorizedKalmanSDS(VectorizedEngine):
         return GaussianMixtureArray(post_mean, post_var, weights)
 
 
+class ScalarFallbackState:
+    """Engine state after migration to a scalar delayed-sampling engine.
+
+    Produced by :class:`VectorizedGaussianChainSDS` when the model
+    leaves the batched fragment mid-stream: wraps the scalar engine's
+    particle list so the engine's ``step`` knows to delegate. Opaque to
+    callers, like every other engine state.
+    """
+
+    __slots__ = ("particles",)
+
+    def __init__(self, particles: Any):
+        self.particles = particles
+
+    def __repr__(self) -> str:
+        return f"ScalarFallbackState(n={len(self.particles)})"
+
+
 class VectorizedGaussianChainSDS(VectorizedEngine):
-    """Array-native delayed sampling over a batched Gaussian-chain graph.
+    """Array-native delayed sampling over the generic batched DS graph.
 
     The tentpole of the vectorized subsystem: instead of one
     pointer-based delayed-sampling graph per particle, the engine runs
     the *scalar model code once per step* against a
-    :class:`~repro.vectorized.sds_graph.BatchedGaussianChainGraph`
-    holding every particle's delayed-sampling state as
-    structure-of-arrays, so graft / marginalize / condition / realize
-    are whole-population conjugacy kernels. Works for any model inside
-    the linear-Gaussian chain fragment — scalar Kalman/HMM chains,
-    multivariate (robot-tracker) chains, scalar projections of vector
-    states — as admitted by the structure detector
-    (:func:`repro.delayed.detect.probe_gaussian_chain`) and the
+    :class:`~repro.vectorized.sds_graph.BatchedDSGraph` holding every
+    particle's delayed-sampling state as structure-of-arrays, so graft
+    / marginalize / condition / realize are whole-population conjugacy
+    kernels. Works for any model inside the batched fragment — scalar
+    Kalman/HMM chains, multivariate (robot-tracker) chains, scalar
+    projections of vector states, Beta-Bernoulli slots, and tree-shaped
+    combinations of these (the Outlier model's Beta→Bernoulli branch
+    beside its Gaussian position chain) — as admitted by the structure
+    detector (:func:`repro.delayed.detect.probe_ds_structure`) and the
     registries in :mod:`repro.vectorized.models`.
 
     ``mode`` selects the paper's two streaming delayed samplers:
 
     * ``"sds"`` (Section 5.3) — the graph persists across steps; the
       step output is the exact per-particle marginal
-      (:class:`GaussianMixtureArray` / :class:`MvGaussianMixtureArray`).
+      (:class:`GaussianMixtureArray` / :class:`MvGaussianMixtureArray`
+      / :class:`BetaMixtureArray`).
     * ``"bds"`` (Section 5.2) — a fresh graph per step, every symbolic
       value force-realized at the end of the instant with one batched
       posterior draw; between steps the state is plain value arrays.
 
     Randomness is consumed in the same particle-major order as the
     scalar engines, so a ``bds`` run at a fixed seed reproduces the
-    scalar ``bds`` draws; all kernels are row-stable, so every executor
-    and worker count reproduces the serial posterior bit for bit.
+    scalar ``bds`` draws on pure chains; all kernels are row-stable, so
+    every executor and worker count reproduces the serial posterior bit
+    for bit.
+
+    **Mid-stream fallback.** A model may leave the fragment after it
+    started (a transition that turns non-affine at step k, a family
+    without kernels). Each SDS step therefore runs against a cheap
+    structural snapshot of the graph — mutations land on the snapshot,
+    so a :class:`ChainStructureError` mid-step leaves the pre-step
+    state intact — and ``step`` catches the error, realizes every
+    symbolic state leaf with one batched posterior draw per variable,
+    migrates the population to the corresponding scalar delayed sampler
+    (one particle per row, weights preserved, serial execution), emits
+    a one-time :class:`RuntimeWarning`, and finishes the stream there.
+    Worker-resident populations (``processes-persistent:N``) do not
+    support mid-stream migration — their step failures surface as
+    executor errors — but every materialized executor (serial, threads,
+    processes) does.
     """
 
     def __init__(self, model: Any, mode: str = "sds", **kwargs):
@@ -379,22 +419,29 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
             )
         super().__init__(model, **kwargs)
         self.mode = mode
+        #: scalar engine driving the population after fragment fallback.
+        self._scalar_engine = None
 
     def _init_batch_state(self, n: int, rng: np.random.Generator) -> Any:
         return None
 
     def _step_batch(self, state: Any, inp: Any, n: int, rng: np.random.Generator):
         if state is None:
-            graph = BatchedGaussianChainGraph(n)
+            graph = BatchedDSGraph(n)
             model_state = self.model.init()
         elif state.graph is None:
             # BDS: between steps the state is concrete value arrays;
             # wrap them so the model's lifted constructors stay symbolic.
-            graph = BatchedGaussianChainGraph(n)
+            graph = BatchedDSGraph(n)
             model_state = wrap_batch_state(state.model_state, n)
         else:
-            graph = state.graph
-            model_state = state.model_state
+            # SDS: run the step against a structural snapshot (array
+            # views, fresh slot bookkeeping) so a mid-step fragment
+            # error leaves the caller's pre-step state untouched — the
+            # failure-atomicity the scalar-fallback migration needs.
+            snapshot = state.batch_slice(0, state.n)
+            graph = snapshot.graph
+            model_state = snapshot.model_state
         graph.rng = rng
         ctx = BatchedDelayedCtx(graph)
         out, new_model_state = self.model.step(model_state, inp, ctx)
@@ -421,7 +468,114 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
             return GaussianMixtureArray(outs.mean, variances, weights)
         if outs.kind == "mv_gaussian":
             return MvGaussianMixtureArray(outs.mean, outs.var, weights)
+        if outs.kind == "beta":
+            return BetaMixtureArray(outs.mean, outs.var, weights)
+        if outs.kind == "bernoulli":
+            # A weighted mixture of Bernoullis is itself a Bernoulli.
+            return Bernoulli(float(np.dot(weights, outs.mean)))
         return ArrayEmpirical(outs.mean, weights)
+
+    # ------------------------------------------------------------------
+    # mid-stream fallback to the scalar delayed samplers
+    # ------------------------------------------------------------------
+    def step(self, state: Any, inp: Any) -> Tuple[Distribution, Any]:
+        if isinstance(state, ScalarFallbackState):
+            dist, particles = self._scalar_engine.step(state.particles, inp)
+            self.last_stats = self._scalar_engine.last_stats
+            return dist, ScalarFallbackState(particles)
+        try:
+            return super().step(state, inp)
+        except ChainStructureError as exc:
+            particles = self._migrate_to_scalar(state, exc)
+            # Replay the failed step on the migrated population.
+            dist, particles = self._scalar_engine.step(particles, inp)
+            self.last_stats = self._scalar_engine.last_stats
+            return dist, ScalarFallbackState(particles)
+
+    def memory_words(self, state: Any) -> int:
+        if isinstance(state, ScalarFallbackState):
+            return self._scalar_engine.memory_words(state.particles)
+        return super().memory_words(state)
+
+    def _build_scalar_engine(self):
+        # Imported lazily: repro.inference.engine imports nothing from
+        # this package, but keeping the dependency one-way at module
+        # scope mirrors the rest of the backend.
+        from repro.inference.engine import (
+            BoundedDelayedSampler,
+            StreamingDelayedSampler,
+        )
+
+        cls = StreamingDelayedSampler if self.mode == "sds" else BoundedDelayedSampler
+        engine = cls(self.model, n_particles=self.n_particles, rng=self.rng)
+        engine.resampler = self.resampler
+        engine.resample_threshold = self.resample_threshold
+        engine.clone_on_resample = self.clone_on_resample
+        return engine
+
+    def _collect_population(self, state: Any):
+        """Merge any materialized engine state into one (ChainState, logw)."""
+        if isinstance(state, ResidentPopulation):  # pragma: no cover - see step()
+            population = state.materialize()
+            state.release()
+            state = population
+        if isinstance(state, ShardedPopulation):
+            payloads = state.payloads()
+            chain_states = [batch.state for batch in payloads]
+            log_weights = np.concatenate([batch.log_weights for batch in payloads])
+            if chain_states[0] is None:
+                return None, log_weights
+            return chain_states[0].batch_concat(chain_states[1:]), log_weights
+        return state.state, state.log_weights
+
+    def _migrate_to_scalar(self, state: Any, exc: ChainStructureError):
+        """Move the whole population onto the scalar delayed sampler.
+
+        Symbolic state leaves are realized with one batched posterior
+        draw per variable (exactly the BDS end-of-step rule, so the
+        migration is an unbiased sample of the current posterior), then
+        each particle receives its row of the realized arrays plus its
+        accumulated log-weight. Emitted once per engine.
+        """
+        from repro.inference.particles import Particle
+
+        warnings.warn(
+            f"model {type(self.model).__name__} left the batched "
+            f"delayed-sampling fragment mid-stream ({exc}); migrating "
+            f"{self.n_particles} particles to the scalar "
+            f"{self.mode} engine (serial execution)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        engine = self._build_scalar_engine()
+        self._scalar_engine = engine
+        chain_state, log_weights = self._collect_population(state)
+        if chain_state is None:
+            # Failed on the very first step: nothing to migrate.
+            return engine.init()
+        model_state = chain_state.model_state
+        if chain_state.graph is not None:
+            graph = chain_state.graph
+            graph.rng = self.rng
+            model_state = BatchedDelayedCtx(graph).value(model_state)
+        n = chain_state.n
+
+        def row(leaf: Any, i: int) -> Any:
+            if (
+                isinstance(leaf, np.ndarray)
+                and leaf.ndim >= 1
+                and leaf.shape[0] == n
+            ):
+                value = leaf[i]
+                return value.item() if np.ndim(value) == 0 else np.array(value)
+            return leaf
+
+        particles = []
+        for i in range(n):
+            scalar_state = _map_leaves(model_state, lambda leaf: row(leaf, i))
+            graph_i = engine._fresh_graph() if engine.persistent_graph else None
+            particles.append(Particle(scalar_state, graph_i, float(log_weights[i])))
+        return particles
 
 
 class VectorizedBetaBernoulliSDS(VectorizedEngine):
@@ -467,7 +621,7 @@ class VectorizedBetaBernoulliSDS(VectorizedEngine):
 
 
 class VectorizedOutlierSDS(VectorizedEngine):
-    """Rao-Blackwellized SDS for the Outlier model, batched.
+    """Rao-Blackwellized SDS for the Outlier model, batched (retired).
 
     The scalar SDS engine keeps two symbolic chains per particle: the
     conjugate Gaussian position and the Beta outlier probability, whose
@@ -477,6 +631,14 @@ class VectorizedOutlierSDS(VectorizedEngine):
     the realized value, and apply the Kalman update / predictive weight
     only where the sensor is trusted — a masked blend over the
     population, one array operation per quantity.
+
+    Since PR 5 the Outlier model runs on the *generic* batched DS graph
+    (``VectorizedGaussianChainSDS`` over a
+    :class:`~repro.vectorized.models.GraphOutlierModel` adapter), whose
+    per-particle masked affine edge performs exactly this arithmetic —
+    bit-identical at a fixed seed. This hand-written engine is no
+    longer registered; it survives as the equivalence oracle in the
+    test suite (``tests/vectorized/test_generic_graph.py``).
     """
 
     _PARAMS = (
@@ -546,15 +708,16 @@ def make_vectorized_engine(method_key: str, model: Any, **kwargs) -> Optional[Ve
     * ``"pf"`` vectorizes whenever the model has a batched equivalent;
     * ``"sds"`` vectorizes models whose delayed-sampling semantics has a
       registered engine — the ``SDS_ENGINES`` registry (the closed-form
-      Beta-Bernoulli / Outlier chains, plus any linear-Gaussian chain
-      routed to :class:`VectorizedGaussianChainSDS` by
-      ``register_gaussian_chain_model``) or the conjugate Gaussian
-      chains of :class:`VectorizedKalmanSDS` (registered via
-      ``register_conjugate_gaussian_chain`` — exact classes only,
-      because a subclass may override ``step`` with non-conjugate
-      structure the closed-form update would miss);
+      Beta-Bernoulli Coin engine, plus any model routed to
+      :class:`VectorizedGaussianChainSDS` by
+      ``register_ds_graph_model`` — linear-Gaussian chains and, since
+      the generic graph, tree-shaped models like Outlier) or the
+      conjugate Gaussian chains of :class:`VectorizedKalmanSDS`
+      (registered via ``register_conjugate_gaussian_chain`` — exact
+      classes only, because a subclass may override ``step`` with
+      non-conjugate structure the closed-form update would miss);
     * ``"bds"`` vectorizes models in the ``BDS_ENGINES`` registry —
-      linear-Gaussian chains running on the array-native graph of
+      models running on the generic array-native graph of
       :mod:`repro.vectorized.sds_graph` with forced end-of-step
       realization.
 

@@ -45,6 +45,7 @@ __all__ = [
     "bernoulli_sample",
     "bernoulli_log_prob",
     "beta_sample",
+    "beta_log_prob",
     "categorical_sample",
     "beta_bernoulli_predictive",
     "beta_bernoulli_log_prob",
@@ -91,6 +92,34 @@ def bernoulli_log_prob(value, p) -> np.ndarray:
 def beta_sample(alpha, beta, rng: np.random.Generator) -> np.ndarray:
     """Draw ``x_i ~ Beta(alpha_i, beta_i)``; parameters broadcast."""
     return rng.beta(np.asarray(alpha, dtype=float), np.asarray(beta, dtype=float))
+
+
+_lgamma = np.vectorize(math.lgamma, otypes=[float])
+
+
+def beta_log_prob(value, alpha, beta) -> np.ndarray:
+    """Elementwise Beta log-density with per-particle parameters.
+
+    The array-parameter counterpart of ``Beta.log_pdf`` used by the
+    generic batched delayed-sampling graph when a Beta slot is observed
+    or scored: the ``i``-th value is scored under
+    ``Beta(alpha_i, beta_i)``; values outside ``(0, 1)`` score ``-inf``.
+    (NumPy has no ``lgamma`` ufunc, so the normalizer is a vectorized
+    Python loop — paid only on observe-a-Beta paths, never per chain
+    step.)
+    """
+    value = np.asarray(value, dtype=float)
+    alpha = np.asarray(alpha, dtype=float)
+    beta = np.asarray(beta, dtype=float)
+    log_norm = _lgamma(alpha + beta) - _lgamma(alpha) - _lgamma(beta)
+    inside = (value > 0.0) & (value < 1.0)
+    safe = np.where(inside, value, 0.5)
+    logp = (
+        log_norm
+        + (alpha - 1.0) * np.log(safe)
+        + (beta - 1.0) * np.log1p(-safe)
+    )
+    return np.where(inside, logp, -np.inf)
 
 
 def categorical_sample(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:

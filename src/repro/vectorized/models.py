@@ -37,6 +37,7 @@ __all__ = [
     "VectorizedKalman",
     "VectorizedCoin",
     "VectorizedOutlier",
+    "GraphOutlierModel",
     "VECTORIZED_MODELS",
     "CONJUGATE_GAUSSIAN_CHAINS",
     "SDS_ENGINES",
@@ -45,6 +46,7 @@ __all__ = [
     "register_conjugate_gaussian_chain",
     "register_sds_engine",
     "register_bds_engine",
+    "register_ds_graph_model",
     "register_gaussian_chain_model",
     "vectorize_model",
     "kalman_vectorizer",
@@ -171,6 +173,68 @@ class VectorizedOutlier(VectorizedModel):
         return xt, (xt, outlier_prob), logw
 
 
+class GraphOutlierModel(ProbNode):
+    """Lockstep-friendly Outlier model for the generic batched DS graph.
+
+    Same laws and parameters as the benchmark ``OutlierModel``; the one
+    rewrite is the observation. The original branches Python control
+    flow on the realized outlier indicator (``if is_outlier: observe(...)
+    else: observe(...)``), which cannot run once for a whole population
+    — the indicator is a per-particle array. Here the branch is the
+    equivalent *masked affine observation*
+
+    ``y ~ N(x * (1 - m) + m * outlier_mean,  where(m, outlier_var, obs_var))``
+
+    which performs exactly the conjugate arithmetic of the branch
+    (``m_i = 1``: the chain is ignored and the outlier density scores;
+    ``m_i = 0``: the ordinary Kalman update) but as one whole-population
+    edge with per-particle coefficient and variance. Under a scalar
+    context the mask is a plain 0/1 float, so this model also runs —
+    with identical laws — on every scalar engine, which is what the
+    mid-stream fallback relies on.
+    """
+
+    _PARAMS = (
+        "prior_mean",
+        "prior_var",
+        "motion_var",
+        "obs_var",
+        "outlier_alpha",
+        "outlier_beta",
+        "outlier_mean",
+        "outlier_var",
+    )
+
+    def __init__(self, model: Any):
+        for param in self._PARAMS:
+            setattr(self, param, float(getattr(model, param)))
+
+    def init(self) -> Any:
+        return None  # (previous position, outlier_prob) after the first step
+
+    def step(self, state: Any, yobs: float, ctx) -> Any:
+        # Imported lazily: repro.lang pulls in the symbolic layer, which
+        # this registry module otherwise never needs.
+        from repro.lang import bernoulli, beta, gaussian
+
+        if state is None:
+            xt = ctx.sample(gaussian(self.prior_mean, self.prior_var))
+            outlier_prob = ctx.sample(beta(self.outlier_alpha, self.outlier_beta))
+        else:
+            prev_x, outlier_prob = state
+            xt = ctx.sample(gaussian(prev_x, self.motion_var))
+        is_outlier = ctx.value(ctx.sample(bernoulli(outlier_prob)))
+        mask = np.asarray(is_outlier, dtype=float)
+        obs_var = np.where(
+            np.asarray(is_outlier, dtype=bool), self.outlier_var, self.obs_var
+        )
+        # Keep the symbolic term on the left so NumPy never broadcasts
+        # an array over the expression node.
+        obs_mean = xt * (1.0 - mask) + mask * self.outlier_mean
+        ctx.observe(gaussian(obs_mean, obs_var), yobs)
+        return xt, (xt, outlier_prob)
+
+
 # ----------------------------------------------------------------------
 # scalar model -> vectorized model registry
 # ----------------------------------------------------------------------
@@ -259,30 +323,44 @@ def register_bds_engine(
     BDS_ENGINES[model_cls] = factory
 
 
-def register_gaussian_chain_model(model_cls: Type[ProbNode]) -> None:
-    """Route a linear-Gaussian chain model to the array-native graph engine.
+def register_ds_graph_model(
+    model_cls: Type[ProbNode],
+    adapter: Optional[Callable[[ProbNode], ProbNode]] = None,
+) -> None:
+    """Route a model to the generic array-native DS graph engine.
 
     Registers :class:`~repro.vectorized.engine.VectorizedGaussianChainSDS`
     factories for the model class: always for ``bds`` (the graph engine
     is the only batched BDS), and for ``sds`` only when no closed-form
     engine already claims the class (``SDS_ENGINES`` /
     ``CONJUGATE_GAUSSIAN_CHAINS`` win — e.g. the Kalman/HMM chains keep
-    their dedicated mean/variance recursions). Callers should verify
-    chain structure first, e.g. with
-    :func:`repro.delayed.detect.probe_gaussian_chain`.
+    their dedicated mean/variance recursions). ``adapter``, when given,
+    wraps the scalar model in a lockstep-friendly equivalent before the
+    engine runs it (e.g. :class:`GraphOutlierModel`, which rewrites the
+    Outlier model's per-particle branch as a masked affine observation).
+    Callers should verify structure first, e.g. with
+    :func:`repro.delayed.detect.probe_ds_structure`.
     """
     # Imported lazily: the engine module imports this registry module.
     from repro.vectorized.engine import VectorizedGaussianChainSDS
 
+    def wrap(model: ProbNode) -> ProbNode:
+        return model if adapter is None else adapter(model)
+
     def bds_factory(model: ProbNode, **kwargs: Any) -> Any:
-        return VectorizedGaussianChainSDS(model, mode="bds", **kwargs)
+        return VectorizedGaussianChainSDS(wrap(model), mode="bds", **kwargs)
 
     def sds_factory(model: ProbNode, **kwargs: Any) -> Any:
-        return VectorizedGaussianChainSDS(model, mode="sds", **kwargs)
+        return VectorizedGaussianChainSDS(wrap(model), mode="sds", **kwargs)
 
     register_bds_engine(model_cls, bds_factory)
     if model_cls not in SDS_ENGINES and model_cls not in CONJUGATE_GAUSSIAN_CHAINS:
         register_sds_engine(model_cls, sds_factory)
+
+
+#: back-compat alias: the PR-4 name of the registration hook, when the
+#: graph engine only covered linear-Gaussian chains.
+register_gaussian_chain_model = register_ds_graph_model
 
 
 def vectorize_model(model: Any) -> Optional[VectorizedModel]:

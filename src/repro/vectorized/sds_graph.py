@@ -1,4 +1,4 @@
-"""Array-native delayed sampling for linear-Gaussian chain models.
+"""Array-native delayed sampling: one batched graph for all particles.
 
 The scalar delayed samplers (:mod:`repro.delayed`) run one pointer-based
 graph *per particle*: every ``graft`` / ``marginalize`` / ``condition``
@@ -6,27 +6,43 @@ graph *per particle*: every ``graft`` / ``marginalize`` / ``condition``
 per-step cost of ``bds`` / ``sds`` is dominated by interpreter overhead
 multiplied by the particle count — exactly the overhead the paper's
 constant-latency claim is about. This module is the structure-of-arrays
-counterpart for the models where delayed sampling shines most, the
-linear-Gaussian chains (Kalman, the Fig. 2 HMM, the Fig. 5 robot
-tracker, MvGaussian chains in general):
+counterpart of the paper's semi-symbolic runtime for the models whose
+delayed-sampling execution is *lockstep-batchable*:
 
-* :class:`BatchedGaussianChainGraph` holds the delayed-sampling state of
-  **all N particles at once**. A graph *slot* is one random variable of
-  the model; its per-particle marginal means live in one stacked array
-  (``(n,)`` for scalar Gaussians, ``(n, d)`` for multivariate ones),
-  its lifecycle state in one ``int8`` entry of the slot-state array, and
-  its affine edge coefficients are shared parameters. Variances are
-  shared across particles too — the **Gaussian-chain invariant**: the
-  covariance recursion of a linear-Gaussian chain never touches realized
-  values, only model parameters, so all particles carry the same
-  variance and differ only in their means and realized values.
-* ``graft`` / ``marginalize`` / ``condition`` / ``realize`` are
-  whole-population conjugacy kernels: one Kalman predict, update, or
-  posterior draw advances every particle in a constant number of array
-  operations, with the *pointer-minimal streaming discipline* of
-  Section 5.3 (forward pointers on marginalization, deferred
-  conditioning of parents on realized children) ported verbatim from
-  :class:`~repro.delayed.streaming.StreamingGraph`.
+* :class:`BatchedDSGraph` holds the delayed-sampling state of **all N
+  particles at once**. A graph *slot* is one random variable of the
+  model; its lifecycle state lives in one ``int8`` entry of the
+  slot-state array, its links in flat ``int32`` parent / marginal-child
+  arrays, and its marginal parameters in stacked per-particle arrays.
+  Which arrays, and which conjugacy arithmetic, is decided by a
+  **per-slot family tag** dispatching into the ``FAMILY_KERNELS``
+  table — the pluggable SoA kernel set of each conjugacy family:
+
+  - ``"gaussian"`` — per-particle mean rows, a variance that is shared
+    (a float) on pure chains and widens to a per-particle array when a
+    realized indicator masks the update (the Outlier observation);
+  - ``"mv_gaussian"`` — ``(n, d)`` mean rows with a shared ``(d, d)``
+    covariance (the Gaussian-chain invariant: the covariance recursion
+    of a linear-Gaussian chain never touches realized values);
+  - ``"beta"`` — per-particle ``(alpha, beta)`` parameter rows;
+  - ``"bernoulli"`` — per-particle predictive-probability rows.
+
+  Edges are the batched conjugacy relationships
+  (:class:`ScalarAffineEdge` — whose coefficient and variance may be
+  per-particle arrays, the masked-update trick —
+  :class:`ProjectionEdge`, :class:`MvAffineEdge`,
+  :class:`BetaBernoulliEdge`), and graft / marginalize / condition /
+  realize are whole-population kernels with the *pointer-minimal
+  streaming discipline* of Section 5.3 (forward pointers on
+  marginalization, deferred conditioning of parents on realized
+  children) ported verbatim from
+  :class:`~repro.delayed.streaming.StreamingGraph`. Tree-shaped models
+  — several variables alive at once, e.g. the Outlier model's
+  Beta→Bernoulli branch beside its Gaussian position chain — are a
+  forest of such slots; grafting across a branch prunes sibling
+  marginalized sub-paths with whole-population posterior draws, exactly
+  as the scalar graph does one particle at a time.
+
 * :class:`BatchedDelayedCtx` gives unmodified scalar model code
   (:class:`~repro.runtime.node.ProbNode` ``step`` functions) the batched
   semantics: ``sample`` returns a symbolic :class:`~repro.symbolic.RVar`
@@ -36,28 +52,42 @@ tracker, MvGaussian chains in general):
 
 **Lockstep invariant.** The model's Python code runs *once* per step for
 the whole population, so every particle performs the same graph
-operations in the same order — slot lifecycles are shared, only means
-and realized values are per-particle. This is exactly the class of
-models the structure detector (:mod:`repro.delayed.detect`) admits:
-Gaussian families only, and no data-dependent branching on sampled
-values. Anything else raises :class:`ChainStructureError`, and
-``infer`` falls back to the scalar engines.
+operations in the same order — slot lifecycles are shared, only the
+per-particle parameter rows and realized values differ. Forced
+realization (``ctx.value``) is allowed: it yields per-particle value
+*arrays*, which may feed back into distribution parameters (per-particle
+means, masked affine coefficients) but never into Python control flow.
+The structure detector (:mod:`repro.delayed.detect`,
+``probe_ds_structure``) admits exactly this class empirically.
+
+**Fragments that fall back to scalar.** Stepping outside the supported
+fragment — a family without kernels (Gamma, Dirichlet, …), a
+non-affine dependency (``x * x``), a symbolic variance, branching
+Python control flow on a per-particle value array — raises
+:class:`ChainStructureError`. ``infer`` never routes such models here
+when the detector / registries are used, and the graph engine
+(:class:`~repro.vectorized.engine.VectorizedGaussianChainSDS`) catches
+the error mid-stream, migrates the population to the scalar delayed
+samplers with a one-time :class:`RuntimeWarning`, and finishes the
+stream there — degrading gracefully instead of aborting inference.
 
 Randomness is consumed in the same particle-major order as the scalar
 engines (batched ``rng.normal`` / the replicated svd path of
 :func:`~repro.vectorized.kernels.mv_gaussian_sample`), so a fixed-seed
-run reproduces the scalar ``bds`` draws, and all batched kernels are
-row-stable (see :func:`~repro.dists.mv_gaussian.batched_matvec`), so
-sharded execution is bit-identical to serial for every executor.
+run reproduces the scalar ``bds`` draws on pure chains, and all batched
+kernels are row-stable (see
+:func:`~repro.dists.mv_gaussian.batched_matvec`), so sharded execution
+is bit-identical to serial for every executor.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.dists import Distribution, Gaussian, MvGaussian
+from repro.dists import Bernoulli, Beta, Distribution, Gaussian, MvGaussian
 from repro.dists.mv_gaussian import (
     batched_matvec,
     batched_mv_log_pdf,
@@ -74,13 +104,30 @@ from repro.symbolic import (
     extract_affine,
     is_symbolic,
 )
-from repro.vectorized.kernels import gaussian_log_prob, mv_gaussian_sample
+from repro.vectorized.kernels import (
+    bernoulli_log_prob,
+    bernoulli_sample,
+    beta_bernoulli_predictive,
+    beta_bernoulli_update,
+    beta_log_prob,
+    gaussian_log_prob,
+    mv_gaussian_sample,
+)
 
 __all__ = [
     "ChainStructureError",
+    "ChainFragmentError",
+    "SlotFamily",
+    "FAMILY_KERNELS",
+    "register_slot_family",
     "BatchedNode",
+    "BatchedDSGraph",
     "BatchedGaussianChainGraph",
     "BatchedDelayedCtx",
+    "ScalarAffineEdge",
+    "ProjectionEdge",
+    "MvAffineEdge",
+    "BetaBernoulliEdge",
     "ChainOuts",
     "ChainState",
     "wrap_batch_state",
@@ -100,17 +147,108 @@ REALIZED = np.int8(3)
 
 
 class ChainStructureError(GraphError):
-    """The model stepped outside the linear-Gaussian chain fragment.
+    """The model stepped outside the batched delayed-sampling fragment.
 
-    Raised when batched delayed sampling meets a non-Gaussian family, a
-    non-affine dependency, or a per-particle coefficient. Models that
-    raise this are simply not chain models; ``infer`` never routes them
-    here when the structure detector / registries are used.
+    Raised when batched delayed sampling meets a family without SoA
+    kernels, a non-affine dependency, a symbolic scale parameter, or a
+    coefficient of the wrong shape. ``infer`` never routes such models
+    here when the structure detector / registries are used, and the
+    graph engine falls back to the scalar delayed samplers mid-stream
+    (state migrated, one-time ``RuntimeWarning``) when a model leaves
+    the fragment after it started.
     """
 
 
+#: alias matching the name used in issue trackers / release notes.
+ChainFragmentError = ChainStructureError
+
+
 # ----------------------------------------------------------------------
-# batched affine edges (the conditional distributions of the chain)
+# per-family SoA kernels (the pluggable dispatch table)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SlotFamily:
+    """SoA kernels and layout of one conjugacy family.
+
+    A slot of this family stores two parameter entries, ``p0`` (the
+    per-particle rows: Gaussian means, Beta alphas, Bernoulli
+    probabilities) and ``p1`` (the scale: variance / covariance / Beta
+    betas, or None for scale-free families). ``vector`` families stack
+    rows as ``(n, d)``; scalar families as ``(n,)``.
+    """
+
+    name: str
+    #: per-particle rows are (n, d) instead of (n,)
+    vector: bool = False
+    #: the family has a second (scale) parameter at all
+    has_scale: bool = True
+    #: the scale broadcasts to the particle axis (Beta betas); shared
+    #: scales (Gaussian variances, covariances) stay scalar/(d, d)
+    #: unless the model hands the graph a per-particle array.
+    per_particle_scale: bool = False
+    #: cast applied to shared realized values when broadcasting
+    cast: Callable[[Any], Any] = float
+    #: (p0, p1, rng) -> per-particle draw rows
+    sample: Optional[Callable] = None
+    #: (p0, p1, value) -> per-particle log-densities
+    log_pdf: Optional[Callable] = None
+
+
+#: family tag -> SoA kernel set. Extend with :func:`register_slot_family`.
+FAMILY_KERNELS = {}
+
+
+def register_slot_family(family: SlotFamily) -> None:
+    """Register (or replace) the SoA kernels of a conjugacy family."""
+    FAMILY_KERNELS[family.name] = family
+
+
+def _family(name: Optional[str]) -> SlotFamily:
+    fam = FAMILY_KERNELS.get(name)
+    if fam is None:
+        raise ChainStructureError(
+            f"family {name!r} has no batched slot kernels; supported: "
+            f"{sorted(FAMILY_KERNELS)}"
+        )
+    return fam
+
+
+register_slot_family(
+    SlotFamily(
+        name="gaussian",
+        sample=lambda mean, var, rng: rng.normal(mean, np.sqrt(var)),
+        log_pdf=lambda mean, var, value: gaussian_log_prob(value, mean, var),
+    )
+)
+register_slot_family(
+    SlotFamily(
+        name="mv_gaussian",
+        vector=True,
+        sample=lambda mean, cov, rng: mv_gaussian_sample(mean, cov, rng),
+        log_pdf=lambda mean, cov, value: batched_mv_log_pdf(value, mean, cov),
+    )
+)
+register_slot_family(
+    SlotFamily(
+        name="beta",
+        per_particle_scale=True,
+        sample=lambda alpha, beta, rng: rng.beta(alpha, beta),
+        log_pdf=lambda alpha, beta, value: beta_log_prob(value, alpha, beta),
+    )
+)
+register_slot_family(
+    SlotFamily(
+        name="bernoulli",
+        has_scale=False,
+        cast=bool,
+        sample=lambda p, _unused, rng: bernoulli_sample(p, rng),
+        log_pdf=lambda p, _unused, value: bernoulli_log_prob(value, p),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# batched conjugacy edges (the conditional distributions of the graph)
 # ----------------------------------------------------------------------
 class ScalarAffineEdge:
     """``x | y ~ N(a*y + b, var)``, scalar Gaussian parent, batched.
@@ -118,20 +256,31 @@ class ScalarAffineEdge:
     The batched counterpart of
     :class:`~repro.delayed.conjugacy.AffineGaussian`, with identical
     arithmetic (same operation order, same variance floor) so a batched
-    chain reproduces the scalar graph's floats. ``b`` may be a
-    per-particle array (a forced-realization offset).
+    chain reproduces the scalar graph's floats. ``a``, ``b``, and
+    ``var`` may each be per-particle arrays — a masked observation
+    (``a_i = 0`` where particle ``i`` distrusts the sensor) reduces the
+    population update to exactly the masked Kalman blend the bespoke
+    Outlier engine performed by hand.
     """
 
     __slots__ = ("a", "b", "var")
     parent_family = "gaussian"
     child_family = "gaussian"
 
-    def __init__(self, a: float, b, var: float):
-        self.a = float(a)
+    def __init__(self, a, b, var):
+        self.a = a if isinstance(a, np.ndarray) else float(a)
         self.b = b if isinstance(b, np.ndarray) else float(b)
-        self.var = float(var)
-        if not self.var > 0.0:
-            raise GraphError(f"conditional variance must be > 0, got {var!r}")
+        # Scalar fast path first: pure chains construct one edge per
+        # step per variable, and np.all on a float costs more than the
+        # whole float comparison.
+        if isinstance(var, np.ndarray):
+            self.var = var
+            if not np.all(var > 0.0):
+                raise GraphError(f"conditional variance must be > 0, got {var!r}")
+        else:
+            self.var = float(var)
+            if not self.var > 0.0:
+                raise GraphError(f"conditional variance must be > 0, got {var!r}")
 
     def marginalize(self, mean, var):
         return self.a * mean + self.b, self.a * self.a * var + self.var
@@ -141,7 +290,11 @@ class ScalarAffineEdge:
         gain = var0 * self.a / innovation_var
         residual = value - (self.a * mean0 + self.b)
         post_mean = mean0 + gain * residual
-        post_var = max((1.0 - gain * self.a) * var0, 1e-300)
+        post_var = (1.0 - gain * self.a) * var0
+        if isinstance(post_var, np.ndarray):
+            post_var = np.maximum(post_var, 1e-300)
+        else:
+            post_var = max(post_var, 1e-300)
         return post_mean, post_var
 
     def at_value(self, parent_rows):
@@ -153,7 +306,8 @@ class ProjectionEdge:
 
     The batched counterpart of
     :class:`~repro.delayed.conjugacy.GaussianProjection`: scalar sensor
-    readings (accelerometer, GPS) of a vector chain state.
+    readings (accelerometer, GPS) of a vector chain state. The
+    projection row and variance are shared across particles.
     """
 
     __slots__ = ("row", "b", "var")
@@ -163,6 +317,10 @@ class ProjectionEdge:
     def __init__(self, row, b, var: float):
         self.row = np.asarray(row, dtype=float).reshape(-1)
         self.b = b if isinstance(b, np.ndarray) else float(b)
+        if isinstance(var, np.ndarray) and var.ndim > 0:
+            raise ChainStructureError(
+                "per-particle variances are not supported on projection edges"
+            )
         self.var = float(var)
         if not self.var > 0.0:
             raise GraphError(f"conditional variance must be > 0, got {var!r}")
@@ -227,8 +385,33 @@ class MvAffineEdge:
         return batched_matvec(self.a, parent_rows) + self.b, self.cov
 
 
+class BetaBernoulliEdge:
+    """``x | theta ~ Bernoulli(theta)``, Beta parent, batched.
+
+    The batched counterpart of
+    :class:`~repro.delayed.conjugacy.BetaBernoulli`: marginalization is
+    the posterior-predictive probability ``alpha/(alpha+beta)`` per
+    particle, conditioning the conjugate count update — including on
+    per-particle realized indicator arrays, the Outlier model's forced
+    Bernoulli.
+    """
+
+    __slots__ = ()
+    parent_family = "beta"
+    child_family = "bernoulli"
+
+    def marginalize(self, alpha, beta):
+        return beta_bernoulli_predictive(alpha, beta), None
+
+    def posterior(self, alpha, beta, value):
+        return beta_bernoulli_update(value, alpha, beta)
+
+    def at_value(self, parent_rows):
+        return np.asarray(parent_rows, dtype=float), None
+
+
 class BatchedNode:
-    """Handle to one slot of a :class:`BatchedGaussianChainGraph`.
+    """Handle to one slot of a :class:`BatchedDSGraph`.
 
     This is what an :class:`~repro.symbolic.RVar` wraps under batched
     delayed sampling, so the existing symbolic machinery (affine
@@ -238,7 +421,7 @@ class BatchedNode:
 
     __slots__ = ("graph", "slot")
 
-    def __init__(self, graph: "BatchedGaussianChainGraph", slot: int):
+    def __init__(self, graph: "BatchedDSGraph", slot: int):
         self.graph = graph
         self.slot = int(slot)
 
@@ -255,21 +438,24 @@ class BatchedNode:
         return f"BatchedNode(slot={self.slot}, state={state}, family={self.family})"
 
 
-class BatchedGaussianChainGraph:
+class BatchedDSGraph:
     """Streaming delayed-sampling state of all N particles, as arrays.
 
     Slot storage is structure-of-arrays: ``node_state`` (int8 lifecycle
     codes), ``parent`` / ``marginal_child`` (int32 slot links, -1 for
     none) are flat arrays over slots; ``mean`` holds one per-particle
-    array per slot, ``var`` one shared variance (float) or covariance
-    (``(d, d)``) per slot, ``edge`` the affine conditional linking a
-    slot to its parent, ``children`` the forward pointers of the
-    streaming discipline, ``value_`` the realized values (a shared
+    parameter array per slot (Gaussian means, Beta alphas, Bernoulli
+    probabilities), ``var`` the slot's scale — a shared float /
+    covariance on pure chains, a per-particle array for Beta betas and
+    masked Gaussian updates — ``edge`` the conjugate conditional
+    linking a slot to its parent, ``children`` the forward pointers of
+    the streaming discipline, ``value_`` the realized values (a shared
     scalar / vector for observations, a per-particle array for sampled
-    realizations).
+    realizations). Which conjugacy arithmetic applies is the slot's
+    ``family`` tag, dispatched through :data:`FAMILY_KERNELS`.
 
     Freed slots are recycled through a free list, so a steady-state
-    chain model touches the same handful of slots forever — the batched
+    model touches the same handful of slots forever — the batched
     version of the paper's constant-memory property (the per-slot sweep
     in :meth:`sweep` plays the role the garbage collector plays for the
     scalar pointer-minimal graph).
@@ -361,7 +547,7 @@ class BatchedGaussianChainGraph:
 
     def slot_dim(self, slot: int) -> Optional[int]:
         """Dimension of a vector-valued slot (None for scalars)."""
-        if self.family[slot] != "mv_gaussian":
+        if not _family(self.family[slot]).vector:
             return None
         mean = self.mean[slot]
         if isinstance(mean, np.ndarray) and mean.ndim == 2:
@@ -376,9 +562,9 @@ class BatchedGaussianChainGraph:
 
     # -- broadcast helpers ----------------------------------------------
     def _mean_rows(self, const, family: str) -> np.ndarray:
-        """Broadcast a (possibly shared) mean to the particle axis."""
+        """Broadcast a (possibly shared) parameter to the particle axis."""
         arr = np.asarray(const, dtype=float)
-        if family == "gaussian":
+        if not _family(family).vector:
             if arr.ndim == 0:
                 return np.full(self.n, float(arr))
             if arr.shape == (self.n,):
@@ -389,16 +575,44 @@ class BatchedGaussianChainGraph:
             if arr.ndim == 2 and arr.shape[0] == self.n:
                 return arr
         raise ChainStructureError(
-            f"cannot broadcast a mean of shape {arr.shape} over {self.n} particles"
+            f"cannot broadcast a parameter of shape {arr.shape} over "
+            f"{self.n} particles"
+        )
+
+    def _scale_value(self, var, family: str) -> Any:
+        """Coerce a slot's scale parameter to its storage form."""
+        fam = _family(family)
+        if not fam.has_scale:
+            return None
+        if fam.per_particle_scale:
+            return self._mean_rows(var, family)
+        if fam.vector:
+            return np.asarray(var, dtype=float)
+        if isinstance(var, np.ndarray) and var.ndim > 0:
+            if var.shape != (self.n,):
+                raise ChainStructureError(
+                    f"per-particle variance must have shape ({self.n},), "
+                    f"got {var.shape}"
+                )
+            return np.asarray(var, dtype=float)
+        return float(var)
+
+    def _per_particle_scale(self, slot: int) -> bool:
+        var = self.var[slot]
+        return (
+            isinstance(var, np.ndarray)
+            and not _family(self.family[slot]).vector
+            and var.ndim == 1
         )
 
     def _value_rows(self, slot: int) -> np.ndarray:
         """A realized slot's value, broadcast to the particle axis."""
+        fam = _family(self.family[slot])
         value = self.value_[slot]
-        if self.family[slot] == "gaussian":
-            if isinstance(value, np.ndarray) and value.ndim == 1:
+        if not fam.vector:
+            if isinstance(value, np.ndarray) and value.ndim >= 1:
                 return value
-            return np.full(self.n, float(value))
+            return np.full(self.n, fam.cast(value))
         value = np.asarray(value, dtype=float)
         if value.ndim == 2:
             return value
@@ -413,18 +627,20 @@ class BatchedGaussianChainGraph:
             return self.assume_root("gaussian", dist.mu, dist.var, name=name)
         if isinstance(dist, MvGaussian):
             return self.assume_root("mv_gaussian", dist.mu, dist.cov, name=name)
+        if isinstance(dist, Beta):
+            return self.assume_root("beta", dist.alpha, dist.beta, name=name)
+        if isinstance(dist, Bernoulli):
+            return self.assume_root("bernoulli", dist.p, None, name=name)
         raise ChainStructureError(
-            f"{type(dist).__name__} root in a Gaussian-chain graph; "
-            "only Gaussian/MvGaussian chains are array-native"
+            f"{type(dist).__name__} root has no batched slot family; "
+            f"supported families: {sorted(FAMILY_KERNELS)}"
         )
 
     def assume_root(self, family: str, mean, var, name: str = "") -> BatchedNode:
-        """A marginalized root: per-particle (or broadcast) mean, shared var."""
+        """A marginalized root: per-particle (or broadcast) parameter rows."""
         slot = self._alloc(family, name)
         self.mean[slot] = self._mean_rows(mean, family)
-        self.var[slot] = (
-            float(var) if family == "gaussian" else np.asarray(var, dtype=float)
-        )
+        self.var[slot] = self._scale_value(var, family)
         self.node_state[slot] = MARGINALIZED
         return BatchedNode(self, slot)
 
@@ -468,7 +684,10 @@ class BatchedGaussianChainGraph:
             self.marginal_child[slot] = -1
             return
         # Initialized: walk the backward chain iteratively, then
-        # marginalize top-down (mirrors BaseGraph.graft).
+        # marginalize top-down (mirrors BaseGraph.graft). Grafting a
+        # node in a tree whose anchored ancestor carries a different
+        # marginalized branch prunes that branch with whole-population
+        # posterior draws, exactly like the scalar graph.
         chain: List[int] = []
         cursor = slot
         while cursor >= 0 and self.node_state[cursor] == INITIALIZED:
@@ -505,7 +724,7 @@ class BatchedGaussianChainGraph:
             # conditional collapses and the node becomes a root.
             mean, var = self.edge[slot].at_value(self._value_rows(pslot))
             self.mean[slot] = self._mean_rows(mean, self.family[slot])
-            self.var[slot] = var
+            self.var[slot] = self._scale_value(var, self.family[slot])
             self.node_state[slot] = MARGINALIZED
             self.parent[slot] = -1
             return
@@ -532,8 +751,10 @@ class BatchedGaussianChainGraph:
         Deferred conditioning, as in
         :meth:`~repro.delayed.streaming.StreamingGraph.posterior_marginal`:
         every realized, not-yet-folded child found through a forward
-        pointer updates the marginal with one batched posterior kernel,
-        after which the pointer is dropped.
+        pointer updates the marginal with one batched posterior kernel
+        (a Kalman update, a Beta count update), after which the pointer
+        is dropped. A tree parent may fold several realized children —
+        one whole-population kernel each, in realization order.
         """
         if self.node_state[slot] != MARGINALIZED:
             raise GraphError("posterior_marginal expects a marginalized node")
@@ -603,7 +824,7 @@ class BatchedGaussianChainGraph:
         """Current posterior marginal without realizing: ``(kind, ...)``.
 
         Returns ``("delta", rows)`` for realized slots,
-        ``(family, mean, var)`` otherwise; initialized chains are folded
+        ``(family, p0, p1)`` otherwise; initialized chains are folded
         down from the nearest anchored ancestor without mutating the
         graph, mirroring :meth:`BaseGraph.marginal_snapshot`.
         """
@@ -641,14 +862,10 @@ class BatchedGaussianChainGraph:
     def _sample(self, family: str, mean, var) -> np.ndarray:
         if self.rng is None:
             raise GraphError("graph has no generator bound for sampling")
-        if family == "gaussian":
-            return self.rng.normal(mean, np.sqrt(var))
-        return mv_gaussian_sample(mean, var, self.rng)
+        return _family(family).sample(mean, var, self.rng)
 
     def _log_pdf(self, family: str, mean, var, value) -> np.ndarray:
-        if family == "gaussian":
-            return gaussian_log_prob(float(value), mean, var)
-        return batched_mv_log_pdf(value, mean, var)
+        return _family(family).log_pdf(mean, var, value)
 
     # ------------------------------------------------------------------
     # slot reclamation (the batched constant-memory property)
@@ -686,8 +903,8 @@ class BatchedGaussianChainGraph:
     # ------------------------------------------------------------------
     # row protocol (sharding / resampling transport)
     # ------------------------------------------------------------------
-    def _clone_structure(self, n: int) -> "BatchedGaussianChainGraph":
-        clone = object.__new__(BatchedGaussianChainGraph)
+    def _clone_structure(self, n: int) -> "BatchedDSGraph":
+        clone = object.__new__(type(self))
         clone.n = int(n)
         clone.rng = self.rng
         clone.node_state = self.node_state.copy()
@@ -710,15 +927,17 @@ class BatchedGaussianChainGraph:
     def _is_per_particle(self, slot: int, value: Any) -> bool:
         if not isinstance(value, np.ndarray):
             return False
-        if self.family[slot] == "gaussian":
+        if not _family(self.family[slot]).vector:
             return value.ndim >= 1
         return value.ndim == 2
 
-    def _map_rows(self, array_op, n: int) -> "BatchedGaussianChainGraph":
+    def _map_rows(self, array_op, n: int) -> "BatchedDSGraph":
         clone = self._clone_structure(n)
         for slot in self.live_slots():
             mean = self.mean[slot]
             clone.mean[slot] = array_op(mean) if mean is not None else None
+            if self._per_particle_scale(slot):
+                clone.var[slot] = array_op(self.var[slot])
             value = self.value_[slot]
             if self._is_per_particle(slot, value):
                 clone.value_[slot] = array_op(value)
@@ -726,7 +945,7 @@ class BatchedGaussianChainGraph:
                 clone.value_[slot] = value
         return clone
 
-    def batch_gather(self, indices: np.ndarray) -> "BatchedGaussianChainGraph":
+    def batch_gather(self, indices: np.ndarray) -> "BatchedDSGraph":
         """Resample: per-particle arrays of every slot, indexed at once.
 
         The batched analogue of cloning selected particles' graphs —
@@ -735,13 +954,13 @@ class BatchedGaussianChainGraph:
         indices = np.asarray(indices)
         return self._map_rows(lambda arr: arr[indices], int(indices.size))
 
-    def batch_slice(self, start: int, stop: int) -> "BatchedGaussianChainGraph":
+    def batch_slice(self, start: int, stop: int) -> "BatchedDSGraph":
         """One contiguous particle range (a shard's view of the graph)."""
         return self._map_rows(lambda arr: arr[start:stop], stop - start)
 
     def batch_concat(
-        self, tail: Iterable["BatchedGaussianChainGraph"]
-    ) -> "BatchedGaussianChainGraph":
+        self, tail: Iterable["BatchedDSGraph"]
+    ) -> "BatchedDSGraph":
         """Merge per-shard graphs back into one population graph.
 
         Shards run the same model code in lockstep, so their slot
@@ -751,13 +970,15 @@ class BatchedGaussianChainGraph:
         for other in graphs[1:]:
             if not np.array_equal(other.node_state, self.node_state):
                 raise GraphError(
-                    "cannot concatenate chain graphs with different slot structure"
+                    "cannot concatenate batched graphs with different slot structure"
                 )
         total = sum(g.n for g in graphs)
         clone = self._clone_structure(total)
         for slot in self.live_slots():
             if self.mean[slot] is not None:
                 clone.mean[slot] = np.concatenate([g.mean[slot] for g in graphs])
+            if self._per_particle_scale(slot):
+                clone.var[slot] = np.concatenate([g.var[slot] for g in graphs])
             if self._is_per_particle(slot, self.value_[slot]):
                 clone.value_[slot] = np.concatenate([g.value_[slot] for g in graphs])
             else:
@@ -771,8 +992,8 @@ class BatchedGaussianChainGraph:
         """Abstract heap words held live by the batched graph.
 
         The counterpart of :func:`repro.delayed.graph.graph_memory_words`
-        summed over all particles' individual graphs: per-particle mean
-        and value arrays count per element, shared variances once.
+        summed over all particles' individual graphs: per-particle
+        parameter and value arrays count per element, shared scales once.
         """
         words = 4 + self.capacity  # headers + the slot-state array
         for slot in self.live_slots():
@@ -796,9 +1017,14 @@ class BatchedGaussianChainGraph:
 
     def __repr__(self) -> str:
         return (
-            f"BatchedGaussianChainGraph(n={self.n}, "
+            f"{type(self).__name__}(n={self.n}, "
             f"live_slots={len(self.live_slots())})"
         )
+
+
+#: back-compat alias: the PR-4 name of the graph, when it only covered
+#: linear-Gaussian chains.
+BatchedGaussianChainGraph = BatchedDSGraph
 
 
 # ----------------------------------------------------------------------
@@ -811,14 +1037,16 @@ class BatchedDelayedCtx(ProbCtx):
     symbolic reference over a batched slot, ``observe`` accumulates the
     per-particle log-weight *vector*, ``value`` realizes whole
     populations with one batched draw. Conjugacy detection mirrors
-    :func:`repro.delayed.interface.assume`, restricted to the
-    linear-Gaussian chain fragment — anything outside it raises
-    :class:`ChainStructureError` instead of silently degrading.
+    :func:`repro.delayed.interface.assume`, restricted to the families
+    with SoA kernels (Gaussian / MvGaussian affine edges, Beta-Bernoulli)
+    — anything outside the fragment raises
+    :class:`ChainStructureError` instead of silently degrading, and the
+    graph engine then falls back to the scalar delayed samplers.
     """
 
     __slots__ = ("graph", "log_weight", "_counter")
 
-    def __init__(self, graph: BatchedGaussianChainGraph):
+    def __init__(self, graph: BatchedDSGraph):
         self.graph = graph
         self.log_weight: Any = 0.0
         self._counter = 0
@@ -845,7 +1073,17 @@ class BatchedDelayedCtx(ProbCtx):
             return expr
         return batched_eval(expr, self.graph)
 
-    # -- conjugacy detection over the chain fragment --------------------
+    # -- conjugacy detection over the batched fragment -------------------
+    def _const_param(self, value: Any, what: str) -> Any:
+        """A concrete (possibly per-particle) parameter, or raise."""
+        if isinstance(value, BatchConst):
+            return value.values
+        if is_symbolic(value):
+            raise ChainStructureError(
+                f"symbolic {what} is outside the batched delayed-sampling fragment"
+            )
+        return value
+
     def _assume(self, dist: Any, name: str) -> BatchedNode:
         graph = self.graph
         if isinstance(dist, Distribution):
@@ -857,38 +1095,46 @@ class BatchedDelayedCtx(ProbCtx):
         kind = dist.kind
         if kind == "gaussian":
             mean, var = dist.params
-            if is_symbolic(var):
-                raise ChainStructureError(
-                    "symbolic variance is outside the Gaussian-chain fragment"
-                )
-            var = float(var)
+            var = self._const_param(var, "variance")
+            if not isinstance(var, np.ndarray):
+                var = float(var)
             form = extract_affine(mean)
             if form is None:
                 raise ChainStructureError(
-                    "non-affine Gaussian mean in a Gaussian-chain model"
+                    "non-affine Gaussian mean in a batched delayed-sampling model"
                 )
             if form.rv is None:
                 return graph.assume_root("gaussian", form.const, var, name=name)
             parent = self._chain_parent(form.rv)
-            if parent.family == "gaussian" and np.ndim(form.coeff) == 0:
-                edge = ScalarAffineEdge(float(form.coeff), form.const, var)
-            elif parent.family == "mv_gaussian" and np.ndim(form.coeff) == 1:
-                edge = ProjectionEdge(form.coeff, form.const, var)
+            coeff = form.coeff
+            if parent.family == "gaussian" and np.ndim(coeff) == 0:
+                edge = ScalarAffineEdge(float(coeff), form.const, var)
+            elif parent.family == "gaussian" and np.ndim(coeff) == 1:
+                # A per-particle coefficient row: the masked affine
+                # observation of a forced indicator (Outlier). Zero
+                # entries make the conditional ignore the chain for
+                # those particles — the masked Kalman update.
+                coeff = np.asarray(coeff, dtype=float)
+                if coeff.shape != (graph.n,):
+                    raise ChainStructureError(
+                        "per-particle Gaussian coefficient must have one "
+                        f"entry per particle, got shape {coeff.shape}"
+                    )
+                edge = ScalarAffineEdge(coeff, form.const, var)
+            elif parent.family == "mv_gaussian" and np.ndim(coeff) == 1:
+                edge = ProjectionEdge(coeff, form.const, var)
             else:
                 raise ChainStructureError(
-                    "Gaussian mean is not an affine image of a chain variable"
+                    "Gaussian mean is not an affine image of a graph variable"
                 )
             return graph.assume_conditional(edge, parent, name=name)
         if kind == "mv_gaussian":
             mean, cov = dist.params
-            if is_symbolic(cov):
-                raise ChainStructureError(
-                    "symbolic covariance is outside the Gaussian-chain fragment"
-                )
+            cov = self._const_param(cov, "covariance")
             form = extract_affine(mean)
             if form is None:
                 raise ChainStructureError(
-                    "non-affine MvGaussian mean in a Gaussian-chain model"
+                    "non-affine MvGaussian mean in a batched delayed-sampling model"
                 )
             if form.rv is None:
                 return graph.assume_root("mv_gaussian", form.const, cov, name=name)
@@ -897,10 +1143,30 @@ class BatchedDelayedCtx(ProbCtx):
                 edge = MvAffineEdge(form.coeff, form.const, cov)
                 return graph.assume_conditional(edge, parent, name=name)
             raise ChainStructureError(
-                "MvGaussian mean is not a matrix image of a chain variable"
+                "MvGaussian mean is not a matrix image of a graph variable"
             )
+        if kind == "beta":
+            alpha, b = dist.params
+            alpha = self._const_param(alpha, "Beta parameter")
+            b = self._const_param(b, "Beta parameter")
+            return graph.assume_root("beta", alpha, b, name=name)
+        if kind == "bernoulli":
+            (p,) = dist.params
+            if isinstance(p, RVar):
+                parent = self._chain_parent(p.node)
+                if parent.family == "beta":
+                    return graph.assume_conditional(
+                        BetaBernoulliEdge(), parent, name=name
+                    )
+                raise ChainStructureError(
+                    "Bernoulli probability must be a Beta variable or concrete; "
+                    f"got a {parent.family} variable"
+                )
+            p = self._const_param(p, "Bernoulli probability")
+            return graph.assume_root("bernoulli", p, None, name=name)
         raise ChainStructureError(
-            f"distribution family {kind!r} is outside the Gaussian-chain fragment"
+            f"distribution family {kind!r} is outside the batched "
+            "delayed-sampling fragment"
         )
 
     def _chain_parent(self, node: Any) -> BatchedNode:
@@ -911,7 +1177,7 @@ class BatchedDelayedCtx(ProbCtx):
         return node
 
 
-def batched_eval(expr: Any, graph: BatchedGaussianChainGraph) -> Any:
+def batched_eval(expr: Any, graph: BatchedDSGraph) -> Any:
     """Evaluate a symbolic tree over per-particle arrays.
 
     The batched counterpart of :func:`repro.symbolic.eval_expr`:
@@ -966,12 +1232,16 @@ def batched_eval(expr: Any, graph: BatchedGaussianChainGraph) -> Any:
 # engine-facing state and output containers (row-protocol leaves)
 # ----------------------------------------------------------------------
 class ChainOuts:
-    """Stacked per-particle step outputs of a chain engine.
+    """Stacked per-particle step outputs of a graph engine.
 
-    ``kind`` is ``"gaussian"`` (mean vector + shared variance),
-    ``"mv_gaussian"`` (mean matrix + shared covariance), or ``"delta"``
-    (concrete value rows, the BDS case). Implements the row protocol so
-    per-shard outputs merge through the ordinary engine plan.
+    ``kind`` is a slot family tag — ``"gaussian"`` (mean rows + shared
+    or per-particle variance), ``"mv_gaussian"`` (mean matrix + shared
+    covariance), ``"beta"`` (alpha rows + beta rows), ``"bernoulli"``
+    (probability rows) — or ``"delta"`` (concrete value rows, the BDS
+    case). Implements the row protocol so per-shard outputs merge
+    through the ordinary engine plan; a per-particle ``var`` (Beta
+    betas, masked Gaussian variances) rides the row operations along
+    with ``mean``.
     """
 
     __slots__ = ("kind", "mean", "var")
@@ -984,19 +1254,37 @@ class ChainOuts:
     def batch_rows(self) -> int:
         return int(self.mean.shape[0])
 
+    def _per_particle_var(self) -> bool:
+        return (
+            isinstance(self.var, np.ndarray)
+            and self.kind in ("gaussian", "beta", "bernoulli")
+            and self.var.ndim == 1
+        )
+
+    def _map_var(self, array_op) -> Any:
+        return array_op(self.var) if self._per_particle_var() else self.var
+
     def batch_gather(self, indices: np.ndarray) -> "ChainOuts":
-        return ChainOuts(self.kind, self.mean[indices], self.var)
+        return ChainOuts(
+            self.kind, self.mean[indices], self._map_var(lambda a: a[indices])
+        )
 
     def batch_slice(self, start: int, stop: int) -> "ChainOuts":
-        return ChainOuts(self.kind, self.mean[start:stop], self.var)
+        return ChainOuts(
+            self.kind,
+            self.mean[start:stop],
+            self._map_var(lambda a: a[start:stop]),
+        )
 
     def batch_concat(self, tail: Iterable["ChainOuts"]) -> "ChainOuts":
         outs = [self] + list(tail)
         if any(o.kind != self.kind for o in outs):
             raise GraphError("cannot concatenate chain outputs of different kinds")
-        return ChainOuts(
-            self.kind, np.concatenate([o.mean for o in outs]), self.var
-        )
+        if self._per_particle_var():
+            var = np.concatenate([o.var for o in outs])
+        else:
+            var = self.var
+        return ChainOuts(self.kind, np.concatenate([o.mean for o in outs]), var)
 
     def batch_words(self) -> int:
         words = 2 + int(self.mean.size)
@@ -1047,7 +1335,7 @@ def _zip_leaves(values: List[Any], fn) -> Any:
     return fn(values)
 
 
-def _remap_expr(expr: Any, graph: BatchedGaussianChainGraph) -> Any:
+def _remap_expr(expr: Any, graph: BatchedDSGraph) -> Any:
     """Re-point every RVar inside a symbolic expression at ``graph``."""
     if isinstance(expr, RVar):
         return RVar(BatchedNode(graph, expr.node.slot))
@@ -1071,7 +1359,7 @@ class ChainState:
 
     def __init__(
         self,
-        graph: Optional[BatchedGaussianChainGraph],
+        graph: Optional[BatchedDSGraph],
         model_state: Any,
         n: int,
     ):
@@ -1198,15 +1486,15 @@ def wrap_batch_state(model_state: Any, n: int) -> Any:
 
 
 def lift_output(
-    graph: BatchedGaussianChainGraph, expr: Any, n: int
+    graph: BatchedDSGraph, expr: Any, n: int
 ) -> ChainOuts:
     """The batched ``distribution(e, g)`` of Section 5.3 for one output.
 
     Mirrors :func:`repro.delayed.interface.lift_distribution`: concrete
     values lift to delta rows, a bare variable reports its marginal
-    snapshot, affine images of Gaussian variables transform in closed
-    form, and non-affine terms force realization — all as
-    population-sized arrays.
+    snapshot (any slot family), affine images of Gaussian variables
+    transform in closed form, and non-affine terms force realization —
+    all as population-sized arrays.
     """
     if not is_symbolic(expr):
         return ChainOuts("delta", delta_rows(expr, n))
@@ -1247,7 +1535,12 @@ def _outs_from_snapshot(snap: Tuple, n: int) -> ChainOuts:
 
 
 def _affine_outs(snap: Tuple, coeff: Any, const: Any, n: int) -> Optional[ChainOuts]:
-    """Closed-form outputs of ``coeff * X + const`` given X's snapshot."""
+    """Closed-form outputs of ``coeff * X + const`` given X's snapshot.
+
+    Only Gaussian snapshots transform in closed form; Beta / Bernoulli
+    snapshots report None so the caller falls back to forced
+    realization (the dependency-breaking rule).
+    """
     if snap[0] == "delta":
         rows = snap[1]
         if np.ndim(coeff) == 0:

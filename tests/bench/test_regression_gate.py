@@ -1,0 +1,237 @@
+"""The mechanical perf-regression gate over benchmark JSON artifacts."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    compare_medians,
+    format_regressions,
+    load_bench_medians,
+    machine_drift,
+    sweep_records,
+    write_bench_json,
+)
+from repro.bench.regression import BenchCell, compare_cells, load_bench_cells
+from repro.bench.harness import Quantiles, SweepResult
+
+
+def _document(path, cells):
+    """Write a bench JSON with {(model, spec, particles): median_ms}."""
+    entries = [
+        {
+            "model": model,
+            "spec": spec,
+            "particles": particles,
+            "metric": "latency_ms",
+            "q10_ms": median * 0.9,
+            "median_ms": median,
+            "q90_ms": median * 1.1,
+        }
+        for (model, spec, particles), median in cells.items()
+    ]
+    write_bench_json(path, entries, meta={"benchmark": "unit-test"})
+    return path
+
+
+class TestLoadMedians:
+    def test_roundtrip(self, tmp_path):
+        path = _document(
+            tmp_path / "fresh.json",
+            {("hmm", "bds@vectorized", 1000): 0.5},
+        )
+        medians = load_bench_medians(path)
+        assert medians == {("hmm", "bds@vectorized", 1000): 0.5}
+
+    def test_entries_without_latency_skipped(self, tmp_path):
+        path = tmp_path / "doc.json"
+        with open(path, "w") as handle:
+            json.dump(
+                {"entries": [{"model": "m", "spec": "s", "particles": 1,
+                              "metric": "mse"}]},
+                handle,
+            )
+        assert load_bench_medians(path) == {}
+
+    def test_non_latency_metric_cannot_shadow_latency_cell(self, tmp_path):
+        """Concatenated documents may carry several metrics per cell; a
+        memory/accuracy record must not overwrite the latency median."""
+        path = tmp_path / "doc.json"
+        with open(path, "w") as handle:
+            json.dump(
+                {"entries": [
+                    {"model": "m", "spec": "s", "particles": 1,
+                     "metric": "latency_ms", "median_ms": 0.5},
+                    {"model": "m", "spec": "s", "particles": 1,
+                     "metric": "memory_words", "median": 9999.0},
+                ]},
+                handle,
+            )
+        assert load_bench_medians(path) == {("m", "s", 1): 0.5}
+
+    def test_sweep_records_feed_the_gate(self, tmp_path):
+        """The records the benchmark suite writes are gate-loadable."""
+        result = SweepResult(
+            metric="latency_ms",
+            methods=["sds@vectorized"],
+            particle_counts=[100],
+            cells={"sds@vectorized": {100: Quantiles(0.1, 0.2, 0.3)}},
+        )
+        path = tmp_path / "sweep.json"
+        write_bench_json(path, sweep_records(result, "outlier"))
+        assert load_bench_medians(path) == {("outlier", "sds@vectorized", 100): 0.2}
+
+
+class TestCompareMedians:
+    def test_no_regression_within_threshold(self):
+        base = {("m", "s", 100): 1.0}
+        fresh = {("m", "s", 100): 1.25}
+        assert compare_medians(fresh, base, threshold=0.30) == []
+
+    def test_regression_beyond_threshold_reported(self):
+        base = {("m", "s", 100): 1.0, ("m", "t", 100): 1.0}
+        fresh = {("m", "s", 100): 1.5, ("m", "t", 100): 0.9}
+        regressions = compare_medians(fresh, base, threshold=0.30)
+        assert len(regressions) == 1
+        assert regressions[0].key == ("m", "s", 100)
+        assert regressions[0].ratio == pytest.approx(1.5)
+
+    def test_new_and_retired_specs_ignored(self):
+        base = {("m", "old", 100): 1.0}
+        fresh = {("m", "new", 100): 99.0}
+        assert compare_medians(fresh, base) == []
+
+    def test_speedups_pass(self):
+        base = {("m", "s", 100): 2.0}
+        fresh = {("m", "s", 100): 0.5}
+        assert compare_medians(fresh, base) == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_medians({}, {}, threshold=-0.1)
+
+    def test_machine_drift_lower_quartile_of_ratios(self):
+        base = {("m", a, 100): 1.0 for a in "abcde"}
+        fresh = {("m", a, 100): r for a, r in zip("abcde", (1.4, 1.5, 1.6, 1.5, 9.0))}
+        assert machine_drift(fresh, base) == pytest.approx(1.5)
+
+    def test_machine_drift_not_dragged_by_regressed_majority(self):
+        """Even when most cells regress, the clean-cell quartile holds."""
+        base = {("m", a, 100): 1.0 for a in "abcde"}
+        fresh = {("m", a, 100): r for a, r in zip("abcde", (1.0, 1.0, 3.0, 3.0, 3.0))}
+        assert machine_drift(fresh, base) == pytest.approx(1.0)
+
+    def test_machine_drift_clamped_at_one(self):
+        base = {("m", a, 100): 2.0 for a in "abc"}
+        fresh = {("m", a, 100): 1.0 for a in "abc"}
+        assert machine_drift(fresh, base) == 1.0
+        assert machine_drift({}, {}) == 1.0
+
+    def test_machine_drift_needs_three_cells(self):
+        """With one or two shared cells drift is indistinguishable from
+        regression; the comparison stays raw."""
+        base = {("m", "a", 100): 1.0, ("m", "b", 100): 1.0}
+        fresh = {("m", "a", 100): 5.0, ("m", "b", 100): 5.0}
+        assert machine_drift(fresh, base) == 1.0
+
+    def test_uniform_slowdown_is_not_a_regression(self):
+        """A 2x-slower machine shifts every cell; the gate must not fire."""
+        base = {("m", a, 100): 1.0 for a in "abcd"}
+        fresh = {("m", a, 100): 2.0 for a in "abcd"}
+        assert compare_medians(fresh, base, threshold=0.30) == []
+        # ...but a raw comparison does flag them all
+        raw = compare_medians(fresh, base, threshold=0.30, normalize=False)
+        assert len(raw) == 4
+
+    def test_relative_regression_survives_drift_correction(self):
+        """One spec 4x slower on a uniformly 1.5x-slower machine fails."""
+        base = {("m", a, 100): 1.0 for a in "abcde"}
+        fresh = {("m", a, 100): 1.5 for a in "abcd"}
+        fresh[("m", "e", 100)] = 4.0
+        regressions = compare_medians(fresh, base, threshold=0.30)
+        assert [r.key for r in regressions] == [("m", "e", 100)]
+        assert regressions[0].drift == pytest.approx(1.5)
+        assert regressions[0].corrected_ratio == pytest.approx(4.0 / 1.5)
+        assert "drift" in str(regressions[0])
+
+    def test_format_verdicts(self):
+        assert "OK" in format_regressions([], 0.3)
+        regs = compare_medians({("m", "s", 10): 2.0}, {("m", "s", 10): 1.0})
+        text = format_regressions(regs, 0.3)
+        assert "FAILED" in text and "2.00x" in text
+
+
+class TestCompareCells:
+    """The quantile-confirmed gate criterion used by the CLI."""
+
+    @staticmethod
+    def _cell(median, spread=0.1):
+        return BenchCell(median, q10=median * (1 - spread), q90=median * (1 + spread))
+
+    def test_true_regression_confirmed(self):
+        base = {("m", "s", 100): self._cell(1.0), ("m", "t", 100): self._cell(1.0)}
+        fresh = {("m", "s", 100): self._cell(2.5), ("m", "t", 100): self._cell(1.0)}
+        regressions = compare_cells(fresh, base, threshold=0.30)
+        assert [r.key for r in regressions] == [("m", "s", 100)]
+
+    def test_contention_spike_not_confirmed(self):
+        """Median inflated by a load phase, q10 floor unchanged: pass."""
+        base = {("m", "s", 100): self._cell(1.0), ("m", "t", 100): self._cell(1.0)}
+        fresh = {
+            # median 1.6x but the quiet floor matches the baseline
+            ("m", "s", 100): BenchCell(1.6, q10=1.0, q90=2.4),
+            ("m", "t", 100): self._cell(1.0),
+        }
+        assert compare_cells(fresh, base, threshold=0.30) == []
+
+    def test_fluky_fast_baseline_not_flagged(self):
+        """A baseline cell recorded in an unusually quiet phase has a
+        wide honest q90; a fresh run at the machine's true cost passes."""
+        base = {
+            ("m", "s", 100): BenchCell(4.4, q10=4.0, q90=5.3),
+            ("m", "t", 100): self._cell(1.0),
+        }
+        fresh = {
+            ("m", "s", 100): BenchCell(6.2, q10=5.3, q90=7.0),
+            ("m", "t", 100): self._cell(1.0),
+        }
+        # 1.41x median regression, but q10 (5.3) does not clear
+        # q90 * 1.3 (6.9): treated as measurement noise.
+        assert compare_cells(fresh, base, threshold=0.30) == []
+
+    def test_cells_without_quantiles_fall_back_to_median(self):
+        base = {("m", "s", 100): BenchCell(1.0)}
+        fresh = {("m", "s", 100): BenchCell(2.0)}
+        regressions = compare_cells(fresh, base, threshold=0.30)
+        assert len(regressions) == 1
+
+    def test_load_bench_cells_roundtrip(self, tmp_path):
+        path = _document(tmp_path / "doc.json", {("m", "s", 10): 1.0})
+        cells = load_bench_cells(path)
+        cell = cells[("m", "s", 10)]
+        assert cell.median == 1.0
+        assert cell.q10 == pytest.approx(0.9)
+        assert cell.q90 == pytest.approx(1.1)
+        assert cell.has_quantiles
+
+
+class TestCliScript:
+    def test_exit_codes(self, tmp_path):
+        import importlib.util
+        import pathlib
+
+        script = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "check_perf_regression.py"
+        )
+        spec = importlib.util.spec_from_file_location("check_perf", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        base = _document(tmp_path / "base.json", {("m", "s", 100): 1.0})
+        ok = _document(tmp_path / "ok.json", {("m", "s", 100): 1.1})
+        bad = _document(tmp_path / "bad.json", {("m", "s", 100): 2.0})
+        assert module.main([str(ok), str(base)]) == 0
+        assert module.main([str(bad), str(base)]) == 1
+        assert module.main([str(bad), str(base), "--threshold", "1.5"]) == 0

@@ -1,4 +1,4 @@
-"""The Gaussian-chain structure detector."""
+"""The Gaussian-chain and generic DS structure detectors."""
 
 import pytest
 
@@ -10,7 +10,12 @@ from repro.bench.models import (
     WalkModel,
 )
 from repro.bench.robot import RobotModel
-from repro.delayed.detect import GAUSSIAN_FAMILIES, probe_gaussian_chain
+from repro.delayed.detect import (
+    BATCHABLE_FAMILIES,
+    GAUSSIAN_FAMILIES,
+    probe_ds_structure,
+    probe_gaussian_chain,
+)
 
 
 class TestChainModels:
@@ -61,6 +66,71 @@ class TestNonChainModels:
         assert "no probe inputs" in report.reason
 
 
+class TestDSStructureProbe:
+    """The generic detector behind the batched DS graph (PR 5)."""
+
+    def test_kalman_is_batchable_chain(self):
+        report = probe_ds_structure(KalmanModel(), [0.5, -0.2, 1.1])
+        assert report.is_batchable
+        assert report.is_chain  # PR-4 compatibility view
+        assert report.shape == "chain"
+        assert report.families == frozenset({"gaussian"})
+
+    def test_robot_is_batchable(self):
+        report = probe_ds_structure(
+            RobotModel(), [(0.0, 0.0, 0.0), (0.1, None, 0.0)]
+        )
+        assert report.is_batchable and report.shape == "chain"
+
+    def test_coin_is_batchable_beyond_gaussian(self):
+        """Beta/Bernoulli families are inside the batched fragment now."""
+        report = probe_ds_structure(CoinModel(), [True, False])
+        assert report.is_batchable
+        assert not report.is_chain  # not a *Gaussian* chain
+        assert report.families <= BATCHABLE_FAMILIES
+        assert "beta" in report.families
+
+    def test_raw_outlier_rejected_by_batched_smoke(self):
+        """The raw Outlier model branches Python control flow on the
+        forced per-particle indicator — the batched smoke run is what
+        catches it (families and conjugacies alone look fine)."""
+        report = probe_ds_structure(OutlierModel(), [0.5, 0.7])
+        assert not report.is_batchable
+        assert report.shape == "tree"
+        assert report.forced > 0
+        assert "batched probe" in report.reason
+
+    def test_outlier_adapter_is_batchable_tree(self):
+        from repro.vectorized import GraphOutlierModel
+
+        adapter = GraphOutlierModel(OutlierModel())
+        report = probe_ds_structure(adapter, [0.5, 0.7])
+        assert report.is_batchable
+        assert report.shape == "tree"
+        assert report.forced > 0
+        assert {"gaussian", "beta", "bernoulli"} <= report.families
+
+    def test_gamma_family_rejected(self):
+        from repro.lang import gamma, poisson
+        from repro.runtime.node import ProbNode
+
+        class GammaPoissonModel(ProbNode):
+            def init(self):
+                return None
+
+            def step(self, state, yobs, ctx):
+                lam = ctx.sample(gamma(2.0, 1.0)) if state is None else state
+                ctx.observe(poisson(lam), yobs)
+                return lam, lam
+
+        report = probe_ds_structure(GammaPoissonModel(), [1, 2])
+        assert not report.is_batchable
+        assert "gamma" in report.reason or "poisson" in report.reason
+
+    def test_empty_probe_rejected(self):
+        assert not probe_ds_structure(KalmanModel(), []).is_batchable
+
+
 class TestRobustness:
     def test_model_raising_is_rejected_not_propagated(self):
         class Broken(KalmanModel):
@@ -80,3 +150,11 @@ class TestRobustness:
         assert RobotModel in BDS_ENGINES
         assert RobotModel in SDS_ENGINES  # graph engine claims robot sds
         assert KalmanModel not in SDS_ENGINES  # closed form keeps Kalman sds
+        # PR 5: the generic graph claims the Outlier model entirely and
+        # Coin's bounded delayed sampling; Coin sds keeps its closed form.
+        assert OutlierModel in BDS_ENGINES
+        assert OutlierModel in SDS_ENGINES
+        assert CoinModel in BDS_ENGINES
+        from repro.vectorized.engine import VectorizedBetaBernoulliSDS
+
+        assert SDS_ENGINES[CoinModel] is VectorizedBetaBernoulliSDS

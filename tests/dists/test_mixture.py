@@ -83,3 +83,34 @@ class TestTupleDist:
     def test_empirical_inside_tuple(self):
         dist = TupleDist([Empirical([1.0, 3.0]), Delta(0.0)])
         assert dist.mean()[0] == pytest.approx(2.0)
+
+
+class TestNaNWeights:
+    """NaN weights must become zero weight, loudly — `np.any(w < 0)` is
+    silently False for NaN, so without the explicit check a NaN weight
+    poisoned every downstream moment (PR 5 bugfix)."""
+
+    def test_nan_weight_zeroed_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="NaN mixture weight"):
+            dist = Mixture(
+                [Gaussian(0.0, 1.0), Gaussian(10.0, 1.0)],
+                weights=[1.0, float("nan")],
+            )
+        assert dist.weights.tolist() == [1.0, 0.0]
+        assert dist.mean() == pytest.approx(0.0)
+
+    def test_all_nan_weights_rejected(self):
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(DistributionError):
+                Mixture(
+                    [Delta(0.0), Delta(1.0)],
+                    weights=[float("nan"), float("nan")],
+                )
+
+    def test_clean_weights_do_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            dist = Mixture([Delta(0.0), Delta(1.0)], weights=[0.25, 0.75])
+        assert dist.mean() == pytest.approx(0.75)

@@ -197,3 +197,57 @@ class TestPersistentPool:
             assert serve(executor) == serve("serial")
         finally:
             executor.close()
+
+
+class FailingAtStepModel:
+    """A model that raises on its k-th step (any context)."""
+
+    def __init__(self, k=2):
+        self.k = k
+
+    def init(self):
+        return 0
+
+    def step(self, state, inp, ctx):
+        if state + 1 >= self.k:
+            raise ValueError("sensor pipeline exploded")
+        return float(state), state + 1
+
+
+class TestFailingSessionReleasesShards:
+    """PR 5 bugfix: a session whose step raises must not strand its
+    worker-resident shards in the shared persistent executor."""
+
+    def test_failing_session_evicted_and_shards_released(self):
+        from repro.exec import PersistentProcessExecutor
+
+        executor = PersistentProcessExecutor(workers=2)
+        try:
+            server = StreamServer(executor=executor)
+            healthy = server.open(HmmModel(), n_particles=8, seed=0)
+            doomed = server.open(FailingAtStepModel(k=2), n_particles=8, seed=1)
+            assert len(executor._populations) == 2
+            server.submit_many(doomed, [0.1, 0.2, 0.3])
+            server.submit(healthy, 0.5)
+            with pytest.raises(InferenceError):
+                server.drain()
+            # the failing session is gone and its shards are released
+            assert len(executor._populations) == 1
+            with pytest.raises(InferenceError):
+                server.submit(doomed, 0.4)
+            # the healthy session keeps serving on the same pool
+            server.submit(healthy, 1.0)
+            server.drain()
+            assert len(server.outputs(healthy)) >= 1
+            server.shutdown()
+            assert len(executor._populations) == 0
+        finally:
+            executor.close()
+
+    def test_failing_serial_session_evicted(self):
+        server = StreamServer(executor="serial")
+        doomed = server.open(FailingAtStepModel(k=1), n_particles=4, seed=0)
+        server.submit(doomed, 0.1)
+        with pytest.raises(ValueError):
+            server.drain()
+        assert len(server) == 0  # evicted, not stranded half-stepped

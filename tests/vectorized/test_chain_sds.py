@@ -142,13 +142,21 @@ class TestBatchedGraph:
 
 
 class TestStructureRejection:
-    def test_beta_root_rejected(self):
+    def test_gamma_root_rejected(self):
+        """Families without SoA kernels still raise (Beta/Bernoulli no
+        longer do — they are first-class slots since the generic graph)."""
+        from repro.lang import gamma
+
         graph = BatchedGaussianChainGraph(2)
         ctx = BatchedDelayedCtx(graph)
         with pytest.raises(ChainStructureError):
-            ctx.sample(beta(1.0, 1.0))
+            ctx.sample(gamma(1.0, 1.0))
+        # Beta roots are part of the fragment now.
+        node = ctx.sample(beta(2.0, 3.0))
+        assert node.node.family == "beta"
 
-    def test_bernoulli_conditional_rejected(self):
+    def test_bernoulli_of_gaussian_rejected(self):
+        """Bernoulli is conjugate to Beta parents only."""
         graph = BatchedGaussianChainGraph(2)
         ctx = BatchedDelayedCtx(graph)
         x = ctx.sample(gaussian(0.0, 1.0))

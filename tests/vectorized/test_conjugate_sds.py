@@ -174,7 +174,12 @@ class TestOutlierSDS:
             assert dist.variance() > 0.0
 
     def test_outlier_indicator_conditions_beta(self):
-        """After steps, the (alpha, beta) counts grew by one per step."""
+        """After steps, the (alpha, beta) counts grew by one per step.
+
+        The Outlier model now runs on the generic batched DS graph, so
+        the conjugate counts live in the graph's Beta slot (folding any
+        still-deferred indicator when queried).
+        """
         engine = infer(
             OutlierModel(), n_particles=8, method="sds", backend="vectorized",
             seed=0,
@@ -182,5 +187,8 @@ class TestOutlierSDS:
         state = engine.init()
         for t, y in enumerate((0.5, 0.7, 0.6), start=1):
             _, state = engine.step(state, y)
-        alpha, beta, _, _ = state.state
+        graph = state.state.graph
+        beta_slots = [s for s in graph.live_slots() if graph.family[s] == "beta"]
+        assert len(beta_slots) == 1
+        alpha, beta = graph.posterior_marginal(beta_slots[0])
         assert np.all(alpha + beta == pytest.approx(100.0 + 1000.0 + 3))

@@ -115,3 +115,45 @@ class TestGaussianMixtureArray:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(DistributionError):
             GaussianMixtureArray([0.0, 1.0], [1.0])
+
+
+class TestNaNWeights:
+    """The array mixtures share the Mixture NaN policy (PR 5 bugfix):
+    a NaN weight becomes zero weight for that component, with a
+    RuntimeWarning — `np.any(weights < 0)` is False for NaN, so the
+    constructors used to accept them silently."""
+
+    def test_gaussian_mixture_array_zeroes_nan(self):
+        with pytest.warns(RuntimeWarning, match="NaN mixture weight"):
+            dist = GaussianMixtureArray(
+                [0.0, 10.0], [1.0, 1.0], weights=[1.0, np.nan]
+            )
+        assert dist.weights.tolist() == [1.0, 0.0]
+        assert dist.mean() == pytest.approx(0.0)
+
+    def test_beta_mixture_array_zeroes_nan(self):
+        from repro.vectorized import BetaMixtureArray
+
+        with pytest.warns(RuntimeWarning, match="NaN mixture weight"):
+            dist = BetaMixtureArray([2.0, 8.0], [2.0, 2.0], weights=[np.nan, 1.0])
+        assert dist.weights.tolist() == [0.0, 1.0]
+        assert dist.mean() == pytest.approx(0.8)
+
+    def test_mv_gaussian_mixture_array_zeroes_nan(self):
+        from repro.vectorized import MvGaussianMixtureArray
+
+        with pytest.warns(RuntimeWarning, match="NaN mixture weight"):
+            dist = MvGaussianMixtureArray(
+                [[0.0, 0.0], [4.0, 4.0]], np.eye(2), weights=[3.0, np.nan]
+            )
+        assert dist.mean() == pytest.approx([0.0, 0.0])
+
+    def test_array_empirical_zeroes_nan(self):
+        with pytest.warns(RuntimeWarning, match="NaN mixture weight"):
+            dist = ArrayEmpirical([1.0, 5.0], weights=[np.nan, 2.0])
+        assert dist.mean() == pytest.approx(5.0)
+
+    def test_all_nan_rejected(self):
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(DistributionError):
+                GaussianMixtureArray([0.0], [1.0], weights=[np.nan])
