@@ -87,6 +87,16 @@ from repro.lang import (
     poisson,
     uniform,
 )
+from repro.obs import (
+    MetricsRegistry,
+    count_event,
+    default_registry,
+    disable_telemetry,
+    enable_telemetry,
+    metrics_snapshot,
+    telemetry,
+    to_prometheus,
+)
 from repro.runtime import (
     Automaton,
     AutoState,
@@ -141,6 +151,15 @@ __all__ = [
     "ResidentPopulation",
     "StreamServer",
     "shutdown_executors",
+    # observability
+    "MetricsRegistry",
+    "default_registry",
+    "metrics_snapshot",
+    "count_event",
+    "enable_telemetry",
+    "disable_telemetry",
+    "telemetry",
+    "to_prometheus",
     # runtime
     "Node",
     "ProbNode",

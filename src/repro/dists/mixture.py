@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.dists.base import Distribution
 from repro.errors import DistributionError
+from repro.obs.registry import count_event
 
 __all__ = ["Mixture", "TupleDist", "zero_nan_weights"]
 
@@ -35,6 +36,9 @@ def zero_nan_weights(weights: np.ndarray, stacklevel: int = 3) -> np.ndarray:
     """
     nan_mask = np.isnan(weights)
     if nan_mask.any():
+        count_event(
+            "repro_nan_mixture_weights_total", amount=int(nan_mask.sum())
+        )
         warnings.warn(
             f"{int(nan_mask.sum())} NaN mixture weight(s) treated as zero; "
             "check the kernel that produced them",

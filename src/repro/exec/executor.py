@@ -43,10 +43,12 @@ import traceback
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing.connection import wait as _connection_wait
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import InferenceError
 from repro.exec.shm import ShmRing
+from repro.obs.spans import TELEMETRY
 
 __all__ = [
     "Executor",
@@ -225,9 +227,13 @@ def _persistent_worker_loop(conn, homes, ring) -> None:
                 }
                 reply: Any = None
             elif op == "step":
-                _, key, index, inp = msg
+                # Older senders (and oplog replay) use the 4-tuple form
+                # without the trace flag; replayed steps never trace.
+                _, key, index, inp, *rest = msg
+                trace = bool(rest[0]) if rest else False
                 home = homes[(key, index)]
                 shard = home["shard"]
+                started = perf_counter() if trace else 0.0
                 result = home["stepper"].step_shard(shard.payload, shard.rng, inp)
                 shard.payload = result.payload
                 shard.rng = result.rng
@@ -237,6 +243,12 @@ def _persistent_worker_loop(conn, homes, ring) -> None:
                     result.step_log_weights,
                     result.prev_log_weights,
                 )
+                if trace:
+                    # Spans ride back as a plain list appended to the
+                    # summary tuple; ShardSummary's ``spans`` field has
+                    # a default, so 3-tuple replies stay valid.
+                    spans = [("worker_step", (perf_counter() - started) * 1e3)]
+                    reply = reply + (spans,)
             elif op == "export":
                 _, key, index, local_indices = msg
                 home = homes[(key, index)]
@@ -303,7 +315,14 @@ class _WorkerSlot:
         """Receive one reply, materializing ring-parked arrays."""
         tag, value = self.conn.recv()
         if tag == "ok" and self.ring is not None:
-            value = self.ring.unpack(value)
+            if TELEMETRY.enabled:
+                started = perf_counter()
+                value = self.ring.unpack(value)
+                TELEMETRY.recorder.record(
+                    "shm_unpack", (perf_counter() - started) * 1e3
+                )
+            else:
+                value = self.ring.unpack(value)
         return tag, value
 
     def discard(self) -> None:
@@ -650,13 +669,20 @@ class PersistentProcessExecutor(Executor):
             state.poisoned = True
             raise
 
-    def step_population(self, key: int, inp: Any) -> List[Tuple[Any, Any, Any]]:
-        """Advance every shard; returns per-shard (outs, step_logw, prev_logw)."""
+    def step_population(
+        self, key: int, inp: Any, trace: bool = False
+    ) -> List[Tuple[Any, Any, Any]]:
+        """Advance every shard; returns per-shard (outs, step_logw, prev_logw).
+
+        With ``trace=True`` each worker times its shard step and appends
+        the span list as a fourth summary element. The oplog records the
+        step without the flag — replayed steps never trace.
+        """
         state = self._state(key)
         summaries = self._mutate(
             state,
             [
-                (self._slot_of(i), ("step", key, i, inp))
+                (self._slot_of(i), ("step", key, i, inp, trace))
                 for i in range(state.n_shards)
             ],
         )

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.errors import InferenceError
 from repro.exec.executor import Executor, shard_len
+from repro.obs.spans import TELEMETRY
 
 __all__ = [
     "DEFAULT_SHARDS",
@@ -232,6 +233,10 @@ class ShardSummary:
     step_log_weights: np.ndarray
     #: accumulated log-weights carried into the step
     prev_log_weights: np.ndarray
+    #: worker-side telemetry spans ``[(phase, duration_ms), ...]`` when
+    #: the step command requested tracing; None otherwise. Old replies
+    #: (and oplog replays) omit the field entirely.
+    spans: Any = None
 
 
 def build_exchange_plan(
@@ -319,19 +324,28 @@ class ResidentPopulation:
         if self._released:
             raise InferenceError("this resident population has been released")
 
-    def map_step(self, inp: Any) -> List[ShardSummary]:
-        """Advance every resident shard one step; collect the summaries."""
+    def map_step(self, inp: Any, trace: bool = False) -> List[ShardSummary]:
+        """Advance every resident shard one step; collect the summaries.
+
+        With ``trace=True`` the step command asks each worker to time
+        its shard step and ship the spans back with the summary.
+        """
         self._check_live()
         return [
             ShardSummary(*summary)
-            for summary in self.executor.step_population(self.key, inp)
+            for summary in self.executor.step_population(
+                self.key, inp, trace=trace
+            )
         ]
 
     def resample(self, indices: np.ndarray) -> None:
         """Barrier with resampling: ship the plan, exchange migrants."""
         self._check_live()
+        timer = TELEMETRY.step_timer()
         plans, requests = build_exchange_plan(np.asarray(indices), self.sizes)
+        timer.mark("exchange_plan")
         self.executor.exchange_population(self.key, requests, plans)
+        timer.mark("migrate")
 
     def commit_weights(self) -> None:
         """Barrier without resampling: workers fold weights locally."""

@@ -24,16 +24,38 @@ in its own population's shard substreams.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.dists import Distribution
 from repro.errors import InferenceError
 from repro.exec.executor import Executor, parse_executor
 from repro.exec.population import ResidentPopulation
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    count_event,
+)
+from repro.obs.spans import TELEMETRY
 
 __all__ = ["StreamSession", "StreamServer"]
 
 _POLICIES = ("round_robin", "as_ready")
+
+#: bucket bounds for the per-tick queue-depth histogram (observations
+#: pending when a scheduling round starts).
+_QUEUE_DEPTH_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+def _latency_summary(hist: Histogram) -> Dict[str, Any]:
+    """SLO view of a latency histogram: count, mean, p50/p95/p99."""
+    return {
+        "count": hist.count,
+        "mean_ms": hist.mean,
+        "p50_ms": hist.quantile(0.50),
+        "p95_ms": hist.quantile(0.95),
+        "p99_ms": hist.quantile(0.99),
+    }
 
 
 class StreamSession:
@@ -48,6 +70,19 @@ class StreamSession:
         #: posterior distributions produced so far, in step order
         self.outputs: List[Distribution] = []
         self.steps = 0
+        #: per-session step-latency histogram. A *local* histogram, not
+        #: a registry entry: session ids are unbounded, and unbounded
+        #: label cardinality is exactly what a metrics registry must not
+        #: absorb. The server's :meth:`StreamServer.metrics_snapshot`
+        #: reads it out on demand.
+        self.latency = Histogram(
+            "repro_session_step_ms",
+            labels=(("session", session_id),),
+            help="per-session synchronous step latency",
+            buckets=DEFAULT_LATENCY_BUCKETS_MS,
+        )
+        #: duration of the most recent step, in milliseconds.
+        self.last_step_ms: Optional[float] = None
 
     @property
     def backlog(self) -> int:
@@ -59,7 +94,10 @@ class StreamSession:
         if not self.pending:
             raise InferenceError(f"session {self.session_id!r} has no pending input")
         _, obs = self.pending.popleft()
+        started = perf_counter()
         dist, self.state = self.engine.step(self.state, obs)
+        self.last_step_ms = (perf_counter() - started) * 1e3
+        self.latency.observe(self.last_step_ms)
         self.outputs.append(dist)
         self.steps += 1
         return dist
@@ -105,6 +143,21 @@ class StreamServer:
         self._sessions: Dict[str, StreamSession] = {}
         self._arrivals = 0
         self._processed = 0
+        self._evicted = 0
+        # Server-level SLO instrumentation: always on (local histograms,
+        # one observe per step/round), independent of the step-phase
+        # tracing switch.
+        self._step_latency = Histogram(
+            "repro_server_step_ms", help="session step latency, all sessions"
+        )
+        self._tick_latency = Histogram(
+            "repro_server_tick_ms", help="scheduling-round latency"
+        )
+        self._queue_depth = Histogram(
+            "repro_server_queue_depth",
+            help="total backlog at the start of each scheduling round",
+            buckets=_QUEUE_DEPTH_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     # session lifecycle
@@ -200,21 +253,29 @@ class StreamServer:
         never strands shards — or worker memory — in the executor that
         every other session shares.
         """
-        if self.policy == "round_robin":
-            ready = [s for s in self._sessions.values() if s.pending]
-            for session in ready:
-                self._step_session(session)
-            return len(ready)
-        oldest: Optional[StreamSession] = None
-        for session in self._sessions.values():
-            if session.pending and (
-                oldest is None or session.pending[0][0] < oldest.pending[0][0]
-            ):
-                oldest = session
-        if oldest is None:
-            return 0
-        self._step_session(oldest)
-        return 1
+        self._queue_depth.observe(float(self.backlog))
+        started = perf_counter()
+        try:
+            if self.policy == "round_robin":
+                ready = [s for s in self._sessions.values() if s.pending]
+                for session in ready:
+                    self._step_session(session)
+                return len(ready)
+            oldest: Optional[StreamSession] = None
+            for session in self._sessions.values():
+                if session.pending and (
+                    oldest is None or session.pending[0][0] < oldest.pending[0][0]
+                ):
+                    oldest = session
+            if oldest is None:
+                return 0
+            self._step_session(oldest)
+            return 1
+        finally:
+            elapsed_ms = (perf_counter() - started) * 1e3
+            self._tick_latency.observe(elapsed_ms)
+            if TELEMETRY.enabled:
+                TELEMETRY.recorder.record("server_tick", elapsed_ms)
 
     def _step_session(self, session: StreamSession) -> Distribution:
         """Advance one session; evict it (releasing shards) on failure.
@@ -229,12 +290,19 @@ class StreamServer:
             self._evict(session.session_id)
             raise
         self._processed += 1
+        self._step_latency.observe(session.last_step_ms)
+        if TELEMETRY.enabled:
+            TELEMETRY.recorder.record("server_step", session.last_step_ms)
         return dist
 
     def _evict(self, session_id: str) -> None:
         """Drop a failed session, releasing any worker-resident shards."""
         session = self._sessions.pop(session_id, None)
-        if session is not None and isinstance(session.state, ResidentPopulation):
+        if session is None:
+            return
+        self._evicted += 1
+        count_event("repro_session_evictions_total")
+        if isinstance(session.state, ResidentPopulation):
             try:
                 session.state.release()
             except Exception:
@@ -256,9 +324,47 @@ class StreamServer:
         return {
             "sessions": len(self._sessions),
             "processed": self._processed,
+            "evicted": self._evicted,
             "backlog": self.backlog,
             "per_session": {
-                sid: {"steps": s.steps, "backlog": s.backlog}
+                sid: {
+                    "steps": s.steps,
+                    "backlog": s.backlog,
+                    "last_step_ms": s.last_step_ms,
+                }
+                for sid, s in self._sessions.items()
+            },
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """SLO view of the server: latency quantiles, gauges, queue depth.
+
+        Quantiles (p50/p95/p99) are derived from the fixed-bucket
+        latency histograms (:meth:`~repro.obs.registry.Histogram.quantile`),
+        so two snapshots taken at different times can be compared
+        directly. Per-session histograms are local to each session — no
+        unbounded label cardinality reaches the metrics registry — and
+        their full bucket data rides along under ``"histogram"`` for
+        offline analysis.
+        """
+        return {
+            "sessions": {"active": len(self._sessions), "evicted": self._evicted},
+            "processed": self._processed,
+            "backlog": self.backlog,
+            "tick_ms": _latency_summary(self._tick_latency),
+            "step_ms": _latency_summary(self._step_latency),
+            "queue_depth": {
+                "mean": self._queue_depth.mean,
+                "p95": self._queue_depth.quantile(0.95),
+                "ticks": self._queue_depth.count,
+            },
+            "per_session": {
+                sid: dict(
+                    _latency_summary(s.latency),
+                    backlog=s.backlog,
+                    steps=s.steps,
+                    histogram=s.latency.snapshot_value(),
+                )
                 for sid, s in self._sessions.items()
             },
         }

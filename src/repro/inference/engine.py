@@ -54,7 +54,7 @@ from repro.exec.population import (
     split_sequence,
 )
 from repro.inference.contexts import DelayedCtx, SamplingCtx
-from repro.inference.diagnostics import StepStats
+from repro.inference.diagnostics import DiagnosticsLog, StepStats
 from repro.inference.particles import (
     Particle,
     clone_particle,
@@ -62,6 +62,7 @@ from repro.inference.particles import (
     state_words,
 )
 from repro.inference.resampling import RESAMPLERS, ess, normalize_log_weights
+from repro.obs.spans import TELEMETRY
 from repro.runtime.node import Node, ProbNode
 from repro.symbolic import free_rvars
 
@@ -123,6 +124,7 @@ class InferenceEngine(Node):
         clone_on_resample: str = "all",
         executor: Union[None, str, Executor] = None,
         n_shards: Optional[int] = None,
+        diagnostics: Union[bool, DiagnosticsLog] = False,
     ):
         if n_particles < 1:
             raise InferenceError("need at least one particle")
@@ -154,6 +156,15 @@ class InferenceEngine(Node):
         self._seed = seed
         #: diagnostics of the most recent step (StepStats or None)
         self.last_stats = None
+        # Diagnostics collection: True builds a fresh log, an existing
+        # DiagnosticsLog is shared (how the scalar-fallback migration
+        # keeps one uninterrupted StepStats stream per infer() call).
+        if diagnostics is True:
+            self.diagnostics: Optional[DiagnosticsLog] = DiagnosticsLog()
+        elif isinstance(diagnostics, DiagnosticsLog):
+            self.diagnostics = diagnostics
+        else:
+            self.diagnostics = None
 
     # ------------------------------------------------------------------
     def init(self) -> Union[List[Particle], ShardedPopulation, ResidentPopulation]:
@@ -183,7 +194,9 @@ class InferenceEngine(Node):
             # Single shard on the engine's own generator: the executor
             # plan degenerates to the classic sequential step.
             population = ShardedPopulation.build([list(state)], [self.rng])
+        timer = TELEMETRY.step_timer()
         results, population = map_step(self.executor, self, population, inp)
+        timer.mark("model_eval")
         outs = [out for result in results for out in result.outs]
         stepped = [p for result in results for p in result.payload]
         step_logw = np.concatenate([r.step_log_weights for r in results])
@@ -192,11 +205,15 @@ class InferenceEngine(Node):
         weights = normalize_log_weights(log_weights)
         self._record_stats(prev_logw, step_logw, weights)
         output = self._output_distribution(outs, weights)
+        timer.mark("weight_merge")
         if self.resample and self._should_resample(weights):
             stepped = self._resample(stepped, weights)
+            timer.mark("resample")
         else:
             for particle, logw in zip(stepped, log_weights):
                 particle.log_weight = float(logw)
+            timer.mark("weight_commit")
+        timer.total("step")
         if not sharded:
             return output, stepped
         return output, population.with_payloads(
@@ -246,20 +263,32 @@ class InferenceEngine(Node):
         global ancestor indices plus the migrating particles (or, when
         resampling does not trigger, nothing at all).
         """
-        summaries = population.map_step(inp)
+        timer = TELEMETRY.step_timer()
+        summaries = population.map_step(inp, trace=TELEMETRY.enabled)
+        if TELEMETRY.enabled:
+            # Worker-side spans piggybacked on the step replies: fold
+            # them into the coordinator's registry at the merge point.
+            for summary in summaries:
+                if summary.spans:
+                    TELEMETRY.recorder.record_shipped(summary.spans)
+        timer.mark("model_eval")
         outs = self._merge_shard_outs([s.outs for s in summaries])
         step_logw = np.concatenate([s.step_log_weights for s in summaries])
         prev_logw = np.concatenate([s.prev_log_weights for s in summaries])
         weights = normalize_log_weights(prev_logw + step_logw)
         self._record_stats(prev_logw, step_logw, weights)
         output = self._output_distribution(outs, weights)
+        timer.mark("weight_merge")
         if self.resample and self._should_resample(weights):
             # Barrier: ancestor indices from the engine-level generator
             # in the coordinator — identical under every executor.
             indices = np.asarray(self.resampler(weights, self.n_particles, self.rng))
             population.resample(indices)
+            timer.mark("resample")
         else:
             population.commit_weights()
+            timer.mark("weight_commit")
+        timer.total("step")
         return output, population
 
     def _merge_shard_outs(self, chunks: List[Any]) -> Any:
@@ -333,6 +362,8 @@ class InferenceEngine(Node):
         else:
             evidence = float(top + np.log(np.sum(np.exp(combined - top))))
         self.last_stats = StepStats(evidence, ess(weights), int(weights.size))
+        if self.diagnostics is not None:
+            self.diagnostics.record(self.last_stats)
 
     # ------------------------------------------------------------------
     # hooks

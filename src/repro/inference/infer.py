@@ -69,6 +69,7 @@ def infer(
     backend: str = "scalar",
     executor: Union[None, str, Executor] = None,
     n_shards: Optional[int] = None,
+    diagnostics: Union[bool, "DiagnosticsLog"] = False,
     **kwargs,
 ) -> InferenceEngine:
     """Build an inference engine for ``model``.
@@ -82,8 +83,14 @@ def infer(
     ``"processes-persistent:N"``, or an Executor instance) and
     ``n_shards`` the deterministic shard count; either switches the
     engine to a sharded population whose results are identical for
-    every worker count. Additional keyword arguments are forwarded to
-    the engine constructor (``resampler``, ``resample_threshold``,
+    every worker count. ``diagnostics=True`` attaches a
+    :class:`~repro.inference.diagnostics.DiagnosticsLog` to the engine
+    (``engine.diagnostics``), recording one
+    :class:`~repro.inference.diagnostics.StepStats` per step — the same
+    stream on every backend/executor combination, including across a
+    mid-stream scalar fallback (pass an existing log to share it).
+    Additional keyword arguments are forwarded to the engine
+    constructor (``resampler``, ``resample_threshold``,
     ``clone_on_resample``).
     """
     key = method.lower()
@@ -95,7 +102,9 @@ def infer(
         raise InferenceError(
             f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
         )
-    kwargs = dict(kwargs, executor=executor, n_shards=n_shards)
+    kwargs = dict(
+        kwargs, executor=executor, n_shards=n_shards, diagnostics=diagnostics
+    )
     if backend in ("vectorized", "auto"):
         # Imported lazily: repro.vectorized depends on the scalar
         # engines, so a module-level import here would be circular.

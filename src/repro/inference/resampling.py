@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import InferenceError
+from repro.obs.registry import count_event
 
 __all__ = [
     "normalize_log_weights",
@@ -42,6 +43,9 @@ def normalize_log_weights(log_weights: Sequence[float]) -> np.ndarray:
         raise InferenceError("cannot normalize an empty weight vector")
     nan_mask = np.isnan(logw)
     if nan_mask.any():
+        # The warning tells an interactive user once; the counter tells
+        # a long-running deployment how often.
+        count_event("repro_nan_log_weights_total", amount=int(nan_mask.sum()))
         warnings.warn(
             f"{int(nan_mask.sum())} NaN log-weight(s) treated as -inf "
             "(zero weight); check the model/kernel that produced them",

@@ -1,0 +1,95 @@
+"""repro.obs — runtime telemetry: metrics, step-phase tracing, exports.
+
+The paper's headline claims are performance properties (bounded
+latency, constant memory, streaming inference); this package lets the
+runtime demonstrate them from the *inside*:
+
+* :mod:`repro.obs.registry` — counters, gauges, fixed-bucket histograms
+  in a :class:`MetricsRegistry` (process-global default), plus the
+  always-on :func:`count_event` used by the runtime's degradation
+  paths (scalar-fragment fallback, NaN-weight zeroing, session
+  eviction).
+* :mod:`repro.obs.spans` — step-phase span tracing threaded through the
+  engines, executors, and the stream server. Off by default: disabled
+  instrumentation is one attribute check (``TELEMETRY.enabled``) with
+  no allocation. Worker-resident shards ship their spans back
+  piggybacked on the per-step reply.
+* :mod:`repro.obs.exporters` — JSON snapshot documents and the
+  Prometheus text exposition format (with a round-trip parser).
+
+Typical use::
+
+    from repro.obs import enable_telemetry, metrics_snapshot
+
+    enable_telemetry()
+    ...                       # run engines / StreamServer as usual
+    print(metrics_snapshot()["histograms"])
+"""
+
+from repro.obs.exporters import (
+    METRICS_JSON_SCHEMA,
+    parse_prometheus,
+    snapshot_document,
+    to_prometheus,
+    write_metrics_json,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count_event,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.spans import (
+    NULL_RECORDER,
+    NULL_TIMER,
+    TELEMETRY,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+    StepTimer,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    telemetry,
+)
+
+__all__ = [
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "count_event",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "metrics_snapshot",
+    # spans
+    "Span",
+    "SpanRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "StepTimer",
+    "NULL_TIMER",
+    "Telemetry",
+    "TELEMETRY",
+    "enable_telemetry",
+    "disable_telemetry",
+    "telemetry",
+    # exporters
+    "snapshot_document",
+    "write_metrics_json",
+    "to_prometheus",
+    "parse_prometheus",
+    "METRICS_JSON_SCHEMA",
+]
+
+
+def metrics_snapshot(registry=None):
+    """Snapshot of the (default) registry: kind -> full name -> value."""
+    registry = registry if registry is not None else default_registry()
+    return registry.snapshot()

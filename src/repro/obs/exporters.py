@@ -1,0 +1,190 @@
+"""Snapshot exporters: JSON documents and Prometheus text format.
+
+Two read paths out of a :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`snapshot_document` / :func:`write_metrics_json` — a JSON
+  document (schema-tagged, host-stamped like the bench trajectory
+  files) that CI archives next to ``BENCH_*.json`` so a build's
+  telemetry is inspectable after the fact.
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` comments, cumulative ``_bucket{le=...}``
+  series with the ``+Inf`` bucket, ``_sum`` / ``_count``), so a
+  scraping deployment needs no translation layer.
+
+:func:`parse_prometheus` is the inverse reader for the exposition
+format — enough of a parser to round-trip everything this module emits,
+used by the tests to prove the exporter's output is well-formed and
+lossless, and handy for ad-hoc diffing of two scrapes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    format_labels,
+)
+
+__all__ = [
+    "snapshot_document",
+    "write_metrics_json",
+    "to_prometheus",
+    "parse_prometheus",
+    "METRICS_JSON_SCHEMA",
+]
+
+#: schema tag stamped into every metrics snapshot JSON document.
+METRICS_JSON_SCHEMA = "repro-metrics/1"
+
+
+def snapshot_document(
+    registry: Optional[MetricsRegistry] = None, meta: Optional[Dict] = None
+) -> Dict:
+    """A JSON-ready snapshot document of ``registry`` (default: global)."""
+    registry = registry if registry is not None else default_registry()
+    return {
+        "schema": METRICS_JSON_SCHEMA,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "meta": dict(meta or {}),
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_metrics_json(
+    path, registry: Optional[MetricsRegistry] = None, meta: Optional[Dict] = None
+) -> None:
+    """Write a registry snapshot as one JSON document (CI artifact unit)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            snapshot_document(registry, meta), handle, indent=2, sort_keys=True
+        )
+        handle.write("\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus number rendering: integers without a trailing ``.0``."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _merge_labels(labels, extra: Dict[str, str]) -> str:
+    merged = dict(labels)
+    merged.update(extra)
+    return format_labels(tuple(sorted(merged.items())))
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    Metrics sharing a name (label variants) are grouped under one
+    ``# HELP`` / ``# TYPE`` header, as the format requires; histograms
+    expand to cumulative ``_bucket`` series ending in ``le="+Inf"``,
+    plus ``_sum`` and ``_count``.
+    """
+    registry = registry if registry is not None else default_registry()
+    lines: List[str] = []
+    seen_headers = set()
+    for metric in registry.metrics():
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{metric.name}{format_labels(metric.labels)} "
+                f"{_format_value(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for bound, count in zip(metric.buckets, cumulative):
+                label_text = _merge_labels(
+                    metric.labels, {"le": _format_value(bound)}
+                )
+                lines.append(f"{metric.name}_bucket{label_text} {count}")
+            label_text = _merge_labels(metric.labels, {"le": "+Inf"})
+            lines.append(f"{metric.name}_bucket{label_text} {cumulative[-1]}")
+            suffix_labels = format_labels(metric.labels)
+            lines.append(
+                f"{metric.name}_sum{suffix_labels} {_format_value(metric.sum)}"
+            )
+            lines.append(f"{metric.name}_count{suffix_labels} {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_label_block(text: str) -> Tuple[Tuple[str, str], ...]:
+    """Parse ``k="v",k2="v2"`` into a sorted label tuple."""
+    labels = []
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {text!r}")
+        end = text.index('"', eq + 2)
+        labels.append((key, text[eq + 2 : end]))
+        i = end + 1
+    return tuple(sorted(labels))
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict]:
+    """Parse the text exposition format back into plain data.
+
+    Returns ``name -> {"type", "help", "samples"}`` where ``samples``
+    maps a rendered label string (sorted keys, ``""`` when unlabelled)
+    to the float sample value. Histogram series parse as their expanded
+    ``_bucket`` / ``_sum`` / ``_count`` sample names under the base
+    name's entry — the same information the exporter started from, which
+    is what makes the round-trip test meaningful.
+    """
+    families: Dict[str, Dict] = {}
+
+    def family(name: str) -> Dict:
+        return families.setdefault(
+            name, {"type": "untyped", "help": "", "samples": {}}
+        )
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            family(name)["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            family(name)["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            block = line[line.index("{") + 1 : line.rindex("}")]
+            labels = _parse_label_block(block)
+            value_text = line[line.rindex("}") + 1 :].strip()
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = ()
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        label_text = format_labels(labels)
+        family(base)["samples"][name + label_text] = float(value_text)
+    return families

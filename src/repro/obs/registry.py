@@ -1,0 +1,361 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The paper's claims are *performance properties* — bounded latency,
+constant memory — and a long-running deployment must be able to observe
+them from the inside, not only through a bench harness's stopwatch.
+This module is the storage layer of :mod:`repro.obs`: three metric
+primitives with Prometheus-compatible semantics, collected in a
+:class:`MetricsRegistry` with one process-global default instance.
+
+Design constraints, in order:
+
+* **Negligible hot-path cost.** A metric object is a ``__slots__``
+  instance whose update is one float add; a :class:`Histogram` update is
+  one :func:`bisect.bisect_left` plus two adds. Registry lookups are a
+  single dict get keyed by ``(name, labels)``; call sites that run per
+  step cache the metric object instead (see
+  :class:`repro.obs.spans.SpanRecorder`).
+* **Derivable quantiles.** Histograms use *fixed* bucket upper bounds,
+  so p50/p95/p99 are derivable from the bucket counts at read time
+  (:meth:`Histogram.quantile`) and two snapshots can be subtracted —
+  the property Prometheus-style monitoring relies on.
+* **Plain-data export.** :meth:`MetricsRegistry.snapshot` returns a
+  JSON-ready dict; the Prometheus text rendering lives in
+  :mod:`repro.obs.exporters`.
+
+Degradation-path **event counters** (scalar-fragment fallback,
+NaN-weight zeroing, session eviction) go through :func:`count_event`
+and are *always on*: the events are rare, a counter bump is one dict
+get plus one add, and their entire point is to be visible in
+deployments that never enabled step tracing.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "count_event",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+#: default histogram bucket upper bounds for latency metrics, in
+#: milliseconds: roughly logarithmic from 10 microseconds to 10 seconds,
+#: dense enough that p99 interpolation stays within ~2x of the truth at
+#: every scale the engines operate on.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0,
+)
+
+#: labels sorted and frozen: the dict key of one metric instance.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Optional[Mapping[str, Any]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: LabelSet) -> str:
+    """Render a label set as ``{k="v",...}`` (empty string when none)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Shared identity of every metric: name, labels, help text."""
+
+    __slots__ = ("name", "labels", "help")
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    @property
+    def full_name(self) -> str:
+        """``name{labels}`` — the key used in snapshots and exports."""
+        return self.name + format_labels(self.labels)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.full_name!r})"
+
+
+class Counter(Metric):
+    """A monotonically increasing count (events, steps, particles)."""
+
+    __slots__ = ("_value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot_value(self) -> float:
+        return self._value
+
+
+class Gauge(Metric):
+    """A value that goes up and down (sessions active, queue depth)."""
+
+    __slots__ = ("_value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot_value(self) -> float:
+        return self._value
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with derivable quantiles.
+
+    ``buckets`` are the finite upper bounds, in increasing order; an
+    implicit ``+inf`` bucket catches the overflow. ``observe`` is one
+    binary search plus two adds, so it is safe on per-step hot paths.
+    Quantiles are estimated by linear interpolation inside the bucket
+    that contains the requested rank — exactly what a Prometheus
+    ``histogram_quantile`` does — so p50/p95/p99 come from the bucket
+    counts alone and remain meaningful after snapshot subtraction.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ):
+        super().__init__(name, labels, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.buckets = bounds
+        #: per-bucket (non-cumulative) counts; index len(buckets) = +inf.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative per-bucket counts (incl. +inf)."""
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation within the containing bucket; the lower
+        edge of the first bucket is 0 (latencies are non-negative), and
+        a rank landing in the +inf bucket reports the last finite bound
+        — the honest answer fixed buckets can give.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= rank:
+                if i >= len(self.buckets):
+                    return self.buckets[-1]
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                upper = self.buckets[i]
+                fraction = (rank - seen) / c
+                return lower + fraction * (upper - lower)
+            seen += c
+        return self.buckets[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def snapshot_value(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing metric
+    for ``(name, labels)`` or create it; asking for the same name with a
+    different metric *type* is an error (it would corrupt the export).
+    Creation is guarded by a lock so threads sharing the process-global
+    registry cannot race; updates on the returned objects are plain
+    attribute arithmetic — unsynchronized, matching the engines'
+    threading model where each step phase runs in one thread at a time.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, LabelSet], Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, labels, help: str, **kwargs):
+        key = (name, _labelset(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, key[1], help, **kwargs)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help: str = "",
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help: str = "",
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, help, buckets=buckets
+        )
+
+    def metrics(self) -> Iterable[Metric]:
+        """Every registered metric, in stable (name, labels) order."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def get(self, name: str, labels: Optional[Mapping[str, Any]] = None):
+        """The registered metric for ``(name, labels)``, or None."""
+        return self._metrics.get((name, _labelset(labels)))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready view: kind -> full name -> value.
+
+        Counters and gauges map to their float value; histograms to a
+        ``{"buckets", "counts", "sum", "count"}`` dict. The layout is
+        stable across runs (sorted keys), so snapshots diff cleanly.
+        """
+        out: Dict[str, Dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for metric in self.metrics():
+            out[metric.kind + "s"][metric.full_name] = metric.snapshot_value()
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests, start of a bench run)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"
+
+
+#: the process-global registry every default-configured component uses.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return _DEFAULT_REGISTRY
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-global registry; returns the previous one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous
+
+
+def count_event(
+    name: str, labels: Optional[Mapping[str, Any]] = None, amount: float = 1.0
+) -> None:
+    """Increment an always-on event counter in the default registry.
+
+    The runtime's degradation paths (scalar-fragment fallback, NaN
+    weight zeroing, session eviction on failure) call this next to
+    their one-time ``RuntimeWarning``: the warning tells an interactive
+    user *once*, the counter tells a long-running deployment *how
+    often*. Not gated by the tracing switch — these events are rare and
+    the counter bump is two dict operations.
+    """
+    _DEFAULT_REGISTRY.counter(name, labels).inc(amount)

@@ -57,6 +57,8 @@ from repro.exec.population import (
 )
 from repro.inference.engine import InferenceEngine
 from repro.inference.resampling import normalize_log_weights
+from repro.obs.registry import count_event
+from repro.obs.spans import TELEMETRY
 from repro.runtime.node import ProbNode
 from repro.vectorized.batch import (
     ParticleBatch,
@@ -148,7 +150,9 @@ class VectorizedEngine(InferenceEngine):
             population = state
         else:
             population = ShardedPopulation.build([state], [self.rng])
+        timer = TELEMETRY.step_timer()
         results, population = map_step(self.executor, self, population, inp)
+        timer.mark("model_eval")
         outs = _merge([r.outs for r in results])
         step_logw = np.concatenate([r.step_log_weights for r in results])
         prev_logw = np.concatenate([r.prev_log_weights for r in results])
@@ -156,6 +160,7 @@ class VectorizedEngine(InferenceEngine):
         weights = normalize_log_weights(log_weights)
         self._record_stats(prev_logw, step_logw, weights)
         output = self._output_distribution(outs, weights)
+        timer.mark("weight_merge")
 
         sizes = [r.payload.n for r in results]
         if self.resample and self._should_resample(weights):
@@ -175,6 +180,7 @@ class VectorizedEngine(InferenceEngine):
                     )
                 )
                 start += size
+            timer.mark("resample")
         else:
             chunks, start = [], 0
             for result, size in zip(results, sizes):
@@ -184,6 +190,8 @@ class VectorizedEngine(InferenceEngine):
                     )
                 )
                 start += size
+            timer.mark("weight_commit")
+        timer.total("step")
         if not sharded:
             return output, chunks[0]
         return output, population.with_payloads(chunks)
@@ -511,6 +519,9 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
         engine.resampler = self.resampler
         engine.resample_threshold = self.resample_threshold
         engine.clone_on_resample = self.clone_on_resample
+        # Share the diagnostics log so one infer() call yields one
+        # uninterrupted StepStats stream across the migration.
+        engine.diagnostics = self.diagnostics
         return engine
 
     def _collect_population(self, state: Any):
@@ -539,6 +550,10 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
         """
         from repro.inference.particles import Particle
 
+        count_event(
+            "repro_scalar_fallback_total",
+            labels={"model": type(self.model).__name__, "mode": self.mode},
+        )
         warnings.warn(
             f"model {type(self.model).__name__} left the batched "
             f"delayed-sampling fragment mid-stream ({exc}); migrating "

@@ -1,0 +1,21 @@
+"""Isolation for the observability tests.
+
+Every test in this package gets a fresh process-global registry and a
+guaranteed-disabled telemetry switch, so counter assertions ("exactly
+once") cannot be polluted by other tests — or pollute them.
+"""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, set_default_registry
+from repro.obs.spans import disable_telemetry
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Swap in an empty default registry; restore the old one after."""
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    yield registry
+    set_default_registry(previous)
+    disable_telemetry()

@@ -1,0 +1,94 @@
+"""Exporters: JSON snapshot documents and the Prometheus round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    METRICS_JSON_SCHEMA,
+    parse_prometheus,
+    snapshot_document,
+    to_prometheus,
+    write_metrics_json,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_events_total", help="test events").inc(5)
+    reg.counter("repro_events_total", labels={"kind": "nan"}).inc(2)
+    reg.gauge("repro_sessions_active", help="open sessions").set(3)
+    hist = reg.histogram(
+        "repro_step_ms", labels={"phase": "eval"}, buckets=(1.0, 10.0)
+    )
+    hist.observe(0.5)
+    hist.observe(5.0)
+    hist.observe(50.0)
+    return reg
+
+
+class TestJsonDocument:
+    def test_document_shape(self):
+        doc = snapshot_document(populated_registry(), meta={"pr": 6})
+        assert doc["schema"] == METRICS_JSON_SCHEMA
+        assert doc["meta"] == {"pr": 6}
+        assert "platform" in doc["host"]
+        assert doc["metrics"]["counters"]["repro_events_total"] == 5.0
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(path, populated_registry())
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == METRICS_JSON_SCHEMA
+        hist = doc["metrics"]["histograms"]['repro_step_ms{phase="eval"}']
+        assert hist["count"] == 3
+
+
+class TestPrometheusFormat:
+    def test_headers_emitted_once_per_family(self):
+        text = to_prometheus(populated_registry())
+        assert text.count("# TYPE repro_events_total counter") == 1
+        assert "# HELP repro_events_total test events" in text
+        assert text.endswith("\n")
+
+    def test_histogram_expansion(self):
+        text = to_prometheus(populated_registry())
+        assert 'repro_step_ms_bucket{le="1",phase="eval"} 1' in text
+        assert 'repro_step_ms_bucket{le="10",phase="eval"} 2' in text
+        assert 'repro_step_ms_bucket{le="+Inf",phase="eval"} 3' in text
+        assert 'repro_step_ms_count{phase="eval"} 3' in text
+
+    def test_round_trip_through_parser(self):
+        """Everything the exporter emits parses back losslessly."""
+        reg = populated_registry()
+        families = parse_prometheus(to_prometheus(reg))
+
+        assert families["repro_events_total"]["type"] == "counter"
+        samples = families["repro_events_total"]["samples"]
+        assert samples["repro_events_total"] == 5.0
+        assert samples['repro_events_total{kind="nan"}'] == 2.0
+
+        assert families["repro_sessions_active"]["type"] == "gauge"
+        assert families["repro_sessions_active"]["samples"][
+            "repro_sessions_active"
+        ] == 3.0
+
+        hist = families["repro_step_ms"]
+        assert hist["type"] == "histogram"
+        assert hist["samples"]['repro_step_ms_bucket{le="+Inf",phase="eval"}'] == 3.0
+        assert hist["samples"]['repro_step_ms_sum{phase="eval"}'] == pytest.approx(
+            55.5
+        )
+        assert hist["samples"]['repro_step_ms_count{phase="eval"}'] == 3.0
+
+    def test_round_trip_matches_registry_cumulative_counts(self):
+        reg = populated_registry()
+        hist = reg.get("repro_step_ms", labels={"phase": "eval"})
+        families = parse_prometheus(to_prometheus(reg))
+        samples = families["repro_step_ms"]["samples"]
+        parsed = [
+            samples[f'repro_step_ms_bucket{{le="{int(b)}",phase="eval"}}']
+            for b in hist.buckets
+        ] + [samples['repro_step_ms_bucket{le="+Inf",phase="eval"}']]
+        assert parsed == [float(c) for c in hist.cumulative_counts()]

@@ -1,0 +1,138 @@
+"""Metrics registry primitives: counters, gauges, histograms, snapshots."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count_event,
+    default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("steps_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("steps_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1.0)
+
+    def test_full_name_includes_labels(self):
+        c = Counter("events_total", labels=(("kind", "nan"),))
+        assert c.full_name == 'events_total{kind="nan"}'
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("sessions_active")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_observe_routes_to_correct_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1, 1]  # last = +inf overflow
+        assert h.cumulative_counts() == [1, 3, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(560.5)
+
+    def test_bucket_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("lat", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("lat", buckets=())
+
+    def test_quantiles_interpolate_within_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        # 100 observations uniform in (0, 4): quantiles track the data.
+        for v in np.linspace(0.02, 3.98, 100):
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(2.0, abs=0.25)
+        assert h.quantile(0.95) == pytest.approx(3.8, abs=0.25)
+
+    def test_quantile_edge_cases(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        assert math.isnan(h.quantile(0.5))  # empty
+        h.observe(1e9)  # lands in +inf bucket
+        assert h.quantile(0.99) == 10.0  # reports last finite bound
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_mean(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        h.observe(3.0)
+        assert h.mean == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("steps_total")
+        b = reg.counter("steps_total")
+        assert a is b
+        labelled = reg.counter("steps_total", labels={"phase": "eval"})
+        assert labelled is not a
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("metric_x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("metric_x")
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", labels={"a": 1, "b": 2})
+        b = reg.counter("m", labels={"b": 2, "a": 1})
+        assert a is b
+
+    def test_snapshot_layout(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total").inc(3)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["events_total"] == 3.0
+        assert snap["gauges"]["depth"] == 7.0
+        hist = snap["histograms"]["lat"]
+        assert hist == {
+            "buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1,
+        }
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.get("events_total") is None
+
+
+class TestDefaults:
+    def test_count_event_hits_default_registry(self, fresh_registry):
+        count_event("repro_test_events_total")
+        count_event("repro_test_events_total", amount=2)
+        counter = default_registry().get("repro_test_events_total")
+        assert counter.value == 3.0
+        assert default_registry() is fresh_registry
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(
+            DEFAULT_LATENCY_BUCKETS_MS
+        )
