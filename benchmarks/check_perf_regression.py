@@ -46,9 +46,19 @@ def main(argv=None) -> int:
         action="store_true",
         help="compare raw medians without machine-drift correction",
     )
+    parser.add_argument(
+        "--metric",
+        default="latency",
+        help=(
+            "metric prefix selecting which records are gated "
+            "(default 'latency'; 'pickled_bytes' gates the transport "
+            "byte counters — pair it with --no-normalize, bytes are "
+            "machine-independent)"
+        ),
+    )
     args = parser.parse_args(argv)
-    fresh = load_bench_cells(args.fresh)
-    baseline = load_bench_cells(args.baseline)
+    fresh = load_bench_cells(args.fresh, metric=args.metric)
+    baseline = load_bench_cells(args.baseline, metric=args.metric)
     shared = set(fresh) & set(baseline)
     normalize = not args.no_normalize
     drift = machine_drift(
@@ -56,7 +66,7 @@ def main(argv=None) -> int:
         {k: c.median for k, c in baseline.items()},
     ) if normalize else 1.0
     print(
-        f"comparing {len(shared)} shared benchmark cell(s) "
+        f"comparing {len(shared)} shared {args.metric} cell(s) "
         f"({len(fresh)} fresh, {len(baseline)} baseline); "
         f"machine drift {drift:.2f}x"
     )

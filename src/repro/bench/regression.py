@@ -79,23 +79,31 @@ class Regression:
         return text
 
 
-def load_bench_cells(path) -> Dict[BenchKey, BenchCell]:
-    """Latency quantiles per benchmark cell from one JSON document.
+def load_bench_cells(path, metric: str = "latency") -> Dict[BenchKey, BenchCell]:
+    """Quantiles per benchmark cell from one JSON document.
 
     Accepts any document written by
-    :func:`repro.bench.reporting.write_bench_json`; entries without a
-    median latency (non-latency metrics) are skipped. Missing q10/q90
-    fields load as NaN (``BenchCell.has_quantiles`` is False).
+    :func:`repro.bench.reporting.write_bench_json`. ``metric`` selects
+    which records become cells by prefix match — ``"latency"`` (the
+    default) loads the step-latency sweeps; ``"pickled_bytes"`` loads
+    the transport byte counters, so the same gate can watch payload
+    bytes creep back onto the pickle path. Entries without a median are
+    skipped; missing q10/q90 fields load as NaN
+    (``BenchCell.has_quantiles`` is False).
     """
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     cells: Dict[BenchKey, BenchCell] = {}
     for entry in document.get("entries", []):
-        metric = entry.get("metric")
-        if metric is not None and not str(metric).startswith("latency"):
+        entry_metric = entry.get("metric")
+        if entry_metric is None:
+            # Legacy documents tagged nothing and recorded latencies.
+            if metric != "latency":
+                continue
+        elif not str(entry_metric).startswith(metric):
             # Documents may concatenate several sweeps' records; a
             # memory/accuracy record for the same (model, spec, count)
-            # must not overwrite the latency cell the gate compares.
+            # must not overwrite the cell the gate compares.
             continue
         median = entry.get("median_ms", entry.get("median"))
         if median is None:

@@ -17,11 +17,14 @@ plus RNG substream — in-process across steps, so per-step traffic is
 command messages (step input out, per-shard weight vectors and outputs
 back) instead of full-population pickles, and the resample barrier
 ships only the global ancestor indices plus the few particles that
-actually migrate between shards. The reply arrays themselves (the
-per-step outs/weights vectors) travel through one shared-memory ring
-per worker (:mod:`repro.exec.shm`) when the platform offers it, with
-the pickle path kept as an automatic fallback — pass ``shm_bytes=0``
-to force pickling.
+actually migrate between shards. The array payloads themselves travel
+through one shared-memory ring per worker *per direction*
+(:mod:`repro.exec.shm`) when the platform offers it — replies as
+zero-copy read-only views, commands (inputs, exchange plans, replayed
+checkpoints) as descriptors — so a steady-state no-resample step moves
+zero pickled payload bytes over the pipe. The pickle path is kept as an
+automatic, metered fallback — pass ``shm_bytes=0`` (or set the
+``REPRO_SHM_BYTES`` environment variable) to disable both rings.
 
 Executors are selected by spec string (``"serial"``, ``"threads:4"``,
 ``"processes:2"``, ``"processes-persistent:4"``) through
@@ -47,7 +50,7 @@ from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import InferenceError
-from repro.exec.shm import ShmRing
+from repro.exec.shm import ShmRing, TransportStats, materialize, measure_payload
 from repro.obs.spans import TELEMETRY
 
 __all__ = [
@@ -186,7 +189,11 @@ class ProcessShardExecutor(_PooledExecutor):
 _PIPE_ERRORS = (BrokenPipeError, EOFError, ConnectionResetError, OSError)
 
 
-def _persistent_worker_main(conn, ring_name: Optional[str] = None) -> None:
+def _persistent_worker_main(
+    conn,
+    ring_name: Optional[str] = None,
+    cmd_ring_name: Optional[str] = None,
+) -> None:
     """Main loop of one persistent worker: resident shards + commands.
 
     ``homes`` maps ``(population key, shard index)`` to the resident
@@ -194,28 +201,44 @@ def _persistent_worker_main(conn, ring_name: Optional[str] = None) -> None:
     vector of the most recent step (so the weight commit after a
     non-resampling barrier needs no data from the coordinator at all).
 
-    When the coordinator allocated a shared-memory ring for this worker
-    (``ring_name``), reply payloads are routed through it: array leaves
-    park in the ring and only small descriptors cross the pipe (see
-    :mod:`repro.exec.shm`). Attachment failure silently degrades to the
-    pickle path — the ring is a latency optimization, never a
-    correctness dependency.
+    When the coordinator allocated shared-memory rings for this worker,
+    payloads are routed through them in both directions: reply arrays
+    park in the *reply* ring (``ring_name``), command arrays —
+    observation inputs, exchange plans, replayed checkpoint shards —
+    arrive as descriptors into the *command* ring (``cmd_ring_name``)
+    and are copied out before use. Reply-ring attachment failure
+    silently degrades to the pickle path; command-ring attachment is
+    reported back in the ``hello`` handshake so the coordinator never
+    sends descriptors this worker cannot resolve. Either way the rings
+    are a latency optimization, never a correctness dependency.
     """
     homes: Dict[Tuple[int, int], Dict[str, Any]] = {}
     ring = ShmRing.attach(ring_name)
+    cmd_ring = ShmRing.attach(cmd_ring_name)
     try:
-        _persistent_worker_loop(conn, homes, ring)
+        conn.send(("hello", cmd_ring is not None))
+    except Exception:
+        return
+    try:
+        _persistent_worker_loop(conn, homes, ring, cmd_ring)
     finally:
         if ring is not None:
             ring.close()
+        if cmd_ring is not None:
+            cmd_ring.close()
 
 
-def _persistent_worker_loop(conn, homes, ring) -> None:
+def _persistent_worker_loop(conn, homes, ring, cmd_ring) -> None:
     while True:
         try:
             msg = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             return
+        if cmd_ring is not None:
+            # Copy-mode unpack: command payloads (inputs, plans, shard
+            # reloads) may outlive the message window inside resident
+            # state, so worker-side references are always private.
+            msg = cmd_ring.unpack(msg)
         op = msg[0]
         if op == "stop":
             return
@@ -302,27 +325,62 @@ def _persistent_worker_loop(conn, homes, ring) -> None:
 
 
 class _WorkerSlot:
-    """One persistent worker process, the coordinator's pipe, and its ring."""
+    """One persistent worker process, the coordinator's pipe, and its rings."""
 
-    __slots__ = ("process", "conn", "ring")
+    __slots__ = ("process", "conn", "ring", "cmd_ring")
 
-    def __init__(self, process, conn, ring=None):
+    def __init__(self, process, conn, ring=None, cmd_ring=None):
         self.process = process
         self.conn = conn
         self.ring = ring
+        self.cmd_ring = cmd_ring
 
-    def recv_reply(self) -> Tuple[str, Any]:
-        """Receive one reply, materializing ring-parked arrays."""
-        tag, value = self.conn.recv()
-        if tag == "ok" and self.ring is not None:
+    def send_command(self, msg: tuple) -> None:
+        """Send one command, parking its array payloads in the cmd ring.
+
+        Packing happens at send time — never earlier — so a command
+        retried after a worker revival is re-packed into the *new*
+        worker's ring, and the per-message rewind stays valid (the
+        previous command has been copied out by the worker before its
+        reply, which the coordinator has already received).
+        """
+        if self.cmd_ring is not None:
+            stats = TransportStats()
+            self.conn.send(self.cmd_ring.pack(msg, stats))
+            stats.flush("cmd")
+        else:
             if TELEMETRY.enabled:
-                started = perf_counter()
-                value = self.ring.unpack(value)
-                TELEMETRY.recorder.record(
-                    "shm_unpack", (perf_counter() - started) * 1e3
-                )
-            else:
-                value = self.ring.unpack(value)
+                stats = TransportStats()
+                measure_payload(msg, stats)
+                stats.flush("cmd")
+            self.conn.send(msg)
+
+    def recv_reply(self, views: bool = False) -> Tuple[str, Any]:
+        """Receive one reply, resolving ring-parked arrays.
+
+        With ``views=True`` the ring descriptors become read-only
+        zero-copy views — only valid until the next command to this
+        worker, so callers materialize anything that escapes the
+        current message window (see :func:`repro.exec.shm.materialize`).
+        """
+        tag, value = self.conn.recv()
+        if tag == "ok":
+            if self.ring is not None:
+                stats = TransportStats()
+                mode = "view" if views else "copy"
+                if TELEMETRY.enabled:
+                    started = perf_counter()
+                    value = self.ring.unpack(value, mode, stats)
+                    TELEMETRY.recorder.record(
+                        "shm_unpack", (perf_counter() - started) * 1e3
+                    )
+                else:
+                    value = self.ring.unpack(value, mode, stats)
+                stats.flush("reply")
+            elif TELEMETRY.enabled:
+                stats = TransportStats()
+                measure_payload(value, stats)
+                stats.flush("reply")
         return tag, value
 
     def discard(self) -> None:
@@ -334,6 +392,9 @@ class _WorkerSlot:
         if self.ring is not None:
             self.ring.close()
             self.ring = None
+        if self.cmd_ring is not None:
+            self.cmd_ring.close()
+            self.cmd_ring = None
 
 
 class _ResidentState:
@@ -408,8 +469,8 @@ class PersistentProcessExecutor(Executor):
 
     resident = True
 
-    #: default shared-memory ring size per worker (bytes); holds the
-    #: per-step outs/weights vectors of ~100k-particle shards.
+    #: default shared-memory ring size per worker per direction (bytes);
+    #: holds the per-step outs/weights vectors of ~100k-particle shards.
     DEFAULT_SHM_BYTES = 4 * 1024 * 1024
 
     def __init__(
@@ -425,11 +486,21 @@ class PersistentProcessExecutor(Executor):
             raise InferenceError("checkpoint_every must be at least 1")
         self.workers = workers
         self.checkpoint_every = int(checkpoint_every)
-        #: per-worker shared-memory ring size; 0 disables the ring and
-        #: every reply ships fully pickled (the fallback path).
-        self.shm_bytes = (
-            self.DEFAULT_SHM_BYTES if shm_bytes is None else int(shm_bytes)
-        )
+        #: per-worker, per-direction shared-memory ring size. ``0``
+        #: disables **both** rings (command and reply) and every message
+        #: ships fully pickled — the fallback path. ``None`` reads the
+        #: ``REPRO_SHM_BYTES`` environment variable (same semantics)
+        #: before falling back to :data:`DEFAULT_SHM_BYTES`.
+        if shm_bytes is None:
+            env = os.environ.get("REPRO_SHM_BYTES", "").strip()
+            shm_bytes = int(env) if env else self.DEFAULT_SHM_BYTES
+        shm_bytes = int(shm_bytes)
+        if shm_bytes < 0:
+            raise ValueError(
+                f"shm_bytes must be non-negative, got {shm_bytes} "
+                "(0 disables both the command and reply rings)"
+            )
+        self.shm_bytes = shm_bytes
         self._slots: Optional[List[_WorkerSlot]] = None
         self._populations: Dict[int, _ResidentState] = {}
         self._next_key = 0
@@ -438,14 +509,33 @@ class PersistentProcessExecutor(Executor):
     def _spawn_slot(self) -> _WorkerSlot:
         parent_conn, child_conn = multiprocessing.Pipe()
         ring = ShmRing.create(self.shm_bytes)
+        cmd_ring = ShmRing.create(self.shm_bytes)
         process = multiprocessing.Process(
             target=_persistent_worker_main,
-            args=(child_conn, ring.name if ring is not None else None),
+            args=(
+                child_conn,
+                ring.name if ring is not None else None,
+                cmd_ring.name if cmd_ring is not None else None,
+            ),
             daemon=True,
         )
         process.start()
         child_conn.close()
-        return _WorkerSlot(process, parent_conn, ring)
+        # Handshake: the worker reports whether it attached the command
+        # ring. The coordinator must never send descriptors a worker
+        # cannot resolve, so a failed attach drops the ring here (the
+        # reply direction needs no handshake — an unattached worker
+        # simply never produces descriptors).
+        cmd_ok = False
+        try:
+            tag, cmd_ok = parent_conn.recv()
+            cmd_ok = tag == "hello" and bool(cmd_ok)
+        except _PIPE_ERRORS:
+            pass  # dead at birth: the first command will trigger revival
+        if not cmd_ok and cmd_ring is not None:
+            cmd_ring.close()
+            cmd_ring = None
+        return _WorkerSlot(process, parent_conn, ring, cmd_ring)
 
     def _ensure_started(self) -> None:
         if self._slots is not None:
@@ -507,13 +597,17 @@ class PersistentProcessExecutor(Executor):
             for index in range(state.n_shards):
                 if self._slot_of(index) != slot_index:
                     continue
-                slot.conn.send(
+                slot.send_command(
                     ("load", state.key, index, state.checkpoints[index],
                      state.stepper)
                 )
                 self._expect_ok(slot)
+                # Replayed commands are re-packed at send time into the
+                # fresh worker's ring: the oplog stores real arrays, so
+                # descriptor-encoded and pickled replays are
+                # bit-identical (pack/unpack is an exact byte roundtrip).
                 for entry in state.oplogs[index]:
-                    slot.conn.send(self._replay_msg(state.key, index, entry))
+                    slot.send_command(self._replay_msg(state.key, index, entry))
                     self._expect_ok(slot)
 
     @staticmethod
@@ -567,32 +661,39 @@ class PersistentProcessExecutor(Executor):
         results: List[Any] = [None] * len(msgs)
         errors: List[str] = []
         failed: Dict[int, List[Tuple[int, tuple]]] = {}
-        in_flight: Dict[Any, Tuple[int, int]] = {}  # conn -> (slot, position)
+        in_flight: Dict[Any, Tuple[int, int, bool]] = {}  # conn -> (slot, pos, step?)
 
         def send_next(slot_index: int) -> None:
             queue = queues[slot_index]
             if not queue:
                 return
             position, msg = queue.popleft()
-            conn = self._slots[slot_index].conn
+            slot = self._slots[slot_index]
             try:
-                conn.send(msg)
+                # Packed at send time into this worker's command ring —
+                # the previous reply has been received, so the worker
+                # has consumed the previous command and the ring is free.
+                slot.send_command(msg)
             except _PIPE_ERRORS:
                 failed[slot_index] = all_items[slot_index]
                 queue.clear()
                 return
-            in_flight[conn] = (slot_index, position)
+            in_flight[slot.conn] = (slot_index, position, msg[0] == "step")
 
         for slot_index in list(queues):
             send_next(slot_index)
         while in_flight:
             for conn in _connection_wait(list(in_flight)):
-                slot_index, position = in_flight.pop(conn)
+                slot_index, position, is_step = in_flight.pop(conn)
                 try:
-                    # recv_reply materializes ring-parked arrays *before*
-                    # the next command is sent to this worker, which is
-                    # what lets the worker rewind its ring per message.
-                    tag, value = self._slots[slot_index].recv_reply()
+                    # Step replies are unpacked as zero-copy views into
+                    # the worker's reply ring; everything else (exports
+                    # that enter the oplog, checkpoint pulls, acks) is
+                    # copied out before the next command is sent, which
+                    # is what lets the worker rewind its ring per message.
+                    tag, value = self._slots[slot_index].recv_reply(
+                        views=is_step
+                    )
                 except _PIPE_ERRORS:
                     failed[slot_index] = all_items[slot_index]
                     queues[slot_index].clear()
@@ -600,6 +701,14 @@ class PersistentProcessExecutor(Executor):
                 if tag == "err":
                     errors.append(value)
                 else:
+                    if is_step and queues[slot_index]:
+                        # Another command for this worker follows in the
+                        # burst: its reply will overwrite the ring, so
+                        # this reply's views escape the message window —
+                        # copy them out now (the only case views degrade
+                        # to copies; with one shard per worker the views
+                        # survive untouched until the step consumes them).
+                        value = materialize(value)
                     results[position] = value
                 send_next(slot_index)
         for slot_index, items in failed.items():
@@ -609,7 +718,7 @@ class PersistentProcessExecutor(Executor):
             self._revive_slot(slot_index)
             slot = self._slots[slot_index]
             for position, msg in items:
-                slot.conn.send(msg)
+                slot.send_command(msg)
                 tag, value = slot.recv_reply()
                 if tag == "err":
                     errors.append(value)

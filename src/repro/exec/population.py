@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.errors import InferenceError
 from repro.exec.executor import Executor, shard_len
+from repro.exec.shm import register_shm_leaf
 from repro.obs.spans import TELEMETRY
 
 __all__ = [
@@ -51,6 +52,7 @@ __all__ = [
     "ShardSummary",
     "ShardedPopulation",
     "ResidentPopulation",
+    "ExchangePlan",
     "map_step",
     "build_exchange_plan",
     "shard_sizes",
@@ -239,9 +241,85 @@ class ShardSummary:
     spans: Any = None
 
 
+class ExchangePlan:
+    """Array-encoded slot plan of one destination shard at the barrier.
+
+    The transport-friendly form of the per-slot tuple list: three
+    parallel arrays — ``kind`` (0 = local ancestor, 1 = import),
+    ``a`` (the local index for kind 0, the source shard for kind 1) and
+    ``b`` (the export-package row for kind 1) — that ride the
+    shared-memory command ring as descriptors instead of pickling
+    O(shard size) tuples every resample. Iterating yields exactly the
+    classic entries (``("local", i)`` / ``("import", s, r)``), so the
+    scalar engine's clone bookkeeping is unchanged; the vectorized
+    engine consumes the arrays directly.
+    """
+
+    __slots__ = ("kind", "a", "b")
+
+    LOCAL = 0
+    IMPORT = 1
+
+    def __init__(self, kind: np.ndarray, a: np.ndarray, b: np.ndarray):
+        self.kind = np.asarray(kind, dtype=np.uint8)
+        self.a = np.asarray(a, dtype=np.int64)
+        self.b = np.asarray(b, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.kind.shape[0])
+
+    def __iter__(self):
+        for kind, a, b in zip(self.kind, self.a, self.b):
+            if kind == self.LOCAL:
+                yield ("local", int(a))
+            else:
+                yield ("import", int(a), int(b))
+
+    def __getstate__(self):
+        return (self.kind, self.a, self.b)
+
+    def __setstate__(self, state):
+        self.kind, self.a, self.b = state
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ExchangePlan):
+            return (
+                np.array_equal(self.kind, other.kind)
+                and np.array_equal(self.a, other.a)
+                and np.array_equal(self.b, other.b)
+            )
+        if isinstance(other, (list, tuple)):
+            # Entry-tuple form, the pre-array representation.
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        imports = int(np.count_nonzero(self.kind))
+        return f"ExchangePlan(slots={len(self)}, imports={imports})"
+
+
+# The plan's index arrays park in the command ring like any other array
+# payload; the codec exists on both sides of the pipe (workers import
+# this module to unpickle the stepper).
+register_shm_leaf(
+    ExchangePlan,
+    lambda plan: (plan.kind, plan.a, plan.b),
+    lambda parts: ExchangePlan(*parts),
+)
+
+# A checkpoint ``pull`` reply is one Shard; opening it up lets the
+# payload arrays (vectorized batch states) ride the reply ring. The RNG
+# rides the pickle — it is an opaque Generator, not an array.
+register_shm_leaf(
+    Shard,
+    lambda shard: (shard.index, shard.rng, shard.payload),
+    lambda parts: Shard(*parts),
+)
+
+
 def build_exchange_plan(
     indices: np.ndarray, sizes: Sequence[int]
-) -> Tuple[List[List[tuple]], List[Dict[int, List[int]]]]:
+) -> Tuple[List[ExchangePlan], List[Dict[int, np.ndarray]]]:
     """Plan the resample barrier against worker-resident shards.
 
     ``indices`` are the global ancestor indices (engine-drawn) and
@@ -250,38 +328,47 @@ def build_exchange_plan(
     the re-scatter of the materialized plan. Returns ``(plans,
     requests)``:
 
-    * ``plans[d]`` — one entry per destination slot, either
-      ``("local", local_index)`` (the ancestor already lives in shard
-      ``d``) or ``("import", source_shard, row)`` (the ancestor
-      migrates; ``row`` indexes the export package requested from that
-      source).
+    * ``plans[d]`` — an :class:`ExchangePlan` with one entry per
+      destination slot, either ``("local", local_index)`` (the ancestor
+      already lives in shard ``d``) or ``("import", source_shard,
+      row)`` (the ancestor migrates; ``row`` indexes the export package
+      requested from that source).
     * ``requests[d][s]`` — the source-local indices destination ``d``
-      needs from shard ``s``, in row order. An ancestor needed several
-      times by one destination is shipped once and referenced per slot.
+      needs from shard ``s``, in row order (an int array, so export
+      commands ride the ring). An ancestor needed several times by one
+      destination is shipped once and referenced per slot.
     """
-    offsets = np.concatenate([[0], np.cumsum(np.asarray(sizes, dtype=int))])
+    offsets = np.concatenate([[0], np.cumsum(np.asarray(sizes, dtype=np.int64))])
+    indices = np.asarray(indices, dtype=np.int64)
     if len(indices) != int(offsets[-1]):
         raise InferenceError(
             f"need exactly {int(offsets[-1])} ancestor indices, got {len(indices)}"
         )
-    plans: List[List[tuple]] = []
-    requests: List[Dict[int, List[int]]] = []
+    source_of = np.searchsorted(offsets, indices, side="right") - 1
+    local_of = indices - offsets[source_of]
+    plans: List[ExchangePlan] = []
+    requests: List[Dict[int, np.ndarray]] = []
     for dest in range(len(sizes)):
-        slots = indices[int(offsets[dest]) : int(offsets[dest + 1])]
-        plan: List[tuple] = []
+        start, stop = int(offsets[dest]), int(offsets[dest + 1])
+        source = source_of[start:stop]
+        local = local_of[start:stop]
+        kind = (source != dest).astype(np.uint8)
+        a = np.where(kind == 0, local, source)
+        b = np.zeros(len(a), dtype=np.int64)
         rows_by_source: Dict[int, Dict[int, int]] = {}
-        for ancestor in slots:
-            ancestor = int(ancestor)
-            source = int(np.searchsorted(offsets, ancestor, side="right") - 1)
-            local = ancestor - int(offsets[source])
-            if source == dest:
-                plan.append(("local", local))
-            else:
-                rows = rows_by_source.setdefault(source, {})
-                row = rows.setdefault(local, len(rows))
-                plan.append(("import", source, row))
-        plans.append(plan)
-        requests.append({s: list(rows) for s, rows in rows_by_source.items()})
+        for pos in np.nonzero(kind)[0]:
+            # Import rows are numbered in first-appearance order per
+            # source — the same dedup the tuple-based plan used, so the
+            # rebuilt shards are bit-identical.
+            rows = rows_by_source.setdefault(int(source[pos]), {})
+            b[pos] = rows.setdefault(int(local[pos]), len(rows))
+        plans.append(ExchangePlan(kind, a, b))
+        requests.append(
+            {
+                s: np.fromiter(rows, dtype=np.int64, count=len(rows))
+                for s, rows in rows_by_source.items()
+            }
+        )
     return plans, requests
 
 

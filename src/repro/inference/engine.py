@@ -44,6 +44,7 @@ from repro.delayed.streaming import StreamingGraph
 from repro.dists import Distribution, Empirical, Mixture
 from repro.errors import InferenceError
 from repro.exec.executor import Executor, parse_executor
+from repro.exec.shm import materialize
 from repro.exec.population import (
     DEFAULT_SHARDS,
     ResidentPopulation,
@@ -292,8 +293,14 @@ class InferenceEngine(Node):
         return output, population
 
     def _merge_shard_outs(self, chunks: List[Any]) -> Any:
-        """Concatenate per-shard step outputs in shard order."""
-        return [out for chunk in chunks for out in chunk]
+        """Concatenate per-shard step outputs in shard order.
+
+        Resident-mode outs may arrive as read-only views into a worker's
+        reply ring (zero-copy transport); the merged outs escape the
+        step inside the output distribution, so any such view is copied
+        out here — the one place a reply reference outlives the step.
+        """
+        return [materialize(out) for chunk in chunks for out in chunk]
 
     def shard_export(
         self, payload: List[Particle], indices: Sequence[int]

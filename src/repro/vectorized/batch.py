@@ -195,3 +195,18 @@ class ParticleBatch:
     def memory_words(self) -> int:
         """Abstract heap words held by the batch (state + weight vector)."""
         return batch_state_words(self.state) + 1 + self.n
+
+
+# Register ParticleBatch with the shared-memory transport: shard
+# payloads cross the pipe inside checkpoint pulls ("pull" replies) and
+# worker reloads ("load" commands), and opening the batch up lets its
+# state arrays and weight vector ride the ring as descriptors instead
+# of pickled bytes. Both sides of the pipe import this module (workers
+# unpickle the vectorized stepper), so the codec exists everywhere.
+from repro.exec.shm import register_shm_leaf  # noqa: E402
+
+register_shm_leaf(
+    ParticleBatch,
+    lambda batch: (batch.state, batch.log_weights),
+    lambda parts: ParticleBatch(*parts),
+)

@@ -48,6 +48,7 @@ import numpy as np
 from repro.dists import Bernoulli, Distribution
 from repro.errors import InferenceError
 from repro.exec.population import (
+    ExchangePlan,
     ResidentPopulation,
     ShardResult,
     ShardedPopulation,
@@ -55,6 +56,7 @@ from repro.exec.population import (
     shard_sizes,
     spawn_shard_rngs,
 )
+from repro.exec.shm import materialize
 from repro.inference.engine import InferenceEngine
 from repro.inference.resampling import normalize_log_weights
 from repro.obs.registry import count_event
@@ -213,6 +215,12 @@ class VectorizedEngine(InferenceEngine):
     # worker-resident execution (PersistentProcessExecutor)
     # ------------------------------------------------------------------
     def _merge_shard_outs(self, chunks: List[Any]) -> Any:
+        # Multi-shard merges concatenate (fresh arrays); a single chunk
+        # passes through _merge untouched, so zero-copy reply views must
+        # be copied out here before they escape into the output
+        # distribution — the ring region is reused next message.
+        if len(chunks) == 1:
+            return materialize(chunks[0])
         return _merge(chunks)
 
     def shard_export(self, batch: ParticleBatch, indices: Any) -> Any:
@@ -236,14 +244,22 @@ class VectorizedEngine(InferenceEngine):
             combined = concat_states([batch.state] + [imports[s] for s in sources])
         else:
             combined = batch.state
-        indices = np.fromiter(
-            (
-                entry[1] if entry[0] == "local" else offsets[entry[1]] + entry[2]
-                for entry in plan
-            ),
-            dtype=int,
-            count=len(plan),
-        )
+        if isinstance(plan, ExchangePlan):
+            # Array-native plan: the slot selection is pure index
+            # arithmetic, no per-slot Python loop.
+            indices = np.where(plan.kind == ExchangePlan.LOCAL, plan.a, 0)
+            for source in sources:
+                mask = (plan.kind == ExchangePlan.IMPORT) & (plan.a == source)
+                indices[mask] = offsets[source] + plan.b[mask]
+        else:
+            indices = np.fromiter(
+                (
+                    entry[1] if entry[0] == "local" else offsets[entry[1]] + entry[2]
+                    for entry in plan
+                ),
+                dtype=int,
+                count=len(plan),
+            )
         return ParticleBatch(gather(combined, indices), np.zeros(len(plan)))
 
     def shard_commit_weights(

@@ -69,6 +69,32 @@ class TestLoadMedians:
             )
         assert load_bench_medians(path) == {("m", "s", 1): 0.5}
 
+    def test_metric_filter_selects_byte_records(self, tmp_path):
+        """``metric="pickled_bytes"`` loads the transport byte cells
+        that the default latency view skips — and vice versa."""
+        path = tmp_path / "doc.json"
+        with open(path, "w") as handle:
+            json.dump(
+                {"entries": [
+                    {"model": "m", "spec": "s", "particles": 1,
+                     "metric": "latency_ms", "median_ms": 0.5},
+                    {"model": "m", "spec": "s", "particles": 1,
+                     "metric": "pickled_bytes_per_step", "median": 160.0},
+                    # legacy record without a metric tag: latency only
+                    {"model": "m", "spec": "legacy", "particles": 1,
+                     "median_ms": 0.7},
+                ]},
+                handle,
+            )
+        bytes_cells = load_bench_cells(path, metric="pickled_bytes")
+        assert {k: c.median for k, c in bytes_cells.items()} == {
+            ("m", "s", 1): 160.0
+        }
+        latency_cells = load_bench_cells(path)
+        assert {k: c.median for k, c in latency_cells.items()} == {
+            ("m", "s", 1): 0.5, ("m", "legacy", 1): 0.7,
+        }
+
     def test_sweep_records_feed_the_gate(self, tmp_path):
         """The records the benchmark suite writes are gate-loadable."""
         result = SweepResult(

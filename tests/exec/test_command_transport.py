@@ -1,0 +1,318 @@
+"""The bidirectional transport: command ring, zero-copy views, fallback.
+
+Covers the parent-to-worker command ring (observations, exchange
+plans, committed weights as shm descriptors), the zero-copy view mode
+on the reply path, the transport byte counters, and the fallback
+behaviour when a ring is undersized or disabled. The headline check:
+a steady-state no-resample step on ``processes-persistent:N`` ships
+zero pickled payload bytes in either direction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import KalmanModel, kalman_data
+from repro.exec import StreamServer
+from repro.exec.executor import PersistentProcessExecutor
+from repro.exec.shm import (
+    MIN_BYTES,
+    ShmRing,
+    TransportStats,
+    materialize,
+    measure_payload,
+    shm_available,
+)
+from repro.inference import infer
+from repro.obs.registry import MetricsRegistry, set_default_registry
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform has no shared memory"
+)
+
+DATA = kalman_data(10, seed=42, prior_var=1.0)
+
+
+def _counter(snapshot, name, direction):
+    return snapshot["counters"].get(f'{name}{{direction="{direction}"}}', 0.0)
+
+
+class TestTransportStats:
+    def test_pack_accounts_ring_and_inline_bytes(self):
+        ring = ShmRing.create(1 << 12)
+        try:
+            stats = TransportStats()
+            big = np.zeros(256)
+            small = np.arange(3, dtype=float)
+            assert small.nbytes < MIN_BYTES <= big.nbytes
+            ring.pack((big, small), stats=stats)
+            assert stats.shm_bytes == big.nbytes
+            assert stats.pickled_bytes == small.nbytes
+            assert stats.fallbacks == 0
+        finally:
+            ring.close()
+
+    def test_pack_overflow_counts_fallback(self):
+        ring = ShmRing.create(256)
+        try:
+            stats = TransportStats()
+            big = np.zeros(1024)
+            ring.pack(big, stats=stats)
+            assert stats.fallbacks == 1
+            assert stats.pickled_bytes == big.nbytes
+            assert stats.shm_bytes == 0
+        finally:
+            ring.close()
+
+    def test_unpack_detects_reply_fallback(self):
+        """An inline array big enough to have parked counts as fallback
+        at unpack time — how the parent sees a worker's overflow."""
+        stats = TransportStats()
+        big = np.zeros(1024)
+        ring = ShmRing.create(1 << 14)
+        try:
+            ring.unpack(big, stats=stats)
+            assert stats.fallbacks == 1
+            assert stats.pickled_bytes == big.nbytes
+        finally:
+            ring.close()
+
+    def test_measure_payload_walks_nested_and_leaves(self):
+        from repro.vectorized import ChainOuts
+
+        stats = TransportStats()
+        outs = ChainOuts("gaussian", np.zeros(100), 0.5)
+        measure_payload(
+            {"a": [np.zeros(50), "tag"], "b": (outs, None)}, stats
+        )
+        assert stats.pickled_bytes == 50 * 8 + 100 * 8
+
+
+class TestViewMode:
+    def test_view_unpack_is_readonly_zero_copy(self):
+        ring = ShmRing.create(1 << 14)
+        try:
+            arr = np.arange(1024, dtype=float)
+            view = ring.unpack(ring.pack(arr), mode="view")
+            assert not view.flags.writeable
+            assert np.array_equal(view, arr)
+            with pytest.raises(ValueError):
+                view[0] = -1.0
+            del view  # release the buffer before the ring goes away
+        finally:
+            ring.close()
+
+    def test_view_aliases_ring_until_materialized(self):
+        """A view sees the next message's bytes; a materialized copy
+        does not — the invariant behind copy-before-next-send."""
+        ring = ShmRing.create(1 << 14)
+        try:
+            first = np.full(512, 1.0)
+            view = ring.unpack(ring.pack(first), mode="view")
+            copy = materialize(view)
+            assert copy.flags.writeable
+            ring.pack(np.full(512, 2.0))  # ring rewinds, overwrites
+            assert np.all(copy == 1.0)
+            assert np.all(view == 2.0)
+            del view
+        finally:
+            ring.close()
+
+    def test_materialize_recurses_containers(self):
+        ring = ShmRing.create(1 << 14)
+        try:
+            payload = {"w": np.ones(256), "k": [np.zeros(256), 3]}
+            views = ring.unpack(ring.pack(payload), mode="view")
+            out = materialize(views)
+            assert out["w"].flags.writeable
+            assert out["k"][0].flags.writeable
+            assert out["k"][1] == 3
+            del views
+        finally:
+            ring.close()
+
+    def test_default_mode_still_copies(self):
+        ring = ShmRing.create(1 << 14)
+        try:
+            out = ring.unpack(ring.pack(np.ones(256)))
+            assert out.flags.writeable
+        finally:
+            ring.close()
+
+
+class TestShmBytesKnob:
+    def test_negative_shm_bytes_rejected(self):
+        with pytest.raises(ValueError, match="shm_bytes"):
+            PersistentProcessExecutor(workers=1, shm_bytes=-1)
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_BYTES", "0")
+        executor = PersistentProcessExecutor(workers=1)
+        assert executor.shm_bytes == 0
+        executor.close()
+
+    def test_explicit_arg_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_BYTES", "0")
+        executor = PersistentProcessExecutor(workers=1, shm_bytes=4096)
+        assert executor.shm_bytes == 4096
+        executor.close()
+
+    def test_zero_disables_both_rings(self):
+        executor = PersistentProcessExecutor(workers=2, shm_bytes=0)
+        try:
+            engine = infer(
+                KalmanModel(), n_particles=64, method="pf",
+                backend="vectorized", seed=3, executor=executor,
+            )
+            state = engine.init()
+            dist, state = engine.step(state, DATA.observations[0])
+            assert np.isfinite(dist.mean())
+            for slot in executor._slots:
+                assert slot.ring is None and slot.cmd_ring is None
+            state.release()
+        finally:
+            executor.close()
+
+
+class TestZeroPickledSteadyState:
+    def test_steady_state_step_ships_zero_pickled_payload_bytes(self):
+        """The acceptance bar: with the command ring up and resampling
+        off, one step moves every payload array over shared memory —
+        the pickled-bytes counters stay at zero in both directions.
+
+        ``shm_bytes`` is pinned so the assertion holds even when the
+        surrounding CI run exports ``REPRO_SHM_BYTES=0``."""
+        executor = PersistentProcessExecutor(
+            workers=2,
+            checkpoint_every=10_000,
+            shm_bytes=PersistentProcessExecutor.DEFAULT_SHM_BYTES,
+        )
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            engine = infer(
+                KalmanModel(), n_particles=4096, method="pf",
+                backend="vectorized", seed=7, executor=executor,
+                resample_threshold=0.0,
+            )
+            state = engine.init()
+            _, state = engine.step(state, DATA.observations[0])  # warm-up
+            registry.reset()
+            dist, state = engine.step(state, DATA.observations[1])
+            assert np.isfinite(dist.mean())
+            snap = registry.snapshot()
+            for direction in ("cmd", "reply"):
+                assert _counter(
+                    snap, "repro_transport_pickled_bytes_total", direction
+                ) == 0, direction
+                assert _counter(
+                    snap, "repro_shm_fallback_total", direction
+                ) == 0, direction
+            # the reply payloads (weights, outs) rode the ring
+            assert _counter(
+                snap, "repro_transport_shm_bytes_total", "reply"
+            ) > 0
+            state.release()
+        finally:
+            set_default_registry(previous)
+            executor.close()
+
+    def test_resample_step_ships_plan_over_command_ring(self):
+        """Forcing a resample every step: the exchange plan arrays ride
+        the command ring, so the cmd direction shows shm bytes."""
+        executor = PersistentProcessExecutor(
+            workers=2,
+            shm_bytes=PersistentProcessExecutor.DEFAULT_SHM_BYTES,
+        )
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            engine = infer(
+                KalmanModel(), n_particles=4096, method="pf",
+                backend="vectorized", seed=7, executor=executor,
+                resample_threshold=1e9,
+            )
+            state = engine.init()
+            _, state = engine.step(state, DATA.observations[0])
+            registry.reset()
+            _, state = engine.step(state, DATA.observations[1])
+            snap = registry.snapshot()
+            assert _counter(
+                snap, "repro_transport_shm_bytes_total", "cmd"
+            ) > 0
+            state.release()
+        finally:
+            set_default_registry(previous)
+            executor.close()
+
+
+class TestRingExhaustionUnderSessions:
+    def test_many_sessions_tiny_ring_bit_identical_with_fallback(self):
+        """Many concurrent sessions share one persistent pool with a
+        forced-small ring: payloads overflow, the fallback counter
+        climbs, and every session still matches its serial run
+        bit-for-bit."""
+        executor = PersistentProcessExecutor(workers=2, shm_bytes=512)
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        server = StreamServer(executor=executor)
+        try:
+            n_sessions = 6
+            for i in range(n_sessions):
+                server.open(
+                    KalmanModel(), session_id=f"s{i}", n_particles=96,
+                    method="pf", backend="vectorized", seed=i,
+                )
+            # interleave submissions so sessions share ring wraparounds
+            for y in DATA.observations:
+                for i in range(n_sessions):
+                    server.submit(f"s{i}", y)
+            server.drain()
+
+            snap = registry.snapshot()
+            fallbacks = sum(
+                value
+                for key, value in snap["counters"].items()
+                if key.startswith("repro_shm_fallback_total")
+            )
+            assert fallbacks > 0
+
+            for i in range(n_sessions):
+                serial = infer(
+                    KalmanModel(), n_particles=96, method="pf",
+                    backend="vectorized", seed=i, executor="serial",
+                )
+                s_state = serial.init()
+                for y in DATA.observations:
+                    s_dist, s_state = serial.step(s_state, y)
+                dist = server.latest(f"s{i}")
+                assert dist.mean() == s_dist.mean(), f"session s{i}"
+        finally:
+            set_default_registry(previous)
+            for i in range(6):
+                try:
+                    server.close(f"s{i}")
+                except Exception:
+                    pass
+            executor.close()
+
+    def test_returned_distributions_survive_later_ticks(self):
+        """A distribution handed to the caller must not alias ring
+        memory: later steps repack the ring, and earlier outputs have
+        to keep their bytes."""
+        executor = PersistentProcessExecutor(workers=2)
+        try:
+            engine = infer(
+                KalmanModel(), n_particles=512, method="pf",
+                backend="vectorized", seed=11, executor=executor,
+            )
+            state = engine.init()
+            dists, frozen = [], []
+            for y in DATA.observations:
+                dist, state = engine.step(state, y)
+                dists.append(dist)
+                frozen.append(dist.mean())
+            for dist, mean in zip(dists, frozen):
+                assert dist.mean() == mean
+            state.release()
+        finally:
+            executor.close()
