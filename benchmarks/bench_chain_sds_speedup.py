@@ -20,18 +20,25 @@ regression for any recorded spec. Override the output path with
 ``REPRO_BENCH_JSON``.
 """
 
+import functools
 import os
 
 import pytest
 
 from repro.bench import (
+    DirichletCategoricalModel,
     HmmModel,
     KalmanModel,
+    MixedFragmentModel,
     OutlierModel,
+    PoissonCountModel,
     RobotModel,
+    categorical_data,
+    count_data,
     format_sweep,
     kalman_data,
     latency_sweep,
+    mixed_count_data,
     outlier_data,
     robot_data,
     sweep_records,
@@ -162,3 +169,124 @@ def test_write_bench_json(bench_config):
         },
     )
     emit(f"wrote {len(_RECORDS)} perf-trajectory records to {path}")
+
+
+# ----------------------------------------------------------------------
+# PR 8: the new conjugacy families + the mixed-fragment realization cost
+# ----------------------------------------------------------------------
+#: minimum sds speedup at 1000 particles for the new families — the
+#: Gamma-Poisson acceptance bar of PR 8 (the committed run shows more).
+MIN_FAMILY_SPEEDUP = 20.0
+
+_RECORDS_PR8 = []
+
+
+def _sweep_and_record_pr8(model_factory, data, model_name, methods, runs=3):
+    result = latency_sweep(
+        model_factory, data, particle_counts=COUNTS, methods=methods, runs=runs
+    )
+    _RECORDS_PR8.extend(
+        sweep_records(result, model_name, extra={"benchmark": "new_families"})
+    )
+    return result
+
+
+@pytest.fixture(scope="module")
+def counts_data(bench_config):
+    return count_data(bench_config["sweep_steps"], seed=42)
+
+
+@pytest.fixture(scope="module")
+def categories_data(bench_config):
+    return categorical_data(bench_config["sweep_steps"], seed=42, alpha=(2.0, 1.0, 3.0))
+
+
+@pytest.fixture(scope="module")
+def mixed_data(bench_config):
+    return mixed_count_data(bench_config["sweep_steps"], seed=42, n_slots=4)
+
+
+def test_count_stream_speedup(benchmark, counts_data, bench_config):
+    """Gamma-Poisson count stream: batched conjugate slots vs the scalar
+    per-particle graphs (the PR-8 acceptance bar: >= 20x for sds)."""
+
+    def sweep():
+        return _sweep_and_record_pr8(
+            PoissonCountModel, counts_data, "count",
+            ["sds", "sds@vectorized", "bds", "bds@vectorized"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(result, "Count step latency (ms): scalar vs batched graph"))
+    speedup = (
+        result.get("sds", 1000).median / result.get("sds@vectorized", 1000).median
+    )
+    emit(f"count sds speedup at 1000 particles: {speedup:.1f}x")
+    assert speedup >= MIN_FAMILY_SPEEDUP
+    _assert_speedup(result, "bds", "bds@vectorized", "count bds")
+
+
+def test_categorical_stream_speedup(benchmark, categories_data, bench_config):
+    """Dirichlet-Categorical switching proportions on the batched graph."""
+
+    def sweep():
+        return _sweep_and_record_pr8(
+            functools.partial(DirichletCategoricalModel, alpha=(2.0, 1.0, 3.0)),
+            categories_data, "categorical",
+            ["sds", "sds@vectorized", "bds", "bds@vectorized"],
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_sweep(
+        result, "Categorical step latency (ms): scalar vs batched graph"
+    ))
+    _assert_speedup(result, "sds", "sds@vectorized", "categorical sds")
+    _assert_speedup(result, "bds", "bds@vectorized", "categorical bds")
+
+
+def test_mixed_fragment_realization_cost(benchmark, mixed_data, bench_config):
+    """Step latency with 0%, one-slot, and all-slot per-step realization.
+
+    Four fresh Gamma-Poisson slots per step; the ``realize`` knob turns
+    0 / 1 / 4 of them non-conjugate, so each realized slot pays one
+    batched posterior draw + fold. The cells put the cost of partial
+    (realize-and-continue) degradation on the perf trajectory: the graph
+    never migrates to scalar in any of the three configurations.
+    """
+
+    def sweep():
+        results = {}
+        for realize in ("none", "one", "all"):
+            results[realize] = _sweep_and_record_pr8(
+                functools.partial(MixedFragmentModel, realize=realize),
+                mixed_data, f"mixed-{realize}", ["sds@vectorized"],
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for realize, result in results.items():
+        emit(format_sweep(
+            result, f"Mixed-fragment ({realize} realized) step latency (ms)"
+        ))
+    base = results["none"].get("sds@vectorized", 1000).median
+    one = results["one"].get("sds@vectorized", 1000).median
+    emit(f"one-slot realization overhead at 1000 particles: {one / base:.2f}x")
+    # realizing one of four slots must not forfeit the batched speedup
+    assert one < 20.0 * base
+
+
+def test_write_bench_pr8_json(bench_config):
+    """Persist the new-family cells as the PR-8 baseline document."""
+    if not _RECORDS_PR8:
+        pytest.skip("no PR-8 sweep ran in this session (tests were deselected)")
+    path = os.environ.get("REPRO_BENCH_JSON_PR8", "BENCH_PR8.json")
+    write_bench_json(
+        path,
+        _RECORDS_PR8,
+        meta={
+            "benchmark": "new_families",
+            "sweep_steps": bench_config["sweep_steps"],
+            "particle_counts": COUNTS,
+        },
+    )
+    emit(f"wrote {len(_RECORDS_PR8)} perf-trajectory records to {path}")

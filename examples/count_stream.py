@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Estimating a Poisson arrival rate from a stream of counts.
+
+The count model draws an unknown arrival rate from Gamma(shape, rate)
+and observes one Poisson count per instant. Under streaming delayed
+sampling the Gamma node is conditioned analytically at every count —
+after t observations totalling s the posterior is exactly
+Gamma(shape + s, rate + t) — and on the vectorized backend the whole
+particle population shares one structure-of-arrays graph whose Poisson
+slot scores counts against the negative-binomial predictive in a single
+batched kernel call. This script checks the closed form explicitly and
+compares the scalar and batched engines on the same stream.
+"""
+
+import numpy as np
+
+from repro import infer
+from repro.bench.data import count_data
+from repro.bench.models import PoissonCountModel
+
+STEPS = 200
+SHAPE, RATE = 2.0, 1.0
+
+
+def main():
+    data = count_data(STEPS, seed=11, shape=SHAPE, rate=RATE)
+    true_rate = data.truths[0]
+    print(f"true arrival rate: {true_rate:.4f}\n")
+
+    model = PoissonCountModel(shape=SHAPE, rate=RATE)
+    scalar = infer(model, n_particles=1, method="sds", seed=0)
+    batched = infer(
+        model, n_particles=256, method="sds", backend="vectorized", seed=0
+    )
+    s_state, b_state = scalar.init(), batched.init()
+
+    total = 0
+    print(f"{'counts':>6} {'sum':>5} {'exact':>8} {'sds(1p)':>8} {'sds@vec(256p)':>14}")
+    for t, count in enumerate(data.observations):
+        total += count
+        s_dist, s_state = scalar.step(s_state, count)
+        b_dist, b_state = batched.step(b_state, count)
+        if (t + 1) in (1, 5, 10, 25, 50, 100, 200):
+            exact = (SHAPE + total) / (RATE + t + 1)
+            print(f"{t + 1:>6} {total:>5} {exact:>8.4f} "
+                  f"{s_dist.mean():>8.4f} {b_dist.mean():>14.4f}")
+
+    exact = (SHAPE + total) / (RATE + STEPS)
+    assert abs(s_dist.mean() - exact) < 1e-9, "scalar SDS must be exact"
+    assert abs(b_dist.mean() - exact) < 1e-9, "batched SDS must be exact"
+    print("\nBoth engines equal the closed-form Gamma posterior. ✓")
+    print(f"|posterior mean - true rate| = {abs(exact - true_rate):.4f} "
+          f"(posterior sd {np.sqrt((SHAPE + total)) / (RATE + STEPS):.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,16 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["Dataset", "kalman_data", "coin_data", "outlier_data", "robot_data"]
+__all__ = [
+    "Dataset",
+    "kalman_data",
+    "coin_data",
+    "outlier_data",
+    "robot_data",
+    "count_data",
+    "categorical_data",
+    "mixed_count_data",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +63,45 @@ def coin_data(steps: int, seed: int = 0, alpha: float = 1.0, beta: float = 1.0) 
     bias = rng.beta(alpha, beta)
     observations = [bool(rng.random() < bias) for _ in range(steps)]
     return Dataset([bias] * steps, observations)
+
+
+def count_data(
+    steps: int, seed: int = 0, shape: float = 2.0, rate: float = 1.0
+) -> Dataset:
+    """Sample an arrival rate and a count stream from the Poisson model."""
+    rng = np.random.default_rng(seed)
+    lam = rng.gamma(shape, 1.0 / rate)
+    observations = [int(rng.poisson(lam)) for _ in range(steps)]
+    return Dataset([lam] * steps, observations)
+
+
+def categorical_data(steps: int, seed: int = 0, alpha=(1.0, 1.0, 1.0)) -> Dataset:
+    """Sample mixing proportions and a category stream from the model."""
+    rng = np.random.default_rng(seed)
+    concentration = np.asarray(alpha, dtype=float)
+    probs = rng.dirichlet(concentration)
+    observations = [
+        int(rng.choice(len(concentration), p=probs)) for _ in range(steps)
+    ]
+    return Dataset([probs] * steps, observations)
+
+
+def mixed_count_data(
+    steps: int,
+    seed: int = 0,
+    n_slots: int = 4,
+    shape: float = 2.0,
+    rate: float = 1.0,
+) -> Dataset:
+    """Per-step tuples of slot counts for the mixed-fragment model."""
+    rng = np.random.default_rng(seed)
+    truths: List[float] = []
+    observations: List = []
+    for _ in range(steps):
+        lams = rng.gamma(shape, 1.0 / rate, size=n_slots)
+        truths.append(float(lams.mean()))
+        observations.append(tuple(int(c) for c in rng.poisson(lams)))
+    return Dataset(truths, observations)
 
 
 def robot_data(steps: int, seed: int = 0, config=None, cmd: float = 0.0) -> Dataset:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
-from repro.lang import bernoulli, beta, gaussian
+from repro.lang import bernoulli, beta, categorical, dirichlet, gamma, gaussian, poisson
 from repro.runtime.node import ProbCtx, ProbNode
 
 __all__ = [
@@ -31,6 +31,9 @@ __all__ = [
     "HmmInitModel",
     "WalkModel",
     "BoundedWalkModel",
+    "PoissonCountModel",
+    "DirichletCategoricalModel",
+    "MixedFragmentModel",
 ]
 
 
@@ -254,6 +257,110 @@ class BoundedWalkModel(ProbNode):
         return x, (pre_x, x)
 
 
+class PoissonCountModel(ProbNode):
+    """Gamma-Poisson arrival-rate estimation (count-data workload).
+
+    ::
+
+        let node counts (prob, yobs) = lam where
+          rec init lam = sample (prob, gamma (shape, rate))
+          and () = observe (prob, poisson lam, yobs)
+
+    The Coin model's shape over count observations: under SDS the Gamma
+    rate is conditioned analytically forever — after ``k`` observations
+    totalling ``s`` the posterior is ``Gamma(shape + s, rate + k)`` —
+    while BDS forces the rate at the end of the first step and
+    degenerates to a particle filter, mirroring Section 6.2.
+    """
+
+    def __init__(self, shape: float = 2.0, rate: float = 1.0):
+        self.shape = shape
+        self.rate = rate
+
+    def init(self) -> Any:
+        return None
+
+    def step(self, state: Any, yobs: int, ctx: ProbCtx) -> Tuple[Any, Any]:
+        if state is None:
+            lam = ctx.sample(gamma(self.shape, self.rate))
+        else:
+            lam = state
+        ctx.observe(poisson(lam), yobs)
+        return lam, lam
+
+
+class DirichletCategoricalModel(ProbNode):
+    """Dirichlet-Categorical proportion estimation (switching workload).
+
+    ::
+
+        let node switch (prob, yobs) = probs where
+          rec init probs = sample (prob, dirichlet alpha)
+          and () = observe (prob, categorical probs, yobs)
+
+    Estimates the mixing proportions of a categorical stream — the
+    emission half of an HMM-style switching model. Under SDS the
+    Dirichlet concentration is conditioned analytically (the observed
+    category's pseudo-count grows by one per step).
+    """
+
+    def __init__(self, alpha: Tuple[float, ...] = (1.0, 1.0, 1.0)):
+        self.alpha = tuple(float(a) for a in alpha)
+
+    def init(self) -> Any:
+        return None
+
+    def step(self, state: Any, yobs: int, ctx: ProbCtx) -> Tuple[Any, Any]:
+        if state is None:
+            probs = ctx.sample(dirichlet(self.alpha))
+        else:
+            probs = state
+        ctx.observe(categorical(probs), yobs)
+        return probs, probs
+
+
+class MixedFragmentModel(ProbNode):
+    """``n_slots`` independent Gamma-Poisson slots, some non-conjugate.
+
+    Each step draws ``n_slots`` fresh arrival rates and observes one
+    count per slot. ``realize`` selects how many of those observations
+    are non-conjugate — ``poisson(2 * lam)`` instead of ``poisson(lam)``
+    — which the delayed samplers can only handle by realizing that
+    slot's rate (dependency breaking). ``"none"`` keeps the whole step
+    inside the conjugate fragment, ``"one"`` realizes a single slot per
+    step, ``"all"`` realizes every slot: the benchmark's knob for
+    measuring the cost of per-slot realize-and-continue on the batched
+    graph (which keeps the remaining slots symbolic either way).
+    """
+
+    def __init__(
+        self,
+        n_slots: int = 4,
+        realize: str = "none",
+        shape: float = 2.0,
+        rate: float = 1.0,
+    ):
+        if realize not in ("none", "one", "all"):
+            raise ValueError(f"realize must be none/one/all, got {realize!r}")
+        self.n_slots = n_slots
+        self.realize = realize
+        self.shape = shape
+        self.rate = rate
+
+    def init(self) -> Any:
+        return None
+
+    def step(self, state: Any, yobs: Any, ctx: ProbCtx) -> Tuple[Any, Any]:
+        broken = {"none": 0, "one": 1, "all": self.n_slots}[self.realize]
+        for i in range(self.n_slots):
+            lam = ctx.sample(gamma(self.shape, self.rate))
+            if i < broken:
+                ctx.observe(poisson(2.0 * lam), yobs[i])
+            else:
+                ctx.observe(poisson(lam), yobs[i])
+        return 0.0, None
+
+
 # Register the batched equivalents with the vectorized backend: the
 # registries live in repro.vectorized but start empty, so the dependency
 # points from this benchmark layer to the core, not the other way.
@@ -292,3 +399,10 @@ register_ds_graph_model(HmmModel)
 # (its exact SDS stays with the closed-form Beta-Bernoulli engine above).
 register_ds_graph_model(OutlierModel, adapter=GraphOutlierModel)
 register_ds_graph_model(CoinModel)
+# The PR-8 conjugacy families ride the same generic graph: Gamma-Poisson
+# count streams and Dirichlet-Categorical switching proportions, plus the
+# mixed-fragment model whose non-conjugate slots exercise in-graph
+# per-slot realize-and-continue instead of scalar migration.
+register_ds_graph_model(PoissonCountModel)
+register_ds_graph_model(DirichletCategoricalModel)
+register_ds_graph_model(MixedFragmentModel)

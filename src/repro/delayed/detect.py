@@ -4,10 +4,12 @@ The array-native delayed-sampling runtime
 (:mod:`repro.vectorized.sds_graph`) handles exactly the models whose
 delayed-sampling execution is *lockstep-batchable*: every random
 variable belongs to a family with SoA kernels (Gaussian, multivariate
-Gaussian, Beta, Bernoulli), every dependency is one of the batched
-conjugacy edges (affine-Gaussian — possibly with per-particle
-coefficients from a forced indicator — projection, matrix-affine,
-Beta-Bernoulli), and the model's Python control flow never branches on
+Gaussian, Beta, Bernoulli, Gamma, Poisson, Dirichlet, Categorical),
+every dependency is one of the batched conjugacy edges
+(affine-Gaussian — possibly with per-particle coefficients from a
+forced indicator — projection, matrix-affine, Beta-Bernoulli,
+Gamma-Poisson, Dirichlet-Categorical), and the model's Python control
+flow never branches on
 a per-particle value — the lockstep condition that lets one run of the
 model's code drive all particles at once.
 
@@ -63,7 +65,18 @@ __all__ = [
 GAUSSIAN_FAMILIES = frozenset({"gaussian", "mv_gaussian"})
 
 #: conjugacy families the generic batched DS graph implements.
-BATCHABLE_FAMILIES = frozenset({"gaussian", "mv_gaussian", "beta", "bernoulli"})
+BATCHABLE_FAMILIES = frozenset(
+    {
+        "gaussian",
+        "mv_gaussian",
+        "beta",
+        "bernoulli",
+        "gamma",
+        "poisson",
+        "dirichlet",
+        "categorical",
+    }
+)
 
 
 @dataclass(frozen=True)

@@ -26,13 +26,16 @@ from typing import Any, List, Optional
 
 from repro.delayed.conjugacy import ConditionalDist
 from repro.dists import (
+    Bernoulli,
     Beta,
+    Categorical,
     Dirichlet,
     Distribution,
     Gamma,
     Gaussian,
     InverseGamma,
     MvGaussian,
+    Poisson,
 )
 
 __all__ = ["NodeState", "DSNode", "family_of_dist"]
@@ -52,8 +55,11 @@ _FAMILY_BY_TYPE = {
     Gaussian: "gaussian",
     MvGaussian: "mv_gaussian",
     Beta: "beta",
+    Bernoulli: "bernoulli",
     Gamma: "gamma",
+    Poisson: "poisson",
     Dirichlet: "dirichlet",
+    Categorical: "categorical",
     InverseGamma: "inverse_gamma",
 }
 

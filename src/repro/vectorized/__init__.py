@@ -27,6 +27,9 @@ from repro.vectorized.batch import (
 from repro.vectorized.dists import (
     ArrayEmpirical,
     BetaMixtureArray,
+    CountMixtureArray,
+    DirichletMixtureArray,
+    GammaMixtureArray,
     GaussianMixtureArray,
     MvGaussianMixtureArray,
 )
@@ -46,10 +49,11 @@ from repro.vectorized.sds_graph import (
     BatchedGaussianChainGraph,
     BatchedNode,
     BetaBernoulliEdge,
-    ChainFragmentError,
     ChainOuts,
     ChainState,
     ChainStructureError,
+    DirichletCategoricalEdge,
+    GammaPoissonEdge,
     SlotFamily,
     register_slot_family,
 )
@@ -91,6 +95,9 @@ __all__ = [
     "GaussianMixtureArray",
     "MvGaussianMixtureArray",
     "BetaMixtureArray",
+    "GammaMixtureArray",
+    "DirichletMixtureArray",
+    "CountMixtureArray",
     "VectorizedEngine",
     "VectorizedParticleFilter",
     "VectorizedKalmanSDS",
@@ -103,13 +110,14 @@ __all__ = [
     "BatchedDelayedCtx",
     "BatchedNode",
     "BetaBernoulliEdge",
+    "GammaPoissonEdge",
+    "DirichletCategoricalEdge",
     "SlotFamily",
     "FAMILY_KERNELS",
     "register_slot_family",
     "ChainOuts",
     "ChainState",
     "ChainStructureError",
-    "ChainFragmentError",
     "BATCH_KERNELS",
     "supports_batch",
     "sample_n",
@@ -134,3 +142,13 @@ __all__ = [
     "register_gaussian_chain_model",
     "vectorize_model",
 ]
+
+
+def __getattr__(name: str):
+    if name == "ChainFragmentError":
+        # Deprecated alias; the sds_graph module-level shim emits the
+        # DeprecationWarning and returns ChainStructureError.
+        from repro.vectorized import sds_graph
+
+        return getattr(sds_graph, "ChainFragmentError")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

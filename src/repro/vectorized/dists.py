@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.dists import Beta, Gaussian, MvGaussian
+from repro.dists import Beta, Dirichlet, Gamma, Gaussian, MvGaussian, Poisson
 from repro.dists.base import Distribution
 from repro.dists.mixture import zero_nan_weights
 from repro.dists.mv_gaussian import batched_mv_log_pdf
@@ -27,6 +27,9 @@ __all__ = [
     "GaussianMixtureArray",
     "MvGaussianMixtureArray",
     "BetaMixtureArray",
+    "GammaMixtureArray",
+    "DirichletMixtureArray",
+    "CountMixtureArray",
 ]
 
 _LOG_2PI = math.log(2.0 * math.pi)
@@ -335,3 +338,260 @@ class BetaMixtureArray(Distribution):
 
     def __repr__(self) -> str:
         return f"BetaMixtureArray(n={len(self)})"
+
+
+class GammaMixtureArray(Distribution):
+    """Mixture of ``n`` Gamma components stored as parameter vectors.
+
+    The vectorized counterpart of the SDS output on Gamma-Poisson
+    models (count-data streams): each particle contributes one
+    ``Gamma(shape_i, rate_i)`` component, and moments are array
+    reductions over the parameter vectors.
+    """
+
+    __slots__ = ("shapes", "rates", "weights", "_log_norm")
+
+    def __init__(self, shapes, rates, weights=None):
+        # Copies, not views: the engines pass the live posterior arrays.
+        shapes = np.array(shapes, dtype=float).reshape(-1)
+        rates = np.array(rates, dtype=float).reshape(-1)
+        if shapes.size == 0 or rates.size != shapes.size:
+            raise DistributionError("need matching non-empty shape/rate vectors")
+        if np.any(shapes <= 0) or np.any(rates <= 0):
+            raise DistributionError("component parameters must be > 0")
+        self.shapes = shapes
+        self.rates = rates
+        self.weights = _normalize_weights(weights, shapes.size)
+        # NumPy has no lgamma ufunc; the Python-loop normalizer is paid
+        # once here, not on every log_pdf query.
+        lgamma = np.vectorize(math.lgamma, otypes=[float])
+        self._log_norm = shapes * np.log(rates) - lgamma(shapes)
+        self.shapes.setflags(write=False)
+        self.rates.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        idx = int(rng.choice(self.weights.size, p=self.weights))
+        return float(rng.gamma(self.shapes[idx], 1.0 / self.rates[idx]))
+
+    def log_pdf(self, value: float) -> float:
+        value = float(value)
+        if not value > 0.0:
+            return -math.inf
+        logs = (
+            self._log_norm
+            + (self.shapes - 1.0) * math.log(value)
+            - self.rates * value
+        )
+        with np.errstate(divide="ignore"):
+            terms = np.where(
+                self.weights > 0,
+                np.log(np.maximum(self.weights, 1e-300)),
+                -np.inf,
+            ) + logs
+        top = terms.max()
+        if np.isneginf(top):
+            return -math.inf
+        return float(top + np.log(np.sum(np.exp(terms - top))))
+
+    def mean(self) -> float:
+        return float(np.dot(self.weights, self.shapes / self.rates))
+
+    def variance(self) -> float:
+        # Law of total variance over the components.
+        means = self.shapes / self.rates
+        component_vars = self.shapes / (self.rates * self.rates)
+        mean = float(np.dot(self.weights, means))
+        diff = means - mean
+        return float(np.dot(self.weights, component_vars + diff * diff))
+
+    def component(self, i: int) -> Gamma:
+        """The ``i``-th component as a scalar Gamma object."""
+        return Gamma(self.shapes[i], self.rates[i])
+
+    def memory_words(self) -> int:
+        return 2 + 3 * self.shapes.size
+
+    def __len__(self) -> int:
+        return int(self.shapes.size)
+
+    def __repr__(self) -> str:
+        return f"GammaMixtureArray(n={len(self)})"
+
+
+class DirichletMixtureArray(Distribution):
+    """Mixture of ``n`` Dirichlet components over a shared ``k``-simplex.
+
+    The vectorized counterpart of the SDS output on
+    Dirichlet-Categorical models (topic/proportion streams): each
+    particle contributes one ``Dirichlet(alpha_i)`` component, stored
+    as one ``(n, k)`` concentration matrix.
+    """
+
+    __slots__ = ("alphas", "weights")
+
+    def __init__(self, alphas, weights=None):
+        # Copies, not views: the engines pass the live posterior arrays.
+        alphas = np.array(alphas, dtype=float)
+        if alphas.ndim != 2 or alphas.shape[0] == 0 or alphas.shape[1] < 2:
+            raise DistributionError("need a non-empty (n, k>=2) alpha matrix")
+        if np.any(alphas <= 0):
+            raise DistributionError("concentration parameters must be > 0")
+        self.alphas = alphas
+        self.weights = _normalize_weights(weights, alphas.shape[0])
+        self.alphas.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    @property
+    def dim(self) -> int:
+        return int(self.alphas.shape[1])
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        idx = int(rng.choice(self.weights.size, p=self.weights))
+        return rng.dirichlet(self.alphas[idx])
+
+    def log_pdf(self, value) -> float:
+        from repro.vectorized.kernels import dirichlet_log_prob
+
+        value = np.asarray(value, dtype=float)
+        logs = dirichlet_log_prob(
+            np.broadcast_to(value, self.alphas.shape), self.alphas
+        )
+        with np.errstate(divide="ignore"):
+            terms = np.where(
+                self.weights > 0,
+                np.log(np.maximum(self.weights, 1e-300)),
+                -np.inf,
+            ) + logs
+        top = terms.max()
+        if np.isneginf(top):
+            return -math.inf
+        return float(top + np.log(np.sum(np.exp(terms - top))))
+
+    def mean(self) -> np.ndarray:
+        means = self.alphas / self.alphas.sum(axis=1, keepdims=True)
+        return self.weights @ means
+
+    def variance(self) -> np.ndarray:
+        # Law of total variance, per coordinate.
+        totals = self.alphas.sum(axis=1, keepdims=True)
+        means = self.alphas / totals
+        component_vars = means * (1.0 - means) / (totals + 1.0)
+        mean = self.weights @ means
+        diff = means - mean
+        return self.weights @ (component_vars + diff * diff)
+
+    def component(self, i: int) -> Dirichlet:
+        """The ``i``-th component as a scalar Dirichlet object."""
+        return Dirichlet(self.alphas[i])
+
+    def memory_words(self) -> int:
+        return 2 + int(self.alphas.size) + self.weights.size
+
+    def __len__(self) -> int:
+        return int(self.alphas.shape[0])
+
+    def __repr__(self) -> str:
+        return f"DirichletMixtureArray(n={len(self)}, dim={self.dim})"
+
+
+class CountMixtureArray(Distribution):
+    """Mixture of ``n`` count components: Poisson or negative binomial.
+
+    The vectorized counterpart of the SDS output when a Poisson slot is
+    itself the reported variable. With ``rates is None`` every component
+    is ``Poisson(p0_i)``; otherwise component ``i`` is the Gamma-Poisson
+    marginal ``NB(r=p0_i, p=rate_i/(rate_i+1))`` — the same
+    parameterization as the batched "poisson" slot family.
+    """
+
+    __slots__ = ("p0", "rates", "weights")
+
+    def __init__(self, p0, rates=None, weights=None):
+        # Copies, not views: the engines pass the live posterior arrays.
+        p0 = np.array(p0, dtype=float).reshape(-1)
+        if p0.size == 0:
+            raise DistributionError("need a non-empty parameter vector")
+        if np.any(p0 <= 0):
+            raise DistributionError("component parameters must be > 0")
+        if rates is not None:
+            rates = np.array(rates, dtype=float).reshape(-1)
+            if rates.size != p0.size:
+                raise DistributionError("need matching shape/rate vectors")
+            if np.any(rates <= 0):
+                raise DistributionError("component rates must be > 0")
+            rates.setflags(write=False)
+        self.p0 = p0
+        self.rates = rates
+        self.weights = _normalize_weights(weights, p0.size)
+        self.p0.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        idx = int(rng.choice(self.weights.size, p=self.weights))
+        lam = self.p0[idx]
+        if self.rates is not None:
+            lam = rng.gamma(self.p0[idx], 1.0 / self.rates[idx])
+        return int(rng.poisson(lam))
+
+    def _component_logs(self, value) -> np.ndarray:
+        from repro.vectorized.kernels import (
+            neg_binomial_log_prob,
+            poisson_log_prob,
+        )
+
+        if self.rates is None:
+            return poisson_log_prob(value, self.p0)
+        return neg_binomial_log_prob(value, self.p0, self.rates)
+
+    def log_pdf(self, value) -> float:
+        logs = self._component_logs(float(value))
+        with np.errstate(divide="ignore"):
+            terms = np.where(
+                self.weights > 0,
+                np.log(np.maximum(self.weights, 1e-300)),
+                -np.inf,
+            ) + logs
+        top = terms.max()
+        if np.isneginf(top):
+            return -math.inf
+        return float(top + np.log(np.sum(np.exp(terms - top))))
+
+    def _component_means(self) -> np.ndarray:
+        if self.rates is None:
+            return self.p0
+        return self.p0 / self.rates
+
+    def mean(self) -> float:
+        return float(np.dot(self.weights, self._component_means()))
+
+    def variance(self) -> float:
+        # Law of total variance over the components.
+        means = self._component_means()
+        if self.rates is None:
+            component_vars = self.p0
+        else:
+            component_vars = means * (self.rates + 1.0) / self.rates
+        mean = float(np.dot(self.weights, means))
+        diff = means - mean
+        return float(np.dot(self.weights, component_vars + diff * diff))
+
+    def component(self, i: int) -> Poisson:
+        """The ``i``-th component as a scalar distribution object."""
+        if self.rates is None:
+            return Poisson(self.p0[i])
+        from repro.delayed.conjugacy import _NegativeBinomialMarginal
+
+        return _NegativeBinomialMarginal(self.p0[i], self.rates[i])
+
+    def memory_words(self) -> int:
+        words = 2 + 2 * self.p0.size
+        return words + (0 if self.rates is None else int(self.rates.size))
+
+    def __len__(self) -> int:
+        return int(self.p0.size)
+
+    def __repr__(self) -> str:
+        kind = "poisson" if self.rates is None else "neg-binomial"
+        return f"CountMixtureArray(n={len(self)}, kind={kind})"
+

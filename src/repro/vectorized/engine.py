@@ -45,7 +45,7 @@ from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.dists import Bernoulli, Distribution
+from repro.dists import Bernoulli, Categorical, Distribution
 from repro.errors import InferenceError
 from repro.exec.population import (
     ExchangePlan,
@@ -72,6 +72,9 @@ from repro.vectorized.batch import (
 from repro.vectorized.dists import (
     ArrayEmpirical,
     BetaMixtureArray,
+    CountMixtureArray,
+    DirichletMixtureArray,
+    GammaMixtureArray,
     GaussianMixtureArray,
     MvGaussianMixtureArray,
 )
@@ -398,10 +401,11 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
     / marginalize / condition / realize are whole-population conjugacy
     kernels. Works for any model inside the batched fragment — scalar
     Kalman/HMM chains, multivariate (robot-tracker) chains, scalar
-    projections of vector states, Beta-Bernoulli slots, and tree-shaped
-    combinations of these (the Outlier model's Beta→Bernoulli branch
-    beside its Gaussian position chain) — as admitted by the structure
-    detector (:func:`repro.delayed.detect.probe_ds_structure`) and the
+    projections of vector states, Beta-Bernoulli, Gamma-Poisson, and
+    Dirichlet-Categorical slots, and tree-shaped combinations of these
+    (the Outlier model's Beta→Bernoulli branch beside its Gaussian
+    position chain) — as admitted by the structure detector
+    (:func:`repro.delayed.detect.probe_ds_structure`) and the
     registries in :mod:`repro.vectorized.models`.
 
     ``mode`` selects the paper's two streaming delayed samplers:
@@ -409,7 +413,8 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
     * ``"sds"`` (Section 5.3) — the graph persists across steps; the
       step output is the exact per-particle marginal
       (:class:`GaussianMixtureArray` / :class:`MvGaussianMixtureArray`
-      / :class:`BetaMixtureArray`).
+      / :class:`BetaMixtureArray` / :class:`GammaMixtureArray` /
+      :class:`CountMixtureArray` / :class:`DirichletMixtureArray`).
     * ``"bds"`` (Section 5.2) — a fresh graph per step, every symbolic
       value force-realized at the end of the instant with one batched
       posterior draw; between steps the state is plain value arrays.
@@ -420,20 +425,28 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
     every executor and worker count reproduces the serial posterior bit
     for bit.
 
-    **Mid-stream fallback.** A model may leave the fragment after it
-    started (a transition that turns non-affine at step k, a family
-    without kernels). Each SDS step therefore runs against a cheap
+    **Mid-stream fallback (last resort).** A model that merely breaks
+    conjugacy after it started (a transition that turns non-affine at
+    step k, a Bernoulli of a Gaussian, …) does NOT leave the graph: the
+    batched context realizes only the slots the offending expression
+    references — one batched posterior draw each, counted in
+    ``repro_slot_realizations_total{family}`` — and continues with
+    every other slot symbolic. Scalar migration is reserved for steps
+    the graph cannot express at all (an unsupported family, an unknown
+    operator — the bounded ``reason`` tags on
+    :class:`ChainStructureError`). Each SDS step runs against a cheap
     structural snapshot of the graph — mutations land on the snapshot,
     so a :class:`ChainStructureError` mid-step leaves the pre-step
     state intact — and ``step`` catches the error, realizes every
     symbolic state leaf with one batched posterior draw per variable,
     migrates the population to the corresponding scalar delayed sampler
     (one particle per row, weights preserved, serial execution), emits
-    a one-time :class:`RuntimeWarning`, and finishes the stream there.
-    Worker-resident populations (``processes-persistent:N``) do not
-    support mid-stream migration — their step failures surface as
-    executor errors — but every materialized executor (serial, threads,
-    processes) does.
+    a one-time :class:`RuntimeWarning`, counts one
+    ``repro_scalar_fallback_total{model,mode,reason}``, and finishes
+    the stream there. Worker-resident populations
+    (``processes-persistent:N``) do not support mid-stream migration —
+    their step failures surface as executor errors — but every
+    materialized executor (serial, threads, processes) does.
     """
 
     def __init__(self, model: Any, mode: str = "sds", **kwargs):
@@ -497,6 +510,15 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
         if outs.kind == "bernoulli":
             # A weighted mixture of Bernoullis is itself a Bernoulli.
             return Bernoulli(float(np.dot(weights, outs.mean)))
+        if outs.kind == "gamma":
+            return GammaMixtureArray(outs.mean, outs.var, weights)
+        if outs.kind == "poisson":
+            return CountMixtureArray(outs.mean, outs.var, weights)
+        if outs.kind == "dirichlet":
+            return DirichletMixtureArray(outs.mean, weights)
+        if outs.kind == "categorical":
+            # A weighted mixture of Categoricals is itself Categorical.
+            return Categorical(np.asarray(weights, dtype=float) @ outs.mean)
         return ArrayEmpirical(outs.mean, weights)
 
     # ------------------------------------------------------------------
@@ -568,7 +590,11 @@ class VectorizedGaussianChainSDS(VectorizedEngine):
 
         count_event(
             "repro_scalar_fallback_total",
-            labels={"model": type(self.model).__name__, "mode": self.mode},
+            labels={
+                "model": type(self.model).__name__,
+                "mode": self.mode,
+                "reason": getattr(exc, "reason", "structure"),
+            },
         )
         warnings.warn(
             f"model {type(self.model).__name__} left the batched "

@@ -47,6 +47,14 @@ __all__ = [
     "beta_sample",
     "beta_log_prob",
     "categorical_sample",
+    "categorical_row_log_prob",
+    "gamma_sample",
+    "gamma_log_prob",
+    "poisson_log_prob",
+    "neg_binomial_sample",
+    "neg_binomial_log_prob",
+    "dirichlet_sample",
+    "dirichlet_log_prob",
     "beta_bernoulli_predictive",
     "beta_bernoulli_log_prob",
     "beta_bernoulli_update",
@@ -133,6 +141,111 @@ def categorical_sample(probs: np.ndarray, rng: np.random.Generator) -> np.ndarra
     cumulative[..., -1] = 1.0  # guard against round-off
     u = rng.random(probs.shape[:-1] + (1,))
     return np.sum(u > cumulative, axis=-1).astype(int)
+
+
+def categorical_row_log_prob(value, probs) -> np.ndarray:
+    """Score one category per row of an ``(n, k)`` probability matrix.
+
+    ``value`` is a scalar category (one observation conditioning every
+    particle) or an ``(n,)`` integer array of realized categories.
+    Out-of-range categories score ``-inf``.
+    """
+    probs = np.asarray(probs, dtype=float)
+    k = np.broadcast_to(np.asarray(value, dtype=int), probs.shape[:-1])
+    inside = (k >= 0) & (k < probs.shape[-1])
+    safe = np.where(inside, k, 0)
+    p = np.take_along_axis(probs, safe[..., None], axis=-1)[..., 0]
+    with np.errstate(divide="ignore"):
+        logp = np.where(p > 0.0, np.log(np.maximum(p, 1e-300)), -np.inf)
+    return np.where(inside, logp, -np.inf)
+
+
+def gamma_sample(shape, rate, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``x_i ~ Gamma(shape_i, rate_i)`` (rate parameterization)."""
+    shape = np.asarray(shape, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    return rng.gamma(shape, 1.0 / rate)
+
+
+def gamma_log_prob(value, shape, rate) -> np.ndarray:
+    """Elementwise Gamma log-density; values ``<= 0`` score ``-inf``."""
+    value = np.asarray(value, dtype=float)
+    shape = np.asarray(shape, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    inside = value > 0.0
+    safe = np.where(inside, value, 1.0)
+    logp = (
+        shape * np.log(rate)
+        - _lgamma(shape)
+        + (shape - 1.0) * np.log(safe)
+        - rate * safe
+    )
+    return np.where(inside, logp, -np.inf)
+
+
+def poisson_log_prob(value, lam) -> np.ndarray:
+    """Elementwise Poisson log-mass; negative counts score ``-inf``."""
+    k = np.asarray(value, dtype=float)
+    lam = np.asarray(lam, dtype=float)
+    inside = (k >= 0.0) & (k == np.floor(k))
+    safe = np.where(inside, k, 0.0)
+    logp = safe * np.log(lam) - lam - _lgamma(safe + 1.0)
+    return np.where(inside, logp, -np.inf)
+
+
+def neg_binomial_sample(shape, rate, rng: np.random.Generator) -> np.ndarray:
+    """Draw from ``NB(r=shape_i, p=rate_i/(rate_i+1))`` via its
+    Gamma-Poisson compound form, which is distributionally exact:
+    ``lam_i ~ Gamma(shape_i, rate_i)``, ``k_i ~ Poisson(lam_i)``."""
+    return rng.poisson(gamma_sample(shape, rate, rng))
+
+
+def neg_binomial_log_prob(value, shape, rate) -> np.ndarray:
+    """Log mass of the Gamma-Poisson marginal (negative binomial).
+
+    This is the Rao-Blackwellized ``observe`` weight of delayed
+    sampling on count data: the Gamma rate stays symbolic and the
+    count is scored under ``NB(r=shape, p=rate/(rate+1))`` — the same
+    parameterization as the scalar
+    :class:`repro.delayed.conjugacy._NegativeBinomialMarginal`.
+    """
+    k = np.asarray(value, dtype=float)
+    r = np.asarray(shape, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    inside = (k >= 0.0) & (k == np.floor(k))
+    safe = np.where(inside, k, 0.0)
+    log_p = np.log(rate) - np.log1p(rate)
+    log_1mp = -np.log1p(rate)
+    logp = (
+        _lgamma(safe + r)
+        - _lgamma(r)
+        - _lgamma(safe + 1.0)
+        + r * log_p
+        + safe * log_1mp
+    )
+    return np.where(inside, logp, -np.inf)
+
+
+def dirichlet_sample(alpha, rng: np.random.Generator) -> np.ndarray:
+    """Draw one Dirichlet vector per row of an ``(n, k)`` alpha matrix.
+
+    ``Generator.dirichlet`` only accepts a single parameter vector, so
+    the batch is drawn through the standard Gamma representation:
+    ``g_ij ~ Gamma(alpha_ij, 1)`` normalized per row.
+    """
+    g = rng.standard_gamma(np.asarray(alpha, dtype=float))
+    return g / g.sum(axis=-1, keepdims=True)
+
+
+def dirichlet_log_prob(value, alpha) -> np.ndarray:
+    """Per-row Dirichlet log-density for ``(n, k)`` values and alphas."""
+    value = np.asarray(value, dtype=float)
+    alpha = np.asarray(alpha, dtype=float)
+    inside = np.all(value > 0.0, axis=-1) & np.all(value < 1.0, axis=-1)
+    safe = np.where(value > 0.0, value, 0.5)
+    log_norm = _lgamma(alpha.sum(axis=-1)) - _lgamma(alpha).sum(axis=-1)
+    logp = log_norm + ((alpha - 1.0) * np.log(safe)).sum(axis=-1)
+    return np.where(inside, logp, -np.inf)
 
 
 def mv_gaussian_svd_factor(cov) -> np.ndarray:

@@ -25,7 +25,14 @@ delayed-sampling execution is *lockstep-batchable*:
     covariance (the Gaussian-chain invariant: the covariance recursion
     of a linear-Gaussian chain never touches realized values);
   - ``"beta"`` — per-particle ``(alpha, beta)`` parameter rows;
-  - ``"bernoulli"`` — per-particle predictive-probability rows.
+  - ``"bernoulli"`` — per-particle predictive-probability rows;
+  - ``"gamma"`` — per-particle ``(shape, rate)`` parameter rows;
+  - ``"poisson"`` — per-particle rate rows, widening to the
+    negative-binomial ``(shape, rate)`` compound when the rate is a
+    symbolic Gamma parent (the Gamma-Poisson marginal);
+  - ``"dirichlet"`` — per-particle ``(n, k)`` concentration rows;
+  - ``"categorical"`` — per-particle ``(n, k)`` probability rows with
+    scalar integer draws.
 
   Edges are the batched conjugacy relationships
   (:class:`ScalarAffineEdge` — whose coefficient and variance may be
@@ -60,16 +67,23 @@ means, masked affine coefficients) but never into Python control flow.
 The structure detector (:mod:`repro.delayed.detect`,
 ``probe_ds_structure``) admits exactly this class empirically.
 
-**Fragments that fall back to scalar.** Stepping outside the supported
-fragment — a family without kernels (Gamma, Dirichlet, …), a
-non-affine dependency (``x * x``), a symbolic variance, branching
-Python control flow on a per-particle value array — raises
+**The degradation ladder.** A non-conjugate or non-affine dependency
+(``x * x`` as a mean, a Gamma rate feeding a Gaussian location, a
+symbolic variance) no longer leaves the graph: the dependency-breaking
+rule realizes *only the slots the offending expression references* —
+one batched posterior draw each, counted in
+``repro_slot_realizations_total{family}`` — folds the values into the
+parameters, and continues with every other slot symbolic. Only
+structure the graph cannot express at all (a family without kernels —
+Uniform, InverseGamma, … — a parameter of the wrong shape, branching
+Python control flow on a per-particle value array) raises
 :class:`ChainStructureError`. ``infer`` never routes such models here
 when the detector / registries are used, and the graph engine
 (:class:`~repro.vectorized.engine.VectorizedGaussianChainSDS`) catches
-the error mid-stream, migrates the population to the scalar delayed
-samplers with a one-time :class:`RuntimeWarning`, and finishes the
-stream there — degrading gracefully instead of aborting inference.
+the error mid-stream as the last resort, migrates the population to
+the scalar delayed samplers with a one-time :class:`RuntimeWarning`,
+and finishes the stream there — degrading gracefully instead of
+aborting inference.
 
 Randomness is consumed in the same particle-major order as the scalar
 engines (batched ``rng.normal`` / the replicated svd path of
@@ -87,7 +101,17 @@ from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.dists import Bernoulli, Beta, Distribution, Gaussian, MvGaussian
+from repro.dists import (
+    Bernoulli,
+    Beta,
+    Categorical,
+    Dirichlet,
+    Distribution,
+    Gamma,
+    Gaussian,
+    MvGaussian,
+    Poisson,
+)
 from repro.dists.mv_gaussian import (
     batched_matvec,
     batched_mv_log_pdf,
@@ -95,6 +119,7 @@ from repro.dists.mv_gaussian import (
 )
 from repro.errors import GraphError
 from repro.lang.lifted import SymDist
+from repro.obs.registry import count_event
 from repro.runtime.node import ProbCtx
 from repro.symbolic import (
     App,
@@ -110,13 +135,20 @@ from repro.vectorized.kernels import (
     beta_bernoulli_predictive,
     beta_bernoulli_update,
     beta_log_prob,
+    categorical_row_log_prob,
+    categorical_sample,
+    dirichlet_log_prob,
+    dirichlet_sample,
+    gamma_log_prob,
+    gamma_sample,
     gaussian_log_prob,
     mv_gaussian_sample,
+    neg_binomial_log_prob,
+    poisson_log_prob,
 )
 
 __all__ = [
     "ChainStructureError",
-    "ChainFragmentError",
     "SlotFamily",
     "FAMILY_KERNELS",
     "register_slot_family",
@@ -128,6 +160,8 @@ __all__ = [
     "ProjectionEdge",
     "MvAffineEdge",
     "BetaBernoulliEdge",
+    "GammaPoissonEdge",
+    "DirichletCategoricalEdge",
     "ChainOuts",
     "ChainState",
     "wrap_batch_state",
@@ -149,18 +183,40 @@ REALIZED = np.int8(3)
 class ChainStructureError(GraphError):
     """The model stepped outside the batched delayed-sampling fragment.
 
-    Raised when batched delayed sampling meets a family without SoA
-    kernels, a non-affine dependency, a symbolic scale parameter, or a
-    coefficient of the wrong shape. ``infer`` never routes such models
+    Since PR 8 this is the *last* rung of the degradation ladder:
+    non-conjugate and non-affine dependencies are first handled in-graph
+    by realizing only the offending slots (the dependency-breaking rule,
+    see :meth:`BatchedDelayedCtx._realized_param`), so the error is
+    raised only for structure the graph cannot express at all — a family
+    without SoA kernels, a parameter of the wrong shape, an operator
+    with no batched evaluation rule. ``infer`` never routes such models
     here when the structure detector / registries are used, and the
     graph engine falls back to the scalar delayed samplers mid-stream
     (state migrated, one-time ``RuntimeWarning``) when a model leaves
     the fragment after it started.
+
+    ``reason`` is a bounded category tag — ``"unsupported-family"``,
+    ``"shape"``, ``"unsupported-op"``, or ``"structure"`` — surfaced as
+    the ``reason`` label of the ``repro_scalar_fallback_total`` counter.
     """
 
+    def __init__(self, message: str, reason: str = "structure"):
+        super().__init__(message)
+        self.reason = reason
 
-#: alias matching the name used in issue trackers / release notes.
-ChainFragmentError = ChainStructureError
+
+def __getattr__(name: str):
+    if name == "ChainFragmentError":
+        # The PR-4-era alias, kept importable one release as a shim.
+        import warnings
+
+        warnings.warn(
+            "ChainFragmentError is deprecated; use ChainStructureError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ChainStructureError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -188,10 +244,19 @@ class SlotFamily:
     per_particle_scale: bool = False
     #: cast applied to shared realized values when broadcasting
     cast: Callable[[Any], Any] = float
+    #: realized values stack as (n, d) rows; None inherits ``vector``.
+    #: Categorical slots are the split case: (n, k) probability rows but
+    #: scalar integer draws.
+    value_vector: Optional[bool] = None
     #: (p0, p1, rng) -> per-particle draw rows
     sample: Optional[Callable] = None
     #: (p0, p1, value) -> per-particle log-densities
     log_pdf: Optional[Callable] = None
+
+    @property
+    def values_vector(self) -> bool:
+        """Whether realized values of this family stack as (n, d) rows."""
+        return self.vector if self.value_vector is None else self.value_vector
 
 
 #: family tag -> SoA kernel set. Extend with :func:`register_slot_family`.
@@ -208,7 +273,8 @@ def _family(name: Optional[str]) -> SlotFamily:
     if fam is None:
         raise ChainStructureError(
             f"family {name!r} has no batched slot kernels; supported: "
-            f"{sorted(FAMILY_KERNELS)}"
+            f"{sorted(FAMILY_KERNELS)}",
+            reason="unsupported-family",
         )
     return fam
 
@@ -243,6 +309,61 @@ register_slot_family(
         cast=bool,
         sample=lambda p, _unused, rng: bernoulli_sample(p, rng),
         log_pdf=lambda p, _unused, value: bernoulli_log_prob(value, p),
+    )
+)
+
+
+def _poisson_slot_sample(p0, p1, rng):
+    # p1 is None for a pure Poisson slot (rate p0); otherwise the slot
+    # holds the Gamma-Poisson marginal NB(r=p0, p=p1/(p1+1)), drawn
+    # through its exact compound form.
+    lam = p0 if p1 is None else gamma_sample(p0, p1, rng)
+    return rng.poisson(np.asarray(lam, dtype=float))
+
+
+def _poisson_slot_log_pdf(p0, p1, value):
+    if p1 is None:
+        return poisson_log_prob(value, p0)
+    return neg_binomial_log_prob(value, p0, p1)
+
+
+register_slot_family(
+    SlotFamily(
+        name="gamma",
+        per_particle_scale=True,
+        sample=lambda shape, rate, rng: gamma_sample(shape, rate, rng),
+        log_pdf=lambda shape, rate, value: gamma_log_prob(value, shape, rate),
+    )
+)
+register_slot_family(
+    SlotFamily(
+        name="poisson",
+        has_scale=False,
+        cast=int,
+        sample=_poisson_slot_sample,
+        log_pdf=_poisson_slot_log_pdf,
+    )
+)
+register_slot_family(
+    SlotFamily(
+        name="dirichlet",
+        vector=True,
+        has_scale=False,
+        sample=lambda alpha, _unused, rng: dirichlet_sample(alpha, rng),
+        log_pdf=lambda alpha, _unused, value: dirichlet_log_prob(value, alpha),
+    )
+)
+register_slot_family(
+    SlotFamily(
+        name="categorical",
+        vector=True,
+        value_vector=False,
+        has_scale=False,
+        cast=int,
+        sample=lambda probs, _unused, rng: categorical_sample(probs, rng),
+        log_pdf=lambda probs, _unused, value: categorical_row_log_prob(
+            value, probs
+        ),
     )
 )
 
@@ -410,6 +531,60 @@ class BetaBernoulliEdge:
         return np.asarray(parent_rows, dtype=float), None
 
 
+class GammaPoissonEdge:
+    """``k | lam ~ Poisson(lam)``, Gamma parent, batched.
+
+    The batched counterpart of
+    :class:`~repro.delayed.conjugacy.GammaPoisson`: marginalization is
+    the negative-binomial compound ``NB(r=shape, p=rate/(rate+1))`` —
+    stored on the child slot as the parent's ``(shape, rate)`` rows,
+    which the "poisson" family kernels read directly — and conditioning
+    is the conjugate count update ``(shape + k, rate + 1)``.
+    """
+
+    __slots__ = ()
+    parent_family = "gamma"
+    child_family = "poisson"
+
+    def marginalize(self, shape, rate):
+        return shape, rate
+
+    def posterior(self, shape, rate, value):
+        return shape + np.asarray(value, dtype=float), rate + 1.0
+
+    def at_value(self, parent_rows):
+        return np.asarray(parent_rows, dtype=float), None
+
+
+class DirichletCategoricalEdge:
+    """``z | theta ~ Categorical(theta)``, Dirichlet parent, batched.
+
+    The batched counterpart of
+    :class:`~repro.delayed.conjugacy.DirichletCategorical`:
+    marginalization is the exact predictive ``Categorical(alpha /
+    sum(alpha))`` per particle, conditioning adds one to the observed
+    category's concentration — including for per-particle realized
+    category arrays.
+    """
+
+    __slots__ = ()
+    parent_family = "dirichlet"
+    child_family = "categorical"
+
+    def marginalize(self, alpha, _unused):
+        alpha = np.asarray(alpha, dtype=float)
+        return alpha / alpha.sum(axis=-1, keepdims=True), None
+
+    def posterior(self, alpha, _unused, value):
+        alpha = np.array(alpha, dtype=float)
+        k = np.broadcast_to(np.asarray(value, dtype=int), alpha.shape[:-1])
+        alpha[np.arange(alpha.shape[0]), k] += 1.0
+        return alpha, None
+
+    def at_value(self, parent_rows):
+        return np.asarray(parent_rows, dtype=float), None
+
+
 class BatchedNode:
     """Handle to one slot of a :class:`BatchedDSGraph`.
 
@@ -546,8 +721,8 @@ class BatchedDSGraph:
         return [int(s) for s in np.flatnonzero(self.node_state != FREE)]
 
     def slot_dim(self, slot: int) -> Optional[int]:
-        """Dimension of a vector-valued slot (None for scalars)."""
-        if not _family(self.family[slot]).vector:
+        """Dimension of a vector-valued slot (None for scalar values)."""
+        if not _family(self.family[slot]).values_vector:
             return None
         mean = self.mean[slot]
         if isinstance(mean, np.ndarray) and mean.ndim == 2:
@@ -576,7 +751,8 @@ class BatchedDSGraph:
                 return arr
         raise ChainStructureError(
             f"cannot broadcast a parameter of shape {arr.shape} over "
-            f"{self.n} particles"
+            f"{self.n} particles",
+            reason="shape",
         )
 
     def _scale_value(self, var, family: str) -> Any:
@@ -592,7 +768,8 @@ class BatchedDSGraph:
             if var.shape != (self.n,):
                 raise ChainStructureError(
                     f"per-particle variance must have shape ({self.n},), "
-                    f"got {var.shape}"
+                    f"got {var.shape}",
+                    reason="shape",
                 )
             return np.asarray(var, dtype=float)
         return float(var)
@@ -609,7 +786,7 @@ class BatchedDSGraph:
         """A realized slot's value, broadcast to the particle axis."""
         fam = _family(self.family[slot])
         value = self.value_[slot]
-        if not fam.vector:
+        if not fam.values_vector:
             if isinstance(value, np.ndarray) and value.ndim >= 1:
                 return value
             return np.full(self.n, fam.cast(value))
@@ -631,9 +808,18 @@ class BatchedDSGraph:
             return self.assume_root("beta", dist.alpha, dist.beta, name=name)
         if isinstance(dist, Bernoulli):
             return self.assume_root("bernoulli", dist.p, None, name=name)
+        if isinstance(dist, Gamma):
+            return self.assume_root("gamma", dist.shape, dist.rate, name=name)
+        if isinstance(dist, Poisson):
+            return self.assume_root("poisson", dist.lam, None, name=name)
+        if isinstance(dist, Dirichlet):
+            return self.assume_root("dirichlet", dist.alpha, None, name=name)
+        if isinstance(dist, Categorical):
+            return self.assume_root("categorical", dist.probs, None, name=name)
         raise ChainStructureError(
             f"{type(dist).__name__} root has no batched slot family; "
-            f"supported families: {sorted(FAMILY_KERNELS)}"
+            f"supported families: {sorted(FAMILY_KERNELS)}",
+            reason="unsupported-family",
         )
 
     def assume_root(self, family: str, mean, var, name: str = "") -> BatchedNode:
@@ -927,7 +1113,7 @@ class BatchedDSGraph:
     def _is_per_particle(self, slot: int, value: Any) -> bool:
         if not isinstance(value, np.ndarray):
             return False
-        if not _family(self.family[slot]).vector:
+        if not _family(self.family[slot]).values_vector:
             return value.ndim >= 1
         return value.ndim == 2
 
@@ -1037,11 +1223,13 @@ class BatchedDelayedCtx(ProbCtx):
     symbolic reference over a batched slot, ``observe`` accumulates the
     per-particle log-weight *vector*, ``value`` realizes whole
     populations with one batched draw. Conjugacy detection mirrors
-    :func:`repro.delayed.interface.assume`, restricted to the families
-    with SoA kernels (Gaussian / MvGaussian affine edges, Beta-Bernoulli)
-    — anything outside the fragment raises
-    :class:`ChainStructureError` instead of silently degrading, and the
-    graph engine then falls back to the scalar delayed samplers.
+    :func:`repro.delayed.interface.assume` over the families with SoA
+    kernels (Gaussian / MvGaussian affine edges, Beta-Bernoulli,
+    Gamma-Poisson, Dirichlet-Categorical); non-conjugate dependencies
+    are broken in-graph by realizing only the referenced slots
+    (:meth:`_realized_param`), and only structure the graph cannot
+    express raises :class:`ChainStructureError`, upon which the graph
+    engine falls back to the scalar delayed samplers.
     """
 
     __slots__ = ("graph", "log_weight", "_counter")
@@ -1074,15 +1262,45 @@ class BatchedDelayedCtx(ProbCtx):
         return batched_eval(expr, self.graph)
 
     # -- conjugacy detection over the batched fragment -------------------
-    def _const_param(self, value: Any, what: str) -> Any:
-        """A concrete (possibly per-particle) parameter, or raise."""
+    def _count_realizations(self, expr: Any) -> None:
+        """Count the not-yet-realized slots a dependency break will force."""
+        stack = [expr]
+        seen: set = set()
+        while stack:
+            e = stack.pop()
+            if isinstance(e, RVar):
+                node = e.node
+                if (
+                    isinstance(node, BatchedNode)
+                    and node.graph is self.graph
+                    and node.slot not in seen
+                    and self.graph.node_state[node.slot] != REALIZED
+                ):
+                    seen.add(node.slot)
+                    count_event(
+                        "repro_slot_realizations_total",
+                        labels={"family": node.family},
+                    )
+            elif isinstance(e, App):
+                stack.extend(a for a in e.args if isinstance(a, SymExpr))
+
+    def _realized_param(self, value: Any, what: str) -> Any:
+        """A concrete (possibly per-particle) parameter.
+
+        Symbolic parameters outside the conjugate fragment are handled
+        by the in-graph dependency-breaking rule: realize *only* the
+        slots the expression references (one batched posterior draw
+        each, counted in ``repro_slot_realizations_total``), keep every
+        other slot symbolic, and continue on the graph with per-particle
+        concrete parameter rows. The batched counterpart of
+        :func:`repro.delayed.interface._force_concrete`.
+        """
         if isinstance(value, BatchConst):
             return value.values
-        if is_symbolic(value):
-            raise ChainStructureError(
-                f"symbolic {what} is outside the batched delayed-sampling fragment"
-            )
-        return value
+        if not is_symbolic(value):
+            return value
+        self._count_realizations(value)
+        return batched_eval(value, self.graph)
 
     def _assume(self, dist: Any, name: str) -> BatchedNode:
         graph = self.graph
@@ -1095,14 +1313,16 @@ class BatchedDelayedCtx(ProbCtx):
         kind = dist.kind
         if kind == "gaussian":
             mean, var = dist.params
-            var = self._const_param(var, "variance")
+            var = self._realized_param(var, "variance")
             if not isinstance(var, np.ndarray):
                 var = float(var)
             form = extract_affine(mean)
             if form is None:
-                raise ChainStructureError(
-                    "non-affine Gaussian mean in a batched delayed-sampling model"
-                )
+                # Non-affine mean (x * x, …): realize the referenced
+                # slots only and continue as a root with per-particle
+                # mean rows.
+                mean = self._realized_param(mean, "mean")
+                return graph.assume_root("gaussian", mean, var, name=name)
             if form.rv is None:
                 return graph.assume_root("gaussian", form.const, var, name=name)
             parent = self._chain_parent(form.rv)
@@ -1118,37 +1338,36 @@ class BatchedDelayedCtx(ProbCtx):
                 if coeff.shape != (graph.n,):
                     raise ChainStructureError(
                         "per-particle Gaussian coefficient must have one "
-                        f"entry per particle, got shape {coeff.shape}"
+                        f"entry per particle, got shape {coeff.shape}",
+                        reason="shape",
                     )
                 edge = ScalarAffineEdge(coeff, form.const, var)
             elif parent.family == "mv_gaussian" and np.ndim(coeff) == 1:
                 edge = ProjectionEdge(coeff, form.const, var)
             else:
-                raise ChainStructureError(
-                    "Gaussian mean is not an affine image of a graph variable"
-                )
+                # Affine in a non-Gaussian variable (a Gamma rate used
+                # as a location, say): no conjugate edge — break the
+                # dependency and continue.
+                mean = self._realized_param(mean, "mean")
+                return graph.assume_root("gaussian", mean, var, name=name)
             return graph.assume_conditional(edge, parent, name=name)
         if kind == "mv_gaussian":
             mean, cov = dist.params
-            cov = self._const_param(cov, "covariance")
+            cov = self._realized_param(cov, "covariance")
             form = extract_affine(mean)
-            if form is None:
-                raise ChainStructureError(
-                    "non-affine MvGaussian mean in a batched delayed-sampling model"
-                )
-            if form.rv is None:
+            if form is not None and form.rv is None:
                 return graph.assume_root("mv_gaussian", form.const, cov, name=name)
-            parent = self._chain_parent(form.rv)
-            if parent.family == "mv_gaussian" and np.ndim(form.coeff) == 2:
-                edge = MvAffineEdge(form.coeff, form.const, cov)
-                return graph.assume_conditional(edge, parent, name=name)
-            raise ChainStructureError(
-                "MvGaussian mean is not a matrix image of a graph variable"
-            )
+            if form is not None:
+                parent = self._chain_parent(form.rv)
+                if parent.family == "mv_gaussian" and np.ndim(form.coeff) == 2:
+                    edge = MvAffineEdge(form.coeff, form.const, cov)
+                    return graph.assume_conditional(edge, parent, name=name)
+            mean = self._realized_param(mean, "mean")
+            return graph.assume_root("mv_gaussian", mean, cov, name=name)
         if kind == "beta":
             alpha, b = dist.params
-            alpha = self._const_param(alpha, "Beta parameter")
-            b = self._const_param(b, "Beta parameter")
+            alpha = self._realized_param(alpha, "Beta parameter")
+            b = self._realized_param(b, "Beta parameter")
             return graph.assume_root("beta", alpha, b, name=name)
         if kind == "bernoulli":
             (p,) = dist.params
@@ -1158,15 +1377,41 @@ class BatchedDelayedCtx(ProbCtx):
                     return graph.assume_conditional(
                         BetaBernoulliEdge(), parent, name=name
                     )
-                raise ChainStructureError(
-                    "Bernoulli probability must be a Beta variable or concrete; "
-                    f"got a {parent.family} variable"
-                )
-            p = self._const_param(p, "Bernoulli probability")
+            p = self._realized_param(p, "Bernoulli probability")
             return graph.assume_root("bernoulli", p, None, name=name)
+        if kind == "gamma":
+            shape, rate = dist.params
+            shape = self._realized_param(shape, "Gamma shape")
+            rate = self._realized_param(rate, "Gamma rate")
+            return graph.assume_root("gamma", shape, rate, name=name)
+        if kind == "poisson":
+            (lam,) = dist.params
+            if isinstance(lam, RVar):
+                parent = self._chain_parent(lam.node)
+                if parent.family == "gamma":
+                    return graph.assume_conditional(
+                        GammaPoissonEdge(), parent, name=name
+                    )
+            lam = self._realized_param(lam, "Poisson rate")
+            return graph.assume_root("poisson", lam, None, name=name)
+        if kind == "dirichlet":
+            (alpha,) = dist.params
+            alpha = self._realized_param(alpha, "Dirichlet concentration")
+            return graph.assume_root("dirichlet", alpha, None, name=name)
+        if kind == "categorical":
+            (probs,) = dist.params
+            if isinstance(probs, RVar):
+                parent = self._chain_parent(probs.node)
+                if parent.family == "dirichlet":
+                    return graph.assume_conditional(
+                        DirichletCategoricalEdge(), parent, name=name
+                    )
+            probs = self._realized_param(probs, "Categorical probabilities")
+            return graph.assume_root("categorical", probs, None, name=name)
         raise ChainStructureError(
             f"distribution family {kind!r} is outside the batched "
-            "delayed-sampling fragment"
+            "delayed-sampling fragment",
+            reason="unsupported-family",
         )
 
     def _chain_parent(self, node: Any) -> BatchedNode:
@@ -1217,7 +1462,8 @@ def batched_eval(expr: Any, graph: BatchedDSGraph) -> Any:
         if op == "neg":
             return -args[0]
         raise ChainStructureError(
-            f"operator {op!r} has no batched evaluation rule"
+            f"operator {op!r} has no batched evaluation rule",
+            reason="unsupported-op",
         )
     if isinstance(expr, tuple):
         return tuple(batched_eval(v, graph) for v in expr)
@@ -1237,8 +1483,11 @@ class ChainOuts:
     ``kind`` is a slot family tag — ``"gaussian"`` (mean rows + shared
     or per-particle variance), ``"mv_gaussian"`` (mean matrix + shared
     covariance), ``"beta"`` (alpha rows + beta rows), ``"bernoulli"``
-    (probability rows) — or ``"delta"`` (concrete value rows, the BDS
-    case). Implements the row protocol so per-shard outputs merge
+    (probability rows), ``"gamma"`` (shape rows + rate rows),
+    ``"poisson"`` (rate rows, or NB shape/rate rows), ``"dirichlet"`` /
+    ``"categorical"`` (concentration / probability row matrices) — or
+    ``"delta"`` (concrete value rows, the BDS case). Implements the row
+    protocol so per-shard outputs merge
     through the ordinary engine plan; a per-particle ``var`` (Beta
     betas, masked Gaussian variances) rides the row operations along
     with ``mean``.
@@ -1257,7 +1506,7 @@ class ChainOuts:
     def _per_particle_var(self) -> bool:
         return (
             isinstance(self.var, np.ndarray)
-            and self.kind in ("gaussian", "beta", "bernoulli")
+            and self.kind in ("gaussian", "beta", "bernoulli", "gamma", "poisson")
             and self.var.ndim == 1
         )
 

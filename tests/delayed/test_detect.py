@@ -110,7 +110,8 @@ class TestDSStructureProbe:
         assert report.forced > 0
         assert {"gaussian", "beta", "bernoulli"} <= report.families
 
-    def test_gamma_family_rejected(self):
+    def test_gamma_poisson_family_batchable(self):
+        """Gamma-Poisson count models are first-class batched slots now."""
         from repro.lang import gamma, poisson
         from repro.runtime.node import ProbNode
 
@@ -124,8 +125,25 @@ class TestDSStructureProbe:
                 return lam, lam
 
         report = probe_ds_structure(GammaPoissonModel(), [1, 2])
+        assert report.is_batchable
+        assert {"gamma", "poisson"} <= report.families
+
+    def test_unsupported_family_rejected(self):
+        """Families without SoA kernels (opaque roots) are still rejected."""
+        from repro.lang import exponential, gaussian
+        from repro.runtime.node import ProbNode
+
+        class ExponentialModel(ProbNode):
+            def init(self):
+                return None
+
+            def step(self, state, yobs, ctx):
+                rate = ctx.sample(exponential(1.0)) if state is None else state
+                ctx.observe(gaussian(ctx.value(rate), 1.0), yobs)
+                return rate, rate
+
+        report = probe_ds_structure(ExponentialModel(), [0.5, 0.7])
         assert not report.is_batchable
-        assert "gamma" in report.reason or "poisson" in report.reason
 
     def test_empty_probe_rejected(self):
         assert not probe_ds_structure(KalmanModel(), []).is_batchable

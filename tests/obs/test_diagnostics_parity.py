@@ -15,7 +15,7 @@ import pytest
 from repro.bench.models import HmmModel
 from repro.inference.diagnostics import DiagnosticsLog
 from repro.inference.infer import infer
-from repro.lang import gaussian
+from repro.lang import gaussian, uniform
 from repro.runtime.node import ProbCtx, ProbNode
 from repro.vectorized.engine import ScalarFallbackState
 
@@ -71,8 +71,10 @@ class TestParity:
         assert engine.diagnostics is None
 
 
-class NonlinearAtK(ProbNode):
-    """Gaussian chain leaving the batched fragment at step k."""
+class UnsupportedAtK(ProbNode):
+    """Gaussian chain leaving the expressible batched fragment at step
+    k (an unbatchable family forces the scalar migration; breaking
+    conjugacy alone would realize-and-continue on the graph)."""
 
     def __init__(self, k: int = 3):
         self.k = k
@@ -82,13 +84,10 @@ class NonlinearAtK(ProbNode):
 
     def step(self, state, yobs, ctx: ProbCtx):
         t, prev = state
-        if prev is None:
-            x = ctx.sample(gaussian(0.0, 4.0))
-        elif t >= self.k:
-            x = ctx.sample(gaussian(prev * prev, 1.0))
-        else:
-            x = ctx.sample(gaussian(prev, 1.0))
+        x = ctx.sample(gaussian(0.0 if prev is None else prev, 1.0))
         ctx.observe(gaussian(x, 0.5), yobs)
+        if t >= self.k:
+            ctx.value(ctx.sample(uniform(0.0, 1.0)))
         return x, (t + 1, x)
 
 
@@ -99,7 +98,7 @@ class TestFallbackContinuity:
         from repro.vectorized.engine import VectorizedGaussianChainSDS
 
         engine = VectorizedGaussianChainSDS(
-            NonlinearAtK(3), mode="sds", n_particles=16, seed=2,
+            UnsupportedAtK(3), mode="sds", n_particles=16, seed=2,
             diagnostics=True,
         )
         state = engine.init()

@@ -142,33 +142,49 @@ class TestBatchedGraph:
 
 
 class TestStructureRejection:
-    def test_gamma_root_rejected(self):
-        """Families without SoA kernels still raise (Beta/Bernoulli no
-        longer do — they are first-class slots since the generic graph)."""
-        from repro.lang import gamma
+    def test_unregistered_root_rejected(self):
+        """Families without SoA kernels still raise (Gamma/Poisson/
+        Dirichlet/Categorical no longer do — they are first-class
+        slots), and the error carries a bounded ``reason`` tag."""
+        from repro.lang import gamma, inverse_gamma
 
         graph = BatchedGaussianChainGraph(2)
         ctx = BatchedDelayedCtx(graph)
-        with pytest.raises(ChainStructureError):
-            ctx.sample(gamma(1.0, 1.0))
-        # Beta roots are part of the fragment now.
-        node = ctx.sample(beta(2.0, 3.0))
-        assert node.node.family == "beta"
+        with pytest.raises(ChainStructureError) as excinfo:
+            ctx.sample(inverse_gamma(2.0, 1.0))
+        assert excinfo.value.reason == "unsupported-family"
+        # Gamma roots are part of the fragment now.
+        node = ctx.sample(gamma(1.0, 1.0))
+        assert node.node.family == "gamma"
 
-    def test_bernoulli_of_gaussian_rejected(self):
-        """Bernoulli is conjugate to Beta parents only."""
+    def test_bernoulli_of_gaussian_realizes_and_continues(self):
+        """Bernoulli is conjugate to Beta parents only: a Gaussian
+        success probability realizes the parent and continues as a
+        batched root instead of leaving the graph."""
         graph = BatchedGaussianChainGraph(2)
+        graph.rng = np.random.default_rng(0)
+        ctx = BatchedDelayedCtx(graph)
+        x = ctx.sample(gaussian(0.5, 0.01))
+        node = ctx.sample(bernoulli(x))
+        assert node.node.family == "bernoulli"
+        from repro.vectorized.sds_graph import REALIZED
+
+        assert graph.node_state[x.node.slot] == REALIZED
+
+    def test_nonaffine_mean_realizes_and_continues(self):
+        """A quadratic mean breaks the dependency by realizing the
+        parent (the scalar layer's dependency-breaking rule, batched)."""
+        graph = BatchedGaussianChainGraph(2)
+        graph.rng = np.random.default_rng(0)
         ctx = BatchedDelayedCtx(graph)
         x = ctx.sample(gaussian(0.0, 1.0))
-        with pytest.raises(ChainStructureError):
-            ctx.sample(bernoulli(x))
+        node = ctx.sample(gaussian(x * x, 1.0))
+        from repro.vectorized.sds_graph import MARGINALIZED, REALIZED
 
-    def test_nonaffine_mean_rejected(self):
-        graph = BatchedGaussianChainGraph(2)
-        ctx = BatchedDelayedCtx(graph)
-        x = ctx.sample(gaussian(0.0, 1.0))
-        with pytest.raises(ChainStructureError):
-            ctx.sample(gaussian(x * x, 1.0))
+        assert graph.node_state[x.node.slot] == REALIZED
+        assert graph.node_state[node.node.slot] == MARGINALIZED
+        mean, _ = graph.posterior_marginal(node.node.slot)
+        assert np.allclose(mean, graph.value(x.node) ** 2)
 
     def test_engine_rejects_bad_mode(self):
         from repro.errors import InferenceError

@@ -11,10 +11,12 @@ Four layers of checks:
 * executor bit-identity for a tree-shaped model: serial / threads /
   processes / processes-persistent must reproduce the same posterior
   stream bit for bit;
-* the mid-stream scalar fallback: a model that leaves the fragment at
-  step k completes inference on the scalar delayed sampler (one-time
-  ``RuntimeWarning``, state migrated) instead of aborting with
-  ``ChainStructureError``.
+* the degradation ladder: a model that breaks conjugacy at step k
+  realizes only the offending slot and continues on the graph
+  (``repro_slot_realizations_total``), while a model that leaves the
+  expressible fragment entirely (an unsupported family) migrates to the
+  scalar delayed sampler (one-time ``RuntimeWarning``, state migrated)
+  instead of aborting with ``ChainStructureError``.
 """
 
 import warnings
@@ -27,7 +29,7 @@ from repro.bench.models import CoinModel, OutlierModel
 from repro.dists import Bernoulli, Beta
 from repro.errors import GraphError
 from repro.inference import infer
-from repro.lang import bernoulli, beta, gaussian
+from repro.lang import bernoulli, beta, gaussian, uniform
 from repro.runtime.node import ProbCtx, ProbNode
 from repro.vectorized import (
     BatchedDelayedCtx,
@@ -408,7 +410,7 @@ class TestExecutorBitIdentity:
 
 
 # ----------------------------------------------------------------------
-# mid-stream scalar fallback (graceful fragment exit)
+# the degradation ladder: per-slot realization, then scalar migration
 # ----------------------------------------------------------------------
 class NonlinearAtK(ProbNode):
     """A Gaussian chain whose transition turns quadratic at step k."""
@@ -450,13 +452,68 @@ class WithinStepNonlinear(ProbNode):
         return x, (t + 1, x)
 
 
+class UnsupportedAtK(ProbNode):
+    """A Gaussian chain that samples an unbatchable family at step k.
+
+    ``uniform`` has no SoA slot kernels, so the batched graph cannot
+    express the step at all — per-slot realization does not apply and
+    the engine must migrate the population to the scalar delayed
+    sampler (the ladder's last resort).
+    """
+
+    def __init__(self, k: int = 3):
+        self.k = k
+
+    def init(self):
+        return (0, None)
+
+    def step(self, state, yobs, ctx: ProbCtx):
+        t, prev = state
+        x = ctx.sample(gaussian(0.0 if prev is None else prev, 1.0))
+        ctx.observe(gaussian(x, 0.5), yobs)
+        if t >= self.k:
+            ctx.value(ctx.sample(uniform(0.0, 1.0)))  # no batched kernels
+        return x, (t + 1, x)
+
+
 OBS = [0.1, 0.2, -0.1, 0.4, 0.3, 0.2, 0.5]
+
+
+class TestRealizeAndContinue:
+    def test_nonlinear_transition_stays_on_graph(self):
+        """The quadratic transition realizes the previous slot and keeps
+        the stream on the batched graph — no warning, no migration."""
+        engine = VectorizedGaussianChainSDS(
+            NonlinearAtK(3), mode="sds", n_particles=20, seed=0
+        )
+        state = engine.init()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning fails
+            means = []
+            for y in OBS:
+                dist, state = engine.step(state, y)
+                means.append(dist.mean())
+        assert not isinstance(state, ScalarFallbackState)
+        assert engine._scalar_engine is None
+        assert len(means) == len(OBS) and np.all(np.isfinite(means))
+
+    def test_within_step_nonlinearity_stays_on_graph_under_bds(self):
+        engine = VectorizedGaussianChainSDS(
+            WithinStepNonlinear(3), mode="bds", n_particles=20, seed=0
+        )
+        state = engine.init()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for y in OBS[:5]:
+                dist, state = engine.step(state, y)
+        assert not isinstance(state, ScalarFallbackState)
+        assert engine._scalar_engine is None
 
 
 class TestScalarFallback:
     def test_sds_falls_back_midstream(self):
         engine = VectorizedGaussianChainSDS(
-            NonlinearAtK(3), mode="sds", n_particles=20, seed=0
+            UnsupportedAtK(3), mode="sds", n_particles=20, seed=0
         )
         state = engine.init()
         with warnings.catch_warnings(record=True) as caught:
@@ -477,9 +534,9 @@ class TestScalarFallback:
 
         assert isinstance(engine._scalar_engine, StreamingDelayedSampler)
 
-    def test_bds_falls_back_on_within_step_nonlinearity(self):
+    def test_bds_falls_back_on_unsupported_family(self):
         engine = VectorizedGaussianChainSDS(
-            WithinStepNonlinear(3), mode="bds", n_particles=20, seed=0
+            UnsupportedAtK(3), mode="bds", n_particles=20, seed=0
         )
         state = engine.init()
         with warnings.catch_warnings(record=True) as caught:
@@ -510,7 +567,7 @@ class TestScalarFallback:
         """Accumulated log-weights survive the migration particle by
         particle (resampling is off, so they are observable)."""
         engine = VectorizedGaussianChainSDS(
-            NonlinearAtK(1), mode="sds", n_particles=6, seed=5,
+            UnsupportedAtK(1), mode="sds", n_particles=6, seed=5,
             resample_threshold=0.0,  # never resample: weights accumulate
         )
         state = engine.init()
@@ -539,7 +596,7 @@ class TestScalarFallback:
 
     def test_fallback_with_threads_executor(self):
         engine = VectorizedGaussianChainSDS(
-            NonlinearAtK(2), mode="sds", n_particles=16, seed=1,
+            UnsupportedAtK(2), mode="sds", n_particles=16, seed=1,
             executor="threads:2",
         )
         state = engine.init()
@@ -554,17 +611,18 @@ class TestScalarFallback:
     def test_first_step_fallback(self):
         """A model outside the fragment from step one still runs."""
 
-        class ImmediatelyNonlinear(ProbNode):
+        class ImmediatelyUnsupported(ProbNode):
             def init(self):
                 return None
 
             def step(self, state, yobs, ctx: ProbCtx):
                 x = ctx.sample(gaussian(0.0, 1.0))
-                ctx.observe(gaussian(x * x, 0.5), yobs)
+                ctx.observe(gaussian(x, 0.5), yobs)
+                ctx.value(ctx.sample(uniform(0.0, 1.0)))
                 return x, x
 
         engine = VectorizedGaussianChainSDS(
-            ImmediatelyNonlinear(), mode="sds", n_particles=8, seed=0
+            ImmediatelyUnsupported(), mode="sds", n_particles=8, seed=0
         )
         with pytest.warns(RuntimeWarning, match="fragment"):
             dist, state = engine.step(engine.init(), 0.3)
