@@ -49,8 +49,16 @@ from repro.exec.population import (
     split_sequence,
 )
 from repro.exec.server import StreamServer, StreamSession
+from repro.exec.supervision import (
+    RestartBudgetExhausted,
+    RingFault,
+    WorkerTimeout,
+)
 
 __all__ = [
+    "WorkerTimeout",
+    "RingFault",
+    "RestartBudgetExhausted",
     "Executor",
     "SerialExecutor",
     "ThreadShardExecutor",

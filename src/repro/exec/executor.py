@@ -42,15 +42,31 @@ import abc
 import atexit
 import multiprocessing
 import os
+import pickle
 import traceback
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing.connection import wait as _connection_wait
-from time import perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import InferenceError
 from repro.exec.shm import ShmRing, TransportStats, materialize, measure_payload
+from repro.exec.supervision import (
+    RestartBudgetExhausted,
+    RingFault,
+    WorkerTimeout,
+    env_checkpoint_every,
+    env_restart_budget,
+    env_step_timeout_s,
+)
+from repro.faults.plan import (
+    FAULTS,
+    CoordinatorFaultState,
+    RingCorruption,
+    WorkerFaultState,
+)
+from repro.obs.registry import count_event
 from repro.obs.spans import TELEMETRY
 
 __all__ = [
@@ -193,6 +209,8 @@ def _persistent_worker_main(
     conn,
     ring_name: Optional[str] = None,
     cmd_ring_name: Optional[str] = None,
+    generation: int = 0,
+    faults: Optional[list] = None,
 ) -> None:
     """Main loop of one persistent worker: resident shards + commands.
 
@@ -212,6 +230,13 @@ def _persistent_worker_main(
     sends descriptors this worker cannot resolve. Either way the rings
     are a latency optimization, never a correctness dependency.
     """
+    fault_state = None
+    if faults:
+        # Fault injection active (repro.faults): filter the shipped
+        # fault list to this process's spawn generation. A matching
+        # spawn_fail dies here, before the hello handshake.
+        fault_state = WorkerFaultState(faults, generation)
+        fault_state.check_spawn()
     homes: Dict[Tuple[int, int], Dict[str, Any]] = {}
     ring = ShmRing.attach(ring_name)
     cmd_ring = ShmRing.attach(cmd_ring_name)
@@ -220,7 +245,7 @@ def _persistent_worker_main(
     except Exception:
         return
     try:
-        _persistent_worker_loop(conn, homes, ring, cmd_ring)
+        _persistent_worker_loop(conn, homes, ring, cmd_ring, fault_state)
     finally:
         if ring is not None:
             ring.close()
@@ -228,7 +253,7 @@ def _persistent_worker_main(
             cmd_ring.close()
 
 
-def _persistent_worker_loop(conn, homes, ring, cmd_ring) -> None:
+def _persistent_worker_loop(conn, homes, ring, cmd_ring, fault_state=None) -> None:
     while True:
         try:
             msg = conn.recv()
@@ -250,6 +275,11 @@ def _persistent_worker_loop(conn, homes, ring, cmd_ring) -> None:
                 }
                 reply: Any = None
             elif op == "step":
+                if fault_state is not None:
+                    # Crash / hang / error / ring-exhaust faults fire on
+                    # this process's Nth step op (replayed steps count,
+                    # which is what lets gen>=1 faults target revival).
+                    fault_state.on_step(ring)
                 # Older senders (and oplog replay) use the 4-tuple form
                 # without the trace flag; replayed steps never trace.
                 _, key, index, inp, *rest = msg
@@ -327,13 +357,16 @@ def _persistent_worker_loop(conn, homes, ring, cmd_ring) -> None:
 class _WorkerSlot:
     """One persistent worker process, the coordinator's pipe, and its rings."""
 
-    __slots__ = ("process", "conn", "ring", "cmd_ring")
+    __slots__ = ("process", "conn", "ring", "cmd_ring", "faults")
 
-    def __init__(self, process, conn, ring=None, cmd_ring=None):
+    def __init__(self, process, conn, ring=None, cmd_ring=None, faults=None):
         self.process = process
         self.conn = conn
         self.ring = ring
         self.cmd_ring = cmd_ring
+        #: coordinator-side fault state (:mod:`repro.faults`), or None —
+        #: the common case, costing one attribute check per message.
+        self.faults = faults
 
     def send_command(self, msg: tuple) -> None:
         """Send one command, parking its array payloads in the cmd ring.
@@ -344,6 +377,8 @@ class _WorkerSlot:
         previous command has been copied out by the worker before its
         reply, which the coordinator has already received).
         """
+        if self.faults is not None:
+            self.faults.note_op(msg[0])
         if self.cmd_ring is not None:
             stats = TransportStats()
             self.conn.send(self.cmd_ring.pack(msg, stats))
@@ -355,29 +390,55 @@ class _WorkerSlot:
                 stats.flush("cmd")
             self.conn.send(msg)
 
-    def recv_reply(self, views: bool = False) -> Tuple[str, Any]:
+    def recv_reply(
+        self, views: bool = False, timeout: Optional[float] = None
+    ) -> Tuple[str, Any]:
         """Receive one reply, resolving ring-parked arrays.
 
         With ``views=True`` the ring descriptors become read-only
         zero-copy views — only valid until the next command to this
         worker, so callers materialize anything that escapes the
         current message window (see :func:`repro.exec.shm.materialize`).
+
+        With a ``timeout`` (seconds), a reply that does not arrive in
+        time raises :class:`~repro.exec.supervision.WorkerTimeout`
+        (a dead worker's pipe signals EOF immediately, so the poll never
+        waits on a corpse). A reply whose ring payload cannot be
+        resolved raises :class:`~repro.exec.supervision.RingFault`.
         """
+        if timeout is not None:
+            deadline = monotonic() + timeout
+            while not self.conn.poll(min(0.05, timeout)):
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    raise WorkerTimeout(
+                        f"persistent worker missed its {timeout:.3g}s "
+                        "reply deadline"
+                    )
+                timeout = remaining
         tag, value = self.conn.recv()
         if tag == "ok":
-            if self.ring is not None:
-                stats = TransportStats()
-                mode = "view" if views else "copy"
-                if TELEMETRY.enabled:
-                    started = perf_counter()
-                    value = self.ring.unpack(value, mode, stats)
-                    TELEMETRY.recorder.record(
-                        "shm_unpack", (perf_counter() - started) * 1e3
-                    )
-                else:
-                    value = self.ring.unpack(value, mode, stats)
-                stats.flush("reply")
-            elif TELEMETRY.enabled:
+            try:
+                if self.faults is not None:
+                    value = self.faults.corrupt(value)
+                if self.ring is not None:
+                    stats = TransportStats()
+                    mode = "view" if views else "copy"
+                    if TELEMETRY.enabled:
+                        started = perf_counter()
+                        value = self.ring.unpack(value, mode, stats)
+                        TELEMETRY.recorder.record(
+                            "shm_unpack", (perf_counter() - started) * 1e3
+                        )
+                    else:
+                        value = self.ring.unpack(value, mode, stats)
+                    stats.flush("reply")
+            except (RingCorruption, ValueError, TypeError, IndexError) as exc:
+                # Corrupted descriptors (injected or real): the worker's
+                # transport state is untrusted — the caller kills and
+                # revives it from checkpoint like a crash.
+                raise RingFault(f"reply ring unresolvable: {exc}") from exc
+            if self.ring is None and TELEMETRY.enabled:
                 stats = TransportStats()
                 measure_payload(value, stats)
                 stats.flush("reply")
@@ -473,19 +534,61 @@ class PersistentProcessExecutor(Executor):
     #: holds the per-step outs/weights vectors of ~100k-particle shards.
     DEFAULT_SHM_BYTES = 4 * 1024 * 1024
 
+    #: how long ``close()`` waits for a worker to join after each of
+    #: stop / terminate / kill (seconds); a class attribute so tests can
+    #: tighten it.
+    CLOSE_JOIN_TIMEOUT_S = 2.0
+
+    #: upper bound on the exponential revival backoff (seconds).
+    BACKOFF_CAP_S = 1.0
+
     def __init__(
         self,
         workers: Optional[int] = None,
-        checkpoint_every: int = 8,
+        checkpoint_every: Optional[int] = None,
         shm_bytes: Optional[int] = None,
+        step_timeout_s: Optional[float] = None,
+        restart_budget: Optional[int] = None,
+        backoff_base_s: float = 0.05,
     ):
         workers = default_workers() if workers is None else int(workers)
         if workers < 1:
             raise InferenceError("executor needs at least one worker")
+        #: committed steps between checkpoint refreshes. ``None`` reads
+        #: ``REPRO_CHECKPOINT_EVERY`` before falling back to 8.
+        if checkpoint_every is None:
+            checkpoint_every = env_checkpoint_every()
         if int(checkpoint_every) < 1:
             raise InferenceError("checkpoint_every must be at least 1")
         self.workers = workers
         self.checkpoint_every = int(checkpoint_every)
+        #: per-command reply deadline in seconds; None disables
+        #: supervision timeouts (the default — the blocking wait path is
+        #: byte-for-byte the unsupervised one). ``None`` reads
+        #: ``REPRO_STEP_TIMEOUT_S`` (0 there also means disabled).
+        if step_timeout_s is None:
+            step_timeout_s = env_step_timeout_s()
+        elif float(step_timeout_s) <= 0:
+            raise InferenceError(
+                f"step_timeout_s must be positive, got {step_timeout_s} "
+                "(pass None to disable deadlines)"
+            )
+        self.step_timeout_s = (
+            None if step_timeout_s is None else float(step_timeout_s)
+        )
+        #: consecutive failed revivals one slot may accumulate before
+        #: the circuit breaker trips with RestartBudgetExhausted; reset
+        #: whenever a command on that slot completes. ``None`` reads
+        #: ``REPRO_RESTART_BUDGET`` before falling back to 3.
+        if restart_budget is None:
+            restart_budget = env_restart_budget()
+        if int(restart_budget) < 0:
+            raise InferenceError("restart_budget must be non-negative")
+        self.restart_budget = int(restart_budget)
+        #: first-revival backoff; revival n sleeps
+        #: ``backoff_base_s * 2**(n-1)`` capped at BACKOFF_CAP_S
+        #: (the first revival is immediate).
+        self.backoff_base_s = float(backoff_base_s)
         #: per-worker, per-direction shared-memory ring size. ``0``
         #: disables **both** rings (command and reply) and every message
         #: ships fully pickled — the fallback path. ``None`` reads the
@@ -504,18 +607,52 @@ class PersistentProcessExecutor(Executor):
         self._slots: Optional[List[_WorkerSlot]] = None
         self._populations: Dict[int, _ResidentState] = {}
         self._next_key = 0
+        #: per-slot spawn generation (0 = first spawn); fault plans key
+        #: on it so a crash fault does not re-fire during oplog replay.
+        self._generations: List[int] = [-1] * workers
+        #: per-slot consecutive failed-revival count (circuit breaker).
+        self._failures: List[int] = [0] * workers
+        #: lifetime revival count (diagnostics / stream-server stats).
+        self._restarts_total = 0
 
     # -- lifecycle ------------------------------------------------------
-    def _spawn_slot(self) -> _WorkerSlot:
+    def _spawn_slot(self, slot_index: int) -> _WorkerSlot:
+        self._generations[slot_index] += 1
+        generation = self._generations[slot_index]
+        worker_faults = None
+        slot_faults = None
+        if FAULTS.enabled and FAULTS.plan is not None:
+            # Fault injection: the worker-side sub-plan rides the spawn
+            # args (picklable under any start method); coordinator-side
+            # faults attach to the slot. Disabled runs pass None — the
+            # hooks then cost one attribute check.
+            worker_faults = FAULTS.plan.for_worker(slot_index) or None
+            coordinator_faults = FAULTS.plan.coordinator_for(slot_index)
+            if any(f.kind == "ring_corrupt" for f in coordinator_faults):
+                slot_faults = CoordinatorFaultState(
+                    coordinator_faults, generation
+                )
         parent_conn, child_conn = multiprocessing.Pipe()
         ring = ShmRing.create(self.shm_bytes)
         cmd_ring = ShmRing.create(self.shm_bytes)
+        if FAULTS.enabled and FAULTS.plan is not None and cmd_ring is not None:
+            # Coordinator-side ring exhaustion: a matching-generation
+            # ring_exhaust fault disables parking on this slot's command
+            # ring from the start — with gen=1, that is exactly the
+            # revival-replay window (checkpoints ship pickled).
+            if any(
+                f.kind == "ring_exhaust" and f.gen == generation
+                for f in FAULTS.plan.coordinator_for(slot_index)
+            ):
+                cmd_ring.fault_exhausted = True
         process = multiprocessing.Process(
             target=_persistent_worker_main,
             args=(
                 child_conn,
                 ring.name if ring is not None else None,
                 cmd_ring.name if cmd_ring is not None else None,
+                generation,
+                worker_faults,
             ),
             daemon=True,
         )
@@ -535,12 +672,12 @@ class PersistentProcessExecutor(Executor):
         if not cmd_ok and cmd_ring is not None:
             cmd_ring.close()
             cmd_ring = None
-        return _WorkerSlot(process, parent_conn, ring, cmd_ring)
+        return _WorkerSlot(process, parent_conn, ring, cmd_ring, slot_faults)
 
     def _ensure_started(self) -> None:
         if self._slots is not None:
             return
-        self._slots = [self._spawn_slot() for _ in range(self.workers)]
+        self._slots = [self._spawn_slot(i) for i in range(self.workers)]
         # Resuming after close(): restore every registered population
         # from its checkpoint + oplog.
         for slot_index in range(self.workers):
@@ -555,21 +692,34 @@ class PersistentProcessExecutor(Executor):
         return [slot.process.pid for slot in self._slots]
 
     def close(self) -> None:
-        """Terminate the workers; resident populations stay recoverable."""
-        if self._slots is None:
+        """Terminate the workers; resident populations stay recoverable.
+
+        Idempotent and safe against half-dead workers: the slot list is
+        detached first (a second ``close()`` is a no-op), every stop
+        send is best-effort, and a worker that ignores stop *and*
+        terminate is SIGKILLed — a worker that died holding the pipe
+        can delay shutdown by at most the join timeouts, never hang it.
+        """
+        slots, self._slots = self._slots, None
+        if slots is None:
             return
-        for slot in self._slots:
+        for slot in slots:
             try:
                 slot.conn.send(("stop",))
             except Exception:
                 pass
-        for slot in self._slots:
-            slot.process.join(timeout=2)
-            if slot.process.is_alive():
-                slot.process.terminate()
-                slot.process.join(timeout=2)
+        for slot in slots:
+            try:
+                slot.process.join(timeout=self.CLOSE_JOIN_TIMEOUT_S)
+                if slot.process.is_alive():
+                    slot.process.terminate()
+                    slot.process.join(timeout=self.CLOSE_JOIN_TIMEOUT_S)
+                if slot.process.is_alive():
+                    slot.process.kill()
+                    slot.process.join(timeout=self.CLOSE_JOIN_TIMEOUT_S)
+            except Exception:
+                pass
             slot.discard()
-        self._slots = None
 
     # The executor rides along when an engine is pickled into a worker
     # (the stepper references it); the worker-side copy is a shell with
@@ -579,7 +729,18 @@ class PersistentProcessExecutor(Executor):
         state["_slots"] = None
         state["_populations"] = {}
         state["_next_key"] = 0
+        state["_generations"] = [-1] * self.workers
+        state["_failures"] = [0] * self.workers
+        state["_restarts_total"] = 0
         return state
+
+    def restart_stats(self) -> Dict[str, Any]:
+        """Supervision counters: lifetime revivals, per-slot breaker state."""
+        return {
+            "restarts_total": self._restarts_total,
+            "consecutive_failures": list(self._failures),
+            "restart_budget": self.restart_budget,
+        }
 
     def __repr__(self) -> str:
         return (
@@ -601,14 +762,14 @@ class PersistentProcessExecutor(Executor):
                     ("load", state.key, index, state.checkpoints[index],
                      state.stepper)
                 )
-                self._expect_ok(slot)
+                self._expect_ok(slot, timeout=self.step_timeout_s)
                 # Replayed commands are re-packed at send time into the
                 # fresh worker's ring: the oplog stores real arrays, so
                 # descriptor-encoded and pickled replays are
                 # bit-identical (pack/unpack is an exact byte roundtrip).
                 for entry in state.oplogs[index]:
                     slot.send_command(self._replay_msg(state.key, index, entry))
-                    self._expect_ok(slot)
+                    self._expect_ok(slot, timeout=self.step_timeout_s)
 
     @staticmethod
     def _replay_msg(key: int, index: int, entry: tuple) -> tuple:
@@ -621,11 +782,18 @@ class PersistentProcessExecutor(Executor):
         raise InferenceError(f"unknown oplog entry {entry[0]!r}")
 
     @staticmethod
-    def _expect_ok(slot: _WorkerSlot) -> Any:
-        tag, value = slot.recv_reply()
+    def _expect_ok(slot: _WorkerSlot, timeout: Optional[float] = None) -> Any:
+        tag, value = slot.recv_reply(timeout=timeout)
         if tag == "err":
             raise InferenceError(f"persistent worker failed:\n{value}")
         return value
+
+    def _kill_slot(self, slot_index: int) -> None:
+        """SIGKILL a worker that can no longer be trusted (hang, ring)."""
+        try:
+            self._slots[slot_index].process.kill()
+        except Exception:
+            pass
 
     def _revive_slot(self, slot_index: int) -> None:
         """Replace a dead worker and rebuild its resident shards."""
@@ -634,8 +802,94 @@ class PersistentProcessExecutor(Executor):
             old.process.terminate()
         old.process.join(timeout=2)
         old.discard()
-        self._slots[slot_index] = self._spawn_slot()
+        self._slots[slot_index] = self._spawn_slot(slot_index)
         self._reload_slot(slot_index)
+
+    def _supervised_revive(self, slot_index: int, reason: str) -> None:
+        """One budgeted revival: backoff, count, spawn, reload.
+
+        Increments the slot's consecutive-failure count *before* the
+        attempt (the caller resets it when a command later completes),
+        so a revived worker that immediately fails again — a crash
+        loop, e.g. a ``spawn_fail`` fault — burns through the budget
+        and trips :class:`RestartBudgetExhausted` instead of respawning
+        forever. A respawn that dies during checkpoint replay retries
+        here under the same budget.
+        """
+        while True:
+            failures = self._failures[slot_index]
+            if failures >= self.restart_budget:
+                raise RestartBudgetExhausted(
+                    f"worker {slot_index} failed {failures} consecutive "
+                    f"revivals (budget {self.restart_budget}, last reason "
+                    f"{reason!r}); degrade off the persistent pool"
+                )
+            self._failures[slot_index] = failures + 1
+            if failures > 0:
+                sleep(
+                    min(
+                        self.BACKOFF_CAP_S,
+                        self.backoff_base_s * (2 ** (failures - 1)),
+                    )
+                )
+            count_event("repro_worker_restarts_total", {"reason": reason})
+            self._restarts_total += 1
+            try:
+                self._revive_slot(slot_index)
+            except WorkerTimeout:
+                self._kill_slot(slot_index)
+                count_event("repro_worker_timeouts_total")
+                reason = "timeout"
+                continue
+            except RingFault:
+                self._kill_slot(slot_index)
+                reason = "ring"
+                continue
+            except _PIPE_ERRORS:
+                reason = "crash"
+                continue
+            return
+
+    def _retry_burst(
+        self,
+        slot_index: int,
+        items: Sequence[Tuple[int, tuple]],
+        reason: str,
+        results: List[Any],
+        errors: List[str],
+    ) -> None:
+        """Revive a failed slot and re-run its whole command burst.
+
+        Each pass rebuilds the worker to the pre-burst state (checkpoint
+        + oplog replay), so the burst is always replayed from the top;
+        a pass that fails again loops back through the budgeted revival.
+        Success resets the slot's circuit breaker.
+        """
+        while True:
+            self._supervised_revive(slot_index, reason)
+            slot = self._slots[slot_index]
+            try:
+                for position, msg in items:
+                    slot.send_command(msg)
+                    tag, value = slot.recv_reply(timeout=self.step_timeout_s)
+                    if tag == "err":
+                        errors.append(value)
+                    else:
+                        results[position] = value
+            except WorkerTimeout:
+                self._kill_slot(slot_index)
+                count_event("repro_worker_timeouts_total")
+                reason = "timeout"
+                continue
+            except RingFault:
+                self._kill_slot(slot_index)
+                reason = "ring"
+                continue
+            except _PIPE_ERRORS:
+                reason = "crash"
+                continue
+            self._failures[slot_index] = 0
+            return
 
     def _scatter_gather(self, msgs: Sequence[Tuple[int, tuple]]) -> List[Any]:
         """Send addressed commands, collect replies in command order.
@@ -647,10 +901,12 @@ class PersistentProcessExecutor(Executor):
         ``send`` the worker is guaranteed to be draining its request
         pipe — no message size can deadlock the pair (a worker
         serializes its commands anyway, so nothing is lost). A slot
-        whose pipe fails — the worker process died — is revived (fresh
-        process, checkpoint + oplog replay) and its commands are
-        retried once; a Python exception *inside* a worker comes back
-        as an ``("err", ...)`` reply and is raised only after every
+        that fails mid-burst — pipe broken (crash), per-command
+        deadline missed (hang; the worker is SIGKILLed first), or an
+        unresolvable reply ring — is revived under the restart budget
+        (fresh process, checkpoint + oplog replay) and its whole burst
+        is retried; a Python exception *inside* a worker comes back as
+        an ``("err", ...)`` reply and is raised only after every
         pending reply has been drained, so the pipes stay in sync.
         """
         self._ensure_started()
@@ -660,8 +916,13 @@ class PersistentProcessExecutor(Executor):
         all_items = {slot_index: list(queue) for slot_index, queue in queues.items()}
         results: List[Any] = [None] * len(msgs)
         errors: List[str] = []
-        failed: Dict[int, List[Tuple[int, tuple]]] = {}
+        failed: Dict[int, Tuple[str, List[Tuple[int, tuple]]]] = {}
         in_flight: Dict[Any, Tuple[int, int, bool]] = {}  # conn -> (slot, pos, step?)
+        deadlines: Dict[Any, float] = {}  # conn -> monotonic deadline
+
+        def fail(slot_index: int, reason: str) -> None:
+            failed[slot_index] = (reason, all_items[slot_index])
+            queues[slot_index].clear()
 
         def send_next(slot_index: int) -> None:
             queue = queues[slot_index]
@@ -675,16 +936,41 @@ class PersistentProcessExecutor(Executor):
                 # has consumed the previous command and the ring is free.
                 slot.send_command(msg)
             except _PIPE_ERRORS:
-                failed[slot_index] = all_items[slot_index]
-                queue.clear()
+                fail(slot_index, "crash")
                 return
             in_flight[slot.conn] = (slot_index, position, msg[0] == "step")
+            if self.step_timeout_s is not None:
+                deadlines[slot.conn] = monotonic() + self.step_timeout_s
 
         for slot_index in list(queues):
             send_next(slot_index)
         while in_flight:
-            for conn in _connection_wait(list(in_flight)):
+            if self.step_timeout_s is None:
+                ready = _connection_wait(list(in_flight))
+            else:
+                wait = min(deadlines.values()) - monotonic()
+                ready = (
+                    _connection_wait(list(in_flight), timeout=wait)
+                    if wait > 0
+                    else []
+                )
+                if not ready:
+                    # Every conn past its deadline belongs to a hung
+                    # worker: kill it (its state is untrusted) and queue
+                    # the burst for a supervised retry.
+                    now = monotonic()
+                    for conn in [
+                        c for c, d in deadlines.items() if d <= now
+                    ]:
+                        slot_index, _, _ = in_flight.pop(conn)
+                        deadlines.pop(conn, None)
+                        self._kill_slot(slot_index)
+                        count_event("repro_worker_timeouts_total")
+                        fail(slot_index, "timeout")
+                    continue
+            for conn in ready:
                 slot_index, position, is_step = in_flight.pop(conn)
+                deadlines.pop(conn, None)
                 try:
                     # Step replies are unpacked as zero-copy views into
                     # the worker's reply ring; everything else (exports
@@ -694,9 +980,12 @@ class PersistentProcessExecutor(Executor):
                     tag, value = self._slots[slot_index].recv_reply(
                         views=is_step
                     )
+                except RingFault:
+                    self._kill_slot(slot_index)
+                    fail(slot_index, "ring")
+                    continue
                 except _PIPE_ERRORS:
-                    failed[slot_index] = all_items[slot_index]
-                    queues[slot_index].clear()
+                    fail(slot_index, "crash")
                     continue
                 if tag == "err":
                     errors.append(value)
@@ -711,19 +1000,11 @@ class PersistentProcessExecutor(Executor):
                         value = materialize(value)
                     results[position] = value
                 send_next(slot_index)
-        for slot_index, items in failed.items():
-            # The worker died mid-burst: its resident state is rebuilt
+        for slot_index, (reason, items) in failed.items():
+            # The worker failed mid-burst: its resident state is rebuilt
             # to the pre-burst point, so every command of the burst is
             # re-run (including any that had already been answered).
-            self._revive_slot(slot_index)
-            slot = self._slots[slot_index]
-            for position, msg in items:
-                slot.send_command(msg)
-                tag, value = slot.recv_reply()
-                if tag == "err":
-                    errors.append(value)
-                else:
-                    results[position] = value
+            self._retry_burst(slot_index, items, reason, results, errors)
         if errors:
             raise InferenceError(f"persistent worker failed:\n{errors[0]}")
         return results
@@ -883,11 +1164,79 @@ class PersistentProcessExecutor(Executor):
         return state
 
     def _after_commit(self, state: _ResidentState) -> None:
-        """Count a committed step; refresh checkpoints on the interval."""
+        """Count a committed step; refresh checkpoints on the interval.
+
+        The step itself is already committed when this runs, so a
+        failing checkpoint pull must not poison the stream: the old
+        checkpoint + oplog still reconstruct the current state exactly,
+        and whatever broke the pull will resurface on the next real
+        command where supervision handles it.
+        """
         state.steps += 1
         if state.steps % self.checkpoint_every == 0:
-            state.checkpoints = self.pull_population(state.key)
+            try:
+                checkpoints = self.pull_population(state.key)
+            except Exception:
+                return
+            state.checkpoints = checkpoints
             state.oplogs = [[] for _ in state.sizes]
+
+    def recover_population(self, key: int) -> List[Any]:
+        """Rebuild every shard coordinator-side, without any worker.
+
+        The degradation path: when the restart budget is exhausted the
+        engines call this to reassemble the population from the
+        coordinator's own checkpoints + oplogs, then continue on the
+        next executor rung. Replay mirrors the worker loop exactly
+        (same ``step_shard`` / ``shard_assemble`` / ``shard_commit_weights``
+        calls on the same checkpointed payload and RNG substream), so
+        the recovered shards are bit-identical to the lost residents.
+
+        A trailing unpaired ``step`` entry — one whose commit barrier
+        never ran because that is where the pool died — is dropped:
+        the engine re-runs that step in full on the new executor.
+        Deliberately ignores the ``poisoned`` flag (recovery is the one
+        consumer that can still make sense of the checkpoints) and
+        leaves the resident record untouched so a later
+        ``release_population`` behaves normally.
+        """
+        state = self._populations.get(key)
+        if state is None:
+            raise InferenceError(f"no resident population with key {key!r}")
+        shards: List[Any] = []
+        for index in range(state.n_shards):
+            # Replay mutates the payload in place for some steppers —
+            # roundtrip the checkpoint so it stays a pristine copy.
+            shard = pickle.loads(pickle.dumps(state.checkpoints[index]))
+            oplog = list(state.oplogs[index])
+            if oplog and oplog[-1][0] == "step":
+                oplog.pop()
+            logw = None
+            for entry in oplog:
+                if entry[0] == "step":
+                    result = state.stepper.step_shard(
+                        shard.payload, shard.rng, entry[1]
+                    )
+                    shard.payload = result.payload
+                    shard.rng = result.rng
+                    logw = result.prev_log_weights + result.step_log_weights
+                elif entry[0] == "assemble":
+                    shard.payload = state.stepper.shard_assemble(
+                        shard.payload, entry[1], entry[2]
+                    )
+                    logw = None
+                elif entry[0] == "weights":
+                    if logw is None:
+                        raise InferenceError(
+                            "weight commit without a preceding step"
+                        )
+                    shard.payload = state.stepper.shard_commit_weights(
+                        shard.payload, logw
+                    )
+                else:
+                    raise InferenceError(f"unknown oplog entry {entry[0]!r}")
+            shards.append(shard)
+        return shards
 
 
 def shard_len(shard: Any) -> int:
@@ -963,7 +1312,11 @@ def shutdown_executors() -> None:
     """
     while _INSTANCES:
         _, executor = _INSTANCES.popitem()
-        executor.close()
+        try:
+            executor.close()
+        except Exception:
+            # One half-dead pool must not strand the rest of the cache.
+            continue
 
 
 atexit.register(shutdown_executors)

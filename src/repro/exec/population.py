@@ -444,6 +444,17 @@ class ResidentPopulation:
         self._check_live()
         return ShardedPopulation(self.executor.pull_population(self.key))
 
+    def recover(self) -> ShardedPopulation:
+        """Reassemble the population from the coordinator's checkpoints.
+
+        Unlike :meth:`materialize` this never talks to a worker — the
+        executor replays its checkpoint + oplog locally — so it works
+        when the pool is dead or the resident state poisoned. Used by
+        the engines' degradation ladder after the restart budget trips.
+        """
+        self._check_live()
+        return ShardedPopulation(self.executor.recover_population(self.key))
+
     def release(self) -> None:
         """Free the worker-resident shards and coordinator checkpoints."""
         if self._released:

@@ -83,6 +83,9 @@ class StreamSession:
         )
         #: duration of the most recent step, in milliseconds.
         self.last_step_ms: Optional[float] = None
+        #: checkpoint-recovery retries this session has survived
+        #: (see ``StreamServer._retry_session``).
+        self.retries = 0
 
     @property
     def backlog(self) -> int:
@@ -278,22 +281,82 @@ class StreamServer:
                 TELEMETRY.recorder.record("server_tick", elapsed_ms)
 
     def _step_session(self, session: StreamSession) -> Distribution:
-        """Advance one session; evict it (releasing shards) on failure.
+        """Advance one session; retry once from checkpoint, then evict.
 
-        Only ordinary exceptions evict: a ``KeyboardInterrupt`` mid-step
-        is not a failed session, and destroying its produced posteriors
-        on an interrupt would be worse than the shard leak being fixed.
+        A session whose worker-resident state fails mid-step (worker
+        hang past the deadline, crash loop, poisoned population) is
+        retried **once** from the executor's coordinator-side
+        checkpoints before eviction — the failing step re-runs in full,
+        so the posterior stream is unbroken and other sessions never
+        see the failure. Only ordinary exceptions evict: a
+        ``KeyboardInterrupt`` mid-step is not a failed session, and
+        destroying its produced posteriors on an interrupt would be
+        worse than the shard leak being fixed.
         """
+        recoverable = isinstance(session.state, ResidentPopulation) and hasattr(
+            session.state.executor, "recover_population"
+        )
+        if recoverable:
+            # step_once pops the observation *before* stepping and the
+            # engine draws ancestors before the barrier: snapshot both
+            # so a retry replays the identical step.
+            pending_item = session.pending[0] if session.pending else None
+            rng_state = session.engine.rng.bit_generator.state
+            diagnostics = getattr(session.engine, "diagnostics", None)
+            diag_mark = len(diagnostics.steps) if diagnostics is not None else None
         try:
             dist = session.step_once()
         except Exception:
-            self._evict(session.session_id)
-            raise
+            if not recoverable:
+                self._evict(session.session_id)
+                raise
+            try:
+                dist = self._retry_session(
+                    session, pending_item, rng_state, diag_mark
+                )
+            except Exception:
+                self._evict(session.session_id)
+                raise
         self._processed += 1
         self._step_latency.observe(session.last_step_ms)
         if TELEMETRY.enabled:
             TELEMETRY.recorder.record("server_step", session.last_step_ms)
         return dist
+
+    def _retry_session(
+        self,
+        session: StreamSession,
+        pending_item: Optional[Tuple[int, Any]],
+        rng_state: Any,
+        diag_mark: Optional[int],
+    ) -> Distribution:
+        """Rebuild a session's resident state from checkpoints; re-step.
+
+        The executor replays its checkpoint + oplog coordinator-side
+        (no worker involved), the recovered shards are loaded back into
+        the pool under a fresh key, the engine RNG and diagnostics are
+        rewound to the pre-step snapshot, and the popped observation is
+        pushed back to the head of the queue — the retried step is
+        bit-identical to what the failed one should have produced.
+        """
+        population = session.state
+        engine = session.engine
+        shards = population.executor.recover_population(population.key)
+        executor = population.executor
+        population.release()
+        engine.rng.bit_generator.state = rng_state
+        if diag_mark is not None:
+            del engine.diagnostics.steps[diag_mark:]
+        if pending_item is not None and (
+            not session.pending or session.pending[0] is not pending_item
+        ):
+            # step_once popped the observation before failing: push it
+            # back so the retried step consumes the same input.
+            session.pending.appendleft(pending_item)
+        session.state = ResidentPopulation.create(executor, engine, shards)
+        session.retries += 1
+        count_event("repro_session_retries_total")
+        return session.step_once()
 
     def _evict(self, session_id: str) -> None:
         """Drop a failed session, releasing any worker-resident shards."""
@@ -320,8 +383,13 @@ class StreamServer:
             total += done
 
     def stats(self) -> Dict[str, Any]:
-        """Server-level counters plus per-session progress."""
-        return {
+        """Server-level counters plus per-session progress.
+
+        When the shared executor supervises persistent workers, its
+        restart bookkeeping (lifetime revivals, per-slot consecutive
+        failures, budget) rides along under ``"workers"``.
+        """
+        stats: Dict[str, Any] = {
             "sessions": len(self._sessions),
             "processed": self._processed,
             "evicted": self._evicted,
@@ -330,11 +398,16 @@ class StreamServer:
                 sid: {
                     "steps": s.steps,
                     "backlog": s.backlog,
+                    "retries": s.retries,
                     "last_step_ms": s.last_step_ms,
                 }
                 for sid, s in self._sessions.items()
             },
         }
+        restart_stats = getattr(self.executor, "restart_stats", None)
+        if restart_stats is not None:
+            stats["workers"] = restart_stats()
+        return stats
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """SLO view of the server: latency quantiles, gauges, queue depth.

@@ -242,6 +242,11 @@ class ShmRing:
     def __init__(self, shm: Any, owner: bool):
         self._shm = shm
         self._owner = owner
+        #: fault-injection hook (:mod:`repro.faults`): when set, every
+        #: subsequent park falls back inline as if the ring were full —
+        #: the deterministic ring-exhaustion fault. Plain attribute so
+        #: the disabled cost is one load on the park path.
+        self.fault_exhausted = False
 
     # -- lifecycle ------------------------------------------------------
     @classmethod
@@ -317,6 +322,12 @@ class ShmRing:
         if array.dtype.hasobject or array.nbytes < MIN_BYTES:
             if stats is not None and not array.dtype.hasobject:
                 stats.pickled_bytes += int(array.nbytes)
+            return array
+        if self.fault_exhausted:
+            # Injected exhaustion: behave exactly like a full ring.
+            if stats is not None:
+                stats.pickled_bytes += int(array.nbytes)
+                stats.fallbacks += 1
             return array
         data = np.ascontiguousarray(array)
         start = cursor[0]

@@ -52,7 +52,6 @@ from repro.exec.population import (
     ResidentPopulation,
     ShardResult,
     ShardedPopulation,
-    map_step,
     shard_sizes,
     spawn_shard_rngs,
 )
@@ -156,7 +155,9 @@ class VectorizedEngine(InferenceEngine):
         else:
             population = ShardedPopulation.build([state], [self.rng])
         timer = TELEMETRY.step_timer()
-        results, population = map_step(self.executor, self, population, inp)
+        # _map_population carries the processes->serial degradation rung
+        # (BrokenProcessPool) exactly as in the scalar engine.
+        results, population = self._map_population(population, inp)
         timer.mark("model_eval")
         outs = _merge([r.outs for r in results])
         step_logw = np.concatenate([r.step_log_weights for r in results])

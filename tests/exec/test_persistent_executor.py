@@ -281,6 +281,13 @@ class TestCrashRecovery:
             executor.close()
 
     def test_worker_exception_propagates_without_revive(self):
+        from repro.faults import FAULTS
+
+        if FAULTS.enabled:
+            # Under an injected chaos plan (CI chaos job) crash faults
+            # may legitimately revive workers during this test's steps,
+            # so pid stability is not a valid assertion there.
+            pytest.skip("fault injection active: worker pids may change")
         executor = PersistentProcessExecutor(workers=2)
         try:
             engine = infer(HmmModel(), n_particles=8, seed=0, executor=executor)

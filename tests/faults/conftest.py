@@ -1,0 +1,33 @@
+"""Fixtures for the fault-injection / supervision tests.
+
+Every test runs with a clean fault switch: whatever plan the test
+installs (or the CI chaos job exported via ``REPRO_FAULT_PLAN``) is
+saved and restored around it, so tests compose with the chaos
+environment instead of fighting over the process-global switch.
+"""
+
+from typing import Any, Mapping, Optional
+
+import pytest
+
+from repro.faults.plan import FAULTS
+from repro.obs.registry import default_registry
+
+
+@pytest.fixture(autouse=True)
+def _restore_fault_switch():
+    previous = (FAULTS.enabled, FAULTS.plan)
+    yield
+    FAULTS.enabled, FAULTS.plan = previous
+
+
+def counter_value(name: str, labels: Optional[Mapping[str, Any]] = None) -> float:
+    """Current value of a registry counter; 0.0 when never incremented."""
+    metric = default_registry().get(name, labels)
+    return 0.0 if metric is None else float(metric.value)
+
+
+@pytest.fixture
+def counters():
+    """Callable reading event counters from the default registry."""
+    return counter_value

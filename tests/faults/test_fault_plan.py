@@ -1,0 +1,118 @@
+"""The fault model itself: plans, the spec DSL, generations, the switch."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.faults import (
+    FAULTS,
+    Fault,
+    FaultPlan,
+    clear_fault_plan,
+    fault_plan,
+    install_fault_plan,
+    load_env_plan,
+)
+
+
+class TestFault:
+    def test_validation(self):
+        with pytest.raises(InferenceError, match="unknown fault kind"):
+            Fault("meteor", 0)
+        with pytest.raises(InferenceError, match="non-negative"):
+            Fault("crash", -1)
+        with pytest.raises(InferenceError, match="step >= 1"):
+            Fault("crash", 0, step=0)
+        with pytest.raises(InferenceError, match="seconds"):
+            Fault("hang", 0, step=1, seconds=-1.0)
+        with pytest.raises(InferenceError, match="generation"):
+            Fault("crash", 0, step=1, gen=-1)
+        with pytest.raises(InferenceError, match="count"):
+            Fault("spawn_fail", 0, count=0)
+
+    def test_generation_matching(self):
+        crash = Fault("crash", 0, step=3, gen=0)
+        assert crash.matches_gen(0)
+        assert not crash.matches_gen(1)  # a revival must not re-crash
+        respawns = Fault("spawn_fail", 0, gen=1, count=2)
+        assert not respawns.matches_gen(0)
+        assert respawns.matches_gen(1)
+        assert respawns.matches_gen(2)
+        assert not respawns.matches_gen(3)
+
+
+class TestFaultPlan:
+    def test_parse_matches_chaining_constructors(self):
+        parsed = FaultPlan.parse(
+            "crash@3:w0; hang@4:w1:10; ring-corrupt@5:w0; spawn-fail:w0:3"
+        )
+        built = (
+            FaultPlan()
+            .crash(0, 3)
+            .hang(1, 4, seconds=10.0)
+            .corrupt_ring(0, 5)
+            .fail_respawn(0, count=3)
+        )
+        assert parsed == built
+
+    def test_parse_generation_field(self):
+        plan = FaultPlan.parse("ring-exhaust@1:w0:g1")
+        assert plan == FaultPlan().exhaust_ring(0, step=1, gen=1)
+
+    def test_parse_rejects_bad_entries(self):
+        with pytest.raises(InferenceError, match="names no worker"):
+            FaultPlan.parse("crash@3")
+        with pytest.raises(InferenceError, match="bad step"):
+            FaultPlan.parse("crash@x:w0")
+        with pytest.raises(InferenceError, match="bad field"):
+            FaultPlan.parse("crash@3:w0:zap")
+        with pytest.raises(InferenceError, match="unknown fault kind"):
+            FaultPlan.parse("meteor@3:w0")
+
+    def test_seeded_is_deterministic(self):
+        assert FaultPlan.seeded(7) == FaultPlan.seeded(7)
+        assert FaultPlan.seeded(7) != FaultPlan.seeded(8)
+        plan = FaultPlan.seeded(7, workers=2, faults=5)
+        assert len(plan) == 5
+        assert all(fault.worker in (0, 1) for fault in plan.faults)
+
+    def test_worker_coordinator_partition(self):
+        plan = (
+            FaultPlan()
+            .crash(0, 3)
+            .corrupt_ring(0, 5)
+            .hang(1, 2, seconds=1.0)
+            .exhaust_ring(1, step=1, gen=1)
+        )
+        assert [f.kind for f in plan.for_worker(0)] == ["crash"]
+        assert [f.kind for f in plan.coordinator_for(0)] == ["ring_corrupt"]
+        # ring_exhaust is both: worker reply ring and coordinator cmd ring
+        assert [f.kind for f in plan.for_worker(1)] == ["hang", "ring_exhaust"]
+        assert [f.kind for f in plan.coordinator_for(1)] == ["ring_exhaust"]
+
+
+class TestSwitch:
+    def test_context_manager_restores_previous_state(self):
+        clear_fault_plan()
+        outer = FaultPlan().crash(0, 1)
+        install_fault_plan(outer)
+        with fault_plan(FaultPlan().crash(1, 2)) as inner:
+            assert FAULTS.enabled and FAULTS.plan is inner
+        assert FAULTS.enabled and FAULTS.plan is outer
+        clear_fault_plan()
+        assert not FAULTS.enabled and FAULTS.plan is None
+
+    def test_install_rejects_non_plans(self):
+        with pytest.raises(InferenceError, match="needs a FaultPlan"):
+            install_fault_plan(["crash"])
+
+    def test_load_env_plan(self):
+        previous = (FAULTS.enabled, FAULTS.plan)
+        try:
+            assert load_env_plan({}) is None
+            plan = load_env_plan({"REPRO_FAULT_PLAN": "crash@3:w0"})
+            assert plan == FaultPlan().crash(0, 3)
+            assert FAULTS.enabled and FAULTS.plan is plan
+            seeded = load_env_plan({"REPRO_FAULT_PLAN": "seed:11"})
+            assert seeded == FaultPlan.seeded(11)
+        finally:
+            FAULTS.enabled, FAULTS.plan = previous

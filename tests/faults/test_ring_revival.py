@@ -1,0 +1,122 @@
+"""Transport faults during revival: exhausted rings must not change bits.
+
+Satellite of ISSUE 9: a worker crash whose *revival replay* runs with
+an exhausted shared-memory ring (checkpoints and oplog commands forced
+onto the pickle fallback) still reconstructs the identical resident
+state — the fallback is metered, never semantic.
+"""
+
+import pytest
+
+from repro.bench.models import HmmModel
+from repro.exec import PersistentProcessExecutor
+from repro.faults import FaultPlan, clear_fault_plan, fault_plan
+from repro.inference import infer
+
+OBSERVATIONS = (0.5, 1.0, -0.3, 2.0, 0.8, -1.1)
+
+
+def run_stream(executor, *, seed=3, n_particles=128, **kwargs):
+    # Vectorized backend: shard payloads are real arrays (ParticleBatch),
+    # large enough to park in the rings — which is what makes ring
+    # exhaustion observable as pickle fallbacks.
+    engine = infer(HmmModel(), n_particles=n_particles, seed=seed,
+                   backend="vectorized", executor=executor, **kwargs)
+    state = engine.init()
+    means = []
+    for y in OBSERVATIONS:
+        dist, state = engine.step(state, y)
+        means.append(dist.mean())
+    return means, engine
+
+
+def serial_baseline():
+    clear_fault_plan()
+    means, _ = run_stream("serial")
+    return means
+
+
+class TestRingExhaustionDuringRevival:
+    def test_exhausted_cmd_ring_replay_is_bit_identical(self, counters):
+        """gen-1 command-ring exhaustion: the whole checkpoint + oplog
+        replay of the revived worker ships pickled."""
+        serial = serial_baseline()
+        before = counters("repro_shm_fallback_total", {"direction": "cmd"})
+        executor = PersistentProcessExecutor(workers=2, checkpoint_every=100)
+        try:
+            plan = FaultPlan().crash(0, 3).exhaust_ring(0, step=1, gen=1)
+            with fault_plan(plan):
+                means, _ = run_stream(executor)
+            slot = executor._slots[0]
+            if slot.cmd_ring is not None:
+                # The revived slot's command ring was born exhausted, so
+                # every replayed array fell back to the pickle path.
+                assert slot.cmd_ring.fault_exhausted
+                assert counters(
+                    "repro_shm_fallback_total", {"direction": "cmd"}
+                ) > before
+        finally:
+            executor.close()
+        assert means == serial
+
+    def test_exhausted_reply_ring_is_bit_identical(self, counters):
+        """Worker-side reply-ring exhaustion from step 1: every step
+        summary falls back inline, results unchanged."""
+        serial = serial_baseline()
+        before = counters("repro_shm_fallback_total", {"direction": "reply"})
+        executor = PersistentProcessExecutor(workers=2, checkpoint_every=2)
+        try:
+            with fault_plan(FaultPlan().exhaust_ring(0, step=1)):
+                means, _ = run_stream(executor)
+            if executor._slots[0].ring is not None:
+                assert counters(
+                    "repro_shm_fallback_total", {"direction": "reply"}
+                ) > before
+        finally:
+            executor.close()
+        assert means == serial
+
+    def test_crash_with_late_checkpoint_replays_long_oplog(self):
+        """checkpoint_every=100 forces the revival to replay the whole
+        oplog from the initial checkpoint, through the exhausted ring."""
+        serial = serial_baseline()
+        executor = PersistentProcessExecutor(workers=2, checkpoint_every=100)
+        try:
+            plan = (
+                FaultPlan()
+                .crash(1, 5)
+                .exhaust_ring(1, step=1, gen=1)
+            )
+            with fault_plan(plan):
+                means, _ = run_stream(executor)
+        finally:
+            executor.close()
+        assert means == serial
+
+
+class TestRingFaultExhaustedSemantics:
+    def test_exhausted_flag_behaves_like_overflow(self):
+        """A fault-exhausted ring parks nothing but stays functional."""
+        import numpy as np
+
+        from repro.exec.shm import ShmRing, TransportStats
+
+        ring = ShmRing.create(1 << 16)
+        if ring is None:
+            pytest.skip("platform has no shared memory")
+        try:
+            array = np.arange(64, dtype=float)  # > MIN_BYTES, would park
+            stats = TransportStats()
+            parked = ring.pack((array,), stats)
+            assert stats.fallbacks == 0  # healthy ring parks it
+
+            ring.fault_exhausted = True
+            stats = TransportStats()
+            inline = ring.pack((array,), stats)
+            assert stats.fallbacks == 1
+            assert stats.pickled_bytes == array.nbytes
+            # the array stayed inline: unpack is the identity on it
+            out = ring.unpack(inline)
+            assert np.array_equal(out[0], array)
+        finally:
+            ring.close()

@@ -1,0 +1,131 @@
+"""StreamServer under injected faults: per-session retry and isolation.
+
+A session whose worker-resident step fails is retried once from the
+executor's coordinator-side checkpoints before eviction; other sessions
+sharing the same persistent pool never observe the failure, and the
+retried session's posterior stream stays bit-identical to serial.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.models import HmmModel
+from repro.exec import PersistentProcessExecutor, StreamServer
+from repro.faults import FaultPlan, clear_fault_plan, fault_plan
+from repro.inference import infer
+
+OBSERVATIONS = (0.5, 1.0, -0.3, 2.0, 0.8, -1.1)
+
+
+def serial_outputs(seed):
+    clear_fault_plan()
+    engine = infer(HmmModel(), n_particles=12, seed=seed, executor="serial")
+    state = engine.init()
+    means = []
+    for y in OBSERVATIONS:
+        dist, state = engine.step(state, y)
+        means.append(dist.mean())
+    return means
+
+
+def drain_outputs(server, session_id):
+    return [dist.mean() for dist in server.outputs(session_id)]
+
+
+class TestSessionRetry:
+    def test_error_fault_retries_once_and_stays_bit_identical(self, counters):
+        """An injected worker error poisons the session's population;
+        the server must recover it from checkpoints, not evict."""
+        serial = serial_outputs(seed=3)
+        before = counters("repro_session_retries_total")
+        executor = PersistentProcessExecutor(workers=2, checkpoint_every=2)
+        try:
+            with fault_plan(FaultPlan().error(0, 3)):
+                server = StreamServer(executor=executor)
+                server.open(HmmModel(), session_id="s0", n_particles=12, seed=3)
+                server.submit_many("s0", OBSERVATIONS)
+                processed = server.drain()
+            assert processed == len(OBSERVATIONS)
+            assert drain_outputs(server, "s0") == serial
+            stats = server.stats()
+            assert stats["per_session"]["s0"]["retries"] == 1
+            assert stats["evicted"] == 0
+            assert "workers" in stats
+            assert stats["workers"]["restart_budget"] >= 0
+            assert counters("repro_session_retries_total") == before + 1
+        finally:
+            executor.close()
+
+    def test_failing_session_does_not_disturb_neighbours(self):
+        """Two sessions share the pool; only the faulted one retries."""
+        serial_a = serial_outputs(seed=3)
+        serial_b = serial_outputs(seed=7)
+        executor = PersistentProcessExecutor(workers=2, checkpoint_every=2)
+        try:
+            with fault_plan(FaultPlan().error(0, 5)):
+                server = StreamServer(executor=executor)
+                server.open(HmmModel(), session_id="a", n_particles=12, seed=3)
+                server.open(HmmModel(), session_id="b", n_particles=12, seed=7)
+                for y in OBSERVATIONS:
+                    server.submit("a", y)
+                    server.submit("b", y)
+                server.drain()
+            assert drain_outputs(server, "a") == serial_a
+            assert drain_outputs(server, "b") == serial_b
+            retries = {
+                sid: info["retries"]
+                for sid, info in server.stats()["per_session"].items()
+            }
+            assert sum(retries.values()) == 1  # exactly one session retried
+            assert server.stats()["evicted"] == 0
+        finally:
+            executor.close()
+
+    def test_hung_worker_cannot_stall_other_sessions(self):
+        """With a step deadline the hang burns one deadline, not forever:
+        the drain completes and every session's outputs are intact."""
+        import time
+
+        serial_a = serial_outputs(seed=3)
+        serial_b = serial_outputs(seed=7)
+        executor = PersistentProcessExecutor(
+            workers=2, checkpoint_every=2, step_timeout_s=1.0
+        )
+        try:
+            with fault_plan(FaultPlan().hang(0, 4, seconds=60.0)):
+                server = StreamServer(executor=executor)
+                server.open(HmmModel(), session_id="a", n_particles=12, seed=3)
+                server.open(HmmModel(), session_id="b", n_particles=12, seed=7)
+                for y in OBSERVATIONS:
+                    server.submit("a", y)
+                    server.submit("b", y)
+                started = time.perf_counter()
+                server.drain()
+                elapsed = time.perf_counter() - started
+            assert elapsed < 30.0  # bounded by deadlines, not the hang
+            assert drain_outputs(server, "a") == serial_a
+            assert drain_outputs(server, "b") == serial_b
+            assert server.stats()["evicted"] == 0
+        finally:
+            executor.close()
+
+    def test_second_failure_still_evicts(self):
+        """Retry is once per step: a fault that refires on the recovered
+        population evicts the session (and only that session)."""
+        executor = PersistentProcessExecutor(workers=2, checkpoint_every=2)
+        try:
+            # error on step 3 of gen 0 *and* on the replaying/recovered
+            # stream: the recovery reloads shards under a fresh key but
+            # the same worker processes, whose step counters keep
+            # counting — schedule a second error right after the first.
+            plan = FaultPlan().error(0, 3).error(0, 4).error(0, 5).error(0, 6)
+            with fault_plan(plan):
+                server = StreamServer(executor=executor)
+                server.open(HmmModel(), session_id="s0", n_particles=12, seed=3)
+                server.submit_many("s0", OBSERVATIONS)
+                with pytest.raises(Exception):
+                    server.drain()
+            assert server.stats()["sessions"] == 0
+            assert server.stats()["evicted"] == 1
+        finally:
+            executor.close()
