@@ -1,0 +1,114 @@
+"""Registration/routing latency: analysis-first vs probe-only.
+
+``infer(..., backend="auto")`` now consults the static analysis before
+the vectorized registries, with the empirical probe demoted to
+confirmation. This benchmark measures what that costs and what it
+saves:
+
+* **cold verdict** — one uncached static analysis per model vs one
+  ``probe_ds_structure`` run (the runtime probe executes the model's
+  scalar delayed-sampling semantics over the probe inputs *and* a
+  3-particle batched smoke run; the analysis only walks the step
+  function's AST).
+* **warm routing** — the per-``infer()`` cost of ``backend="auto"``
+  once the analysis cache is hot, vs ``backend="vectorized"`` (registry
+  lookup only). Auto adds one cache hit + one metric increment per
+  call; the bound asserts it stays within tens of microseconds.
+
+The measured numbers go to the "Static analysis" table in
+``EXPERIMENTS.md``.
+"""
+
+import time
+
+from repro.analysis import analyze_model
+from repro.analysis.routing import analysis_for, clear_analysis_cache
+from repro.bench import KalmanModel, RobotModel
+from repro.bench.models import CoinModel, MixedFragmentModel, OutlierModel
+from repro.delayed.detect import probe_ds_structure
+from repro.inference import infer
+
+from conftest import emit
+
+#: (name, model factory, probe inputs) — the probe needs representative
+#: inputs; the analysis does not (that asymmetry is the point).
+MODELS = [
+    ("kalman", KalmanModel, [0.5, -0.2, 1.1]),
+    ("coin", CoinModel, [True, False]),
+    ("outlier", OutlierModel, [0.5, 0.7]),
+    ("mixed_one", lambda: MixedFragmentModel(realize="one"), [(1, 2, 0, 3)] * 2),
+    ("robot", RobotModel, [(0.0, 0.0, 0.0), (0.1, None, 0.0)]),
+]
+
+#: ceiling on the warm `backend="auto"` routing premium per infer()
+#: call, in milliseconds. Measured ~0.01-0.05 ms (a dict lookup plus a
+#: counter bump); the bar leaves room for noisy shared runners.
+MAX_WARM_AUTO_PREMIUM_MS = 2.0
+
+
+def _time_ms(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, (time.perf_counter() - t0) * 1000.0)
+    return best
+
+
+def test_cold_verdict_analysis_vs_probe():
+    """One uncached static verdict vs one empirical probe, per model."""
+    rows = []
+    for name, factory, inputs in MODELS:
+        analysis_ms = _time_ms(lambda: analyze_model(factory()), repeats=5)
+        probe_ms = _time_ms(lambda: probe_ds_structure(factory(), inputs), repeats=5)
+        rows.append((name, analysis_ms, probe_ms))
+        # same question, same answer, no execution
+        assert analyze_model(factory()).conclusive
+    emit("cold verdict latency (ms, best of 5):")
+    emit(f"{'model':>12} {'analysis':>10} {'probe':>10}")
+    for name, a_ms, p_ms in rows:
+        emit(f"{name:>12} {a_ms:>10.2f} {p_ms:>10.2f}")
+
+
+def test_warm_auto_routing_premium():
+    """backend="auto" vs backend="vectorized" with a hot analysis cache."""
+    model_factory = KalmanModel
+    analysis_for(model_factory())  # warm the cache
+
+    def build(backend):
+        infer(model_factory(), n_particles=100, method="sds", backend=backend, seed=0)
+
+    vect_ms = _time_ms(lambda: build("vectorized"), repeats=20)
+    auto_ms = _time_ms(lambda: build("auto"), repeats=20)
+    premium = auto_ms - vect_ms
+    emit(
+        f"warm engine construction: vectorized {vect_ms:.3f} ms, "
+        f"auto {auto_ms:.3f} ms -> premium {premium:+.3f} ms"
+    )
+    assert premium < MAX_WARM_AUTO_PREMIUM_MS
+
+
+def test_cold_auto_registration_latency():
+    """First-ever `backend="auto"` call per model configuration: the one
+    call that pays for the analysis (probe-only routing paid an
+    empirical probe at module import instead)."""
+    rows = []
+    for name, factory, inputs in MODELS:
+        clear_analysis_cache()
+        cold_ms = _time_ms(
+            lambda: infer(
+                factory(), n_particles=100, method="sds", backend="auto", seed=0
+            ),
+            repeats=3,
+        )
+        warm_ms = _time_ms(
+            lambda: infer(
+                factory(), n_particles=100, method="sds", backend="auto", seed=0
+            ),
+            repeats=3,
+        )
+        rows.append((name, cold_ms, warm_ms))
+    emit("auto-backend engine construction (ms, best of 3):")
+    emit(f"{'model':>12} {'cold':>10} {'warm':>10}")
+    for name, cold_ms, warm_ms in rows:
+        emit(f"{name:>12} {cold_ms:>10.2f} {warm_ms:>10.2f}")

@@ -1,0 +1,139 @@
+"""``replint`` — the command-line linter over the static analysis.
+
+::
+
+    replint examples/*.py models/*.zls          # lint files
+    replint --bench-models                      # lint registered bench models
+    replint --format=json --output report.json  # machine-readable output
+
+Exit status is 1 when any *error*-severity diagnostic is found (REP001
+unbounded memory, REP007 unguarded last, REP009 symbolic branch), and
+0 otherwise — warnings never fail the run unless ``--strict`` is given.
+
+Also runnable as ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint import lint_report
+from repro.analysis.report import Diagnostic
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="replint",
+        description=(
+            "Ahead-of-time lint for probabilistic stream programs: "
+            "bounded-memory and batchability verdicts plus per-site "
+            "diagnostics, without executing the model."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=".zls surface programs, or .py files with embedded "
+        "surface-program string literals (parsed, never executed)",
+    )
+    parser.add_argument(
+        "--bench-models",
+        action="store_true",
+        help="also analyze every registered benchmark model",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors for the exit status",
+    )
+    return parser
+
+
+def _render_text(report: dict) -> str:
+    lines: List[str] = []
+    for entry in report["files"]:
+        for d in entry["diagnostics"]:
+            lines.append(_format_dict_diag(d))
+    for entry in report["bench_models"]:
+        header = f"{entry['model']}: verdict={entry['verdict']}"
+        if entry["conclusive"]:
+            header += (
+                f" families={{{', '.join(entry['families'])}}}"
+                f" shape={entry['shape']} forced={entry['forced']}"
+            )
+        elif entry["reason"]:
+            header += f" ({entry['reason']})"
+        lines.append(header)
+        for d in entry["diagnostics"]:
+            lines.append("  " + _format_dict_diag(d))
+    summary = report["summary"]
+    lines.append(
+        f"replint: {summary['errors']} error(s), "
+        f"{summary['warnings']} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def _format_dict_diag(d: dict) -> str:
+    site_parts = []
+    if d.get("file"):
+        site_parts.append(f"{d['file']}:{d['line']}" if d.get("line") else d["file"])
+    elif d.get("line"):
+        site_parts.append(f"line {d['line']}")
+    if d.get("name"):
+        site_parts.append(d["name"])
+    where = " ".join(site_parts)
+    prefix = f"{where}: " if where else ""
+    return f"{prefix}{d['severity']} {d['code']} [{d['slug']}] {d['message']}"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.paths and not args.bench_models:
+        build_parser().print_usage(sys.stderr)
+        print("replint: nothing to lint (give paths or --bench-models)", file=sys.stderr)
+        return 2
+
+    try:
+        report = lint_report(paths=args.paths, bench_models=args.bench_models)
+    except OSError as exc:
+        print(f"replint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        text = json.dumps(report, indent=2, sort_keys=True)
+    else:
+        text = _render_text(report)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+
+    if report["summary"]["errors"]:
+        return 1
+    if args.strict and report["summary"]["warnings"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -50,7 +50,6 @@ from typing import Any, Optional, Sequence, Set
 import numpy as np
 
 from repro.delayed.streaming import StreamingGraph
-from repro.errors import GraphError, SymbolicError
 
 __all__ = [
     "ChainProbeReport",
@@ -172,14 +171,22 @@ def _run_scalar_probe(model: Any, inputs: Sequence[Any], seed: int):
 
     graph = _ProbeGraph(rng=np.random.default_rng(seed))
     ctx = DelayedCtx(graph)
-    state = model.init()
     steps = 0
+    # Broad catch on purpose: the probe's contract is to *report*, never
+    # to raise — an exception escaping here would abort the caller's
+    # probe-then-register block halfway.
+    try:
+        state = model.init()
+    except Exception as exc:
+        return graph, steps, (
+            f"probe failed [stage=init]: {type(exc).__name__}: {exc}"
+        )
     try:
         for inp in inputs:
             graph.next_step()
             _, state = model.step(state, inp, ctx)
             steps += 1
-    except (GraphError, SymbolicError, ValueError, TypeError) as exc:
+    except Exception as exc:
         return graph, steps, f"probe step raised {type(exc).__name__}: {exc}"
     return graph, steps, None
 
@@ -233,19 +240,36 @@ def probe_gaussian_chain(
 def _run_batched_probe(
     model: Any, inputs: Sequence[Any], seed: int, n: int
 ) -> Optional[str]:
-    """Smoke-run the model on a small batched graph; None means success."""
+    """Smoke-run the model on a small batched graph; None means success.
+
+    Failure-atomic by construction: *every* exception — including ones
+    outside the anticipated graph/symbolic/inference family, e.g. a
+    numpy shape error or an ``AttributeError`` in user model code — is
+    converted to a structured, stage-tagged reason string and never
+    propagated, and the smoke run touches no global registries. A
+    failed probe therefore cannot abort a caller's registration block
+    halfway and leave a model partially registered.
+    """
     # Imported lazily: repro.vectorized imports this module's package.
-    from repro.errors import InferenceError
     from repro.vectorized.sds_graph import BatchedDelayedCtx, BatchedDSGraph
 
     graph = BatchedDSGraph(n, rng=np.random.default_rng(seed))
     ctx = BatchedDelayedCtx(graph)
-    state = model.init()
     try:
-        for inp in inputs:
+        state = model.init()
+    except Exception as exc:
+        return (
+            f"batched probe failed [stage=init]: "
+            f"{type(exc).__name__}: {exc}"
+        )
+    for i, inp in enumerate(inputs):
+        try:
             _, state = model.step(state, inp, ctx)
-    except (GraphError, SymbolicError, InferenceError, ValueError, TypeError) as exc:
-        return f"batched probe raised {type(exc).__name__}: {exc}"
+        except Exception as exc:
+            return (
+                f"batched probe failed [stage=step index={i}]: "
+                f"{type(exc).__name__}: {exc}"
+            )
     return None
 
 

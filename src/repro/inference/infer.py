@@ -105,6 +105,19 @@ def infer(
     kwargs = dict(
         kwargs, executor=executor, n_shards=n_shards, diagnostics=diagnostics
     )
+    decision = None
+    if backend == "auto":
+        # Analysis first: the static verdict decides whether the
+        # vectorized registries are even worth consulting. The runtime
+        # probe and the mid-stream scalar fallback remain as
+        # confirmation for models the analysis cannot see through.
+        from repro.analysis.routing import consult_for_backend
+
+        _, decision = consult_for_backend(model, key)
+        if decision is False:
+            return ENGINES[key](
+                model, n_particles=n_particles, seed=seed, rng=rng, **kwargs
+            )
     if backend in ("vectorized", "auto"):
         # Imported lazily: repro.vectorized depends on the scalar
         # engines, so a module-level import here would be circular.
@@ -115,4 +128,22 @@ def infer(
         )
         if engine is not None:
             return engine
+        if decision is True and key in ("sds", "bds"):
+            # Conclusively batchable but unregistered: build the generic
+            # graph engine directly. Construction failures fall through
+            # to the scalar engine (the analysis was optimistic about a
+            # shape the graph runtime does not cover yet).
+            from repro.vectorized.engine import VectorizedGaussianChainSDS
+
+            try:
+                return VectorizedGaussianChainSDS(
+                    model,
+                    mode=key,
+                    n_particles=n_particles,
+                    seed=seed,
+                    rng=rng,
+                    **kwargs,
+                )
+            except Exception:
+                pass
     return ENGINES[key](model, n_particles=n_particles, seed=seed, rng=rng, **kwargs)

@@ -42,6 +42,7 @@ __all__ = [
     "CONJUGATE_GAUSSIAN_CHAINS",
     "SDS_ENGINES",
     "BDS_ENGINES",
+    "DS_GRAPH_ADAPTERS",
     "register_vectorizer",
     "register_conjugate_gaussian_chain",
     "register_sds_engine",
@@ -289,6 +290,14 @@ SDS_ENGINES: Dict[Type[ProbNode], Callable[..., Any]] = {}
 #: one call for models inside the linear-Gaussian chain fragment.
 BDS_ENGINES: Dict[Type[ProbNode], Callable[..., Any]] = {}
 
+#: exact scalar model type -> the lockstep adapter its DS-graph
+#: registration carries (``register_ds_graph_model(..., adapter=...)``).
+#: The static analysis consults this so routing verdicts are computed on
+#: the model the batched engine actually runs (e.g. the Outlier model's
+#: per-particle branch is judged through :class:`GraphOutlierModel`'s
+#: masked-affine rewrite, not the raw scalar code).
+DS_GRAPH_ADAPTERS: Dict[Type[ProbNode], Callable[[ProbNode], ProbNode]] = {}
+
 
 def register_vectorizer(
     model_cls: Type[ProbNode],
@@ -326,6 +335,7 @@ def register_bds_engine(
 def register_ds_graph_model(
     model_cls: Type[ProbNode],
     adapter: Optional[Callable[[ProbNode], ProbNode]] = None,
+    verify: bool = True,
 ) -> None:
     """Route a model to the generic array-native DS graph engine.
 
@@ -338,8 +348,16 @@ def register_ds_graph_model(
     wraps the scalar model in a lockstep-friendly equivalent before the
     engine runs it (e.g. :class:`GraphOutlierModel`, which rewrites the
     Outlier model's per-particle branch as a masked affine observation).
-    Callers should verify structure first, e.g. with
-    :func:`repro.delayed.detect.probe_ds_structure`.
+
+    With ``verify=True`` (the default) the static analysis
+    (:func:`repro.analysis.analysis_for`) is consulted on a
+    default-constructed, adapted instance; a *conclusively unbatchable*
+    verdict raises a :class:`RuntimeWarning` — the registration still
+    happens (the runtime's mid-stream scalar fallback keeps a
+    mis-registered model correct, and tests register such models on
+    purpose), but the warning points at the exact lockstep/family
+    violation the batched engine will trip over. Registration is
+    atomic: either every registry entry lands or none does.
     """
     # Imported lazily: the engine module imports this registry module.
     from repro.vectorized.engine import VectorizedGaussianChainSDS
@@ -353,9 +371,64 @@ def register_ds_graph_model(
     def sds_factory(model: ProbNode, **kwargs: Any) -> Any:
         return VectorizedGaussianChainSDS(wrap(model), mode="sds", **kwargs)
 
-    register_bds_engine(model_cls, bds_factory)
-    if model_cls not in SDS_ENGINES and model_cls not in CONJUGATE_GAUSSIAN_CHAINS:
-        register_sds_engine(model_cls, sds_factory)
+    if verify:
+        _warn_if_unbatchable(model_cls, wrap)
+
+    # Atomic: snapshot the registries this function touches, roll back
+    # on any failure so a half-registered model never escapes.
+    saved = [
+        (reg, model_cls in reg, reg.get(model_cls))
+        for reg in (BDS_ENGINES, SDS_ENGINES, DS_GRAPH_ADAPTERS)
+    ]
+    try:
+        register_bds_engine(model_cls, bds_factory)
+        if model_cls not in SDS_ENGINES and model_cls not in CONJUGATE_GAUSSIAN_CHAINS:
+            register_sds_engine(model_cls, sds_factory)
+        if adapter is not None:
+            DS_GRAPH_ADAPTERS[model_cls] = adapter
+        else:
+            DS_GRAPH_ADAPTERS.pop(model_cls, None)
+    except Exception:
+        for reg, had, old in saved:
+            if had:
+                reg[model_cls] = old
+            else:
+                reg.pop(model_cls, None)
+        raise
+
+
+def _warn_if_unbatchable(
+    model_cls: Type[ProbNode], wrap: Callable[[ProbNode], ProbNode]
+) -> None:
+    """Warn when the static analysis conclusively rejects the model.
+
+    Best-effort: a model class whose constructor needs arguments, or
+    one the analysis cannot see through, is registered silently — the
+    empirical probe and the runtime fallback still cover it.
+    """
+    import warnings
+
+    try:
+        instance = wrap(model_cls())
+    except Exception:
+        return
+    try:
+        # Imported lazily: repro.analysis imports the vectorized layer.
+        from repro.analysis.routing import analysis_for
+
+        analysis = analysis_for(instance)
+    except Exception:
+        return
+    if analysis.conclusive and not analysis.batchable:
+        details = "; ".join(d.format() for d in analysis.diagnostics) or analysis.reason
+        warnings.warn(
+            f"register_ds_graph_model({model_cls.__name__}): the static "
+            f"analysis finds the model conclusively unbatchable — the "
+            f"batched engine will fall back to scalar execution at "
+            f"runtime ({details})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 #: back-compat alias: the PR-4 name of the registration hook, when the

@@ -1,0 +1,30 @@
+"""A committed lockstep-violation fixture for the Python frontend.
+
+The model forces a per-particle value (``ctx.value``) and branches on
+it — the scalar delayed samplers run it fine, but the batched backend
+cannot keep all particles on one code path. The static analysis flags
+the branch as REP002 (lockstep-branch) and reports the model
+conclusively unbatchable.
+"""
+
+from repro.lang import bernoulli, gaussian
+from repro.runtime.node import ProbCtx, ProbNode
+
+
+class LockstepBranchModel(ProbNode):
+    """x_t with a per-particle regime switch on a forced coin flip."""
+
+    def init(self):
+        return None
+
+    def step(self, state, yobs, ctx: ProbCtx):
+        if state is None:
+            xt = ctx.sample(gaussian(0.0, 100.0))
+        else:
+            xt = ctx.sample(gaussian(state, 1.0))
+        hot = ctx.value(ctx.sample(bernoulli(0.3)))
+        if hot:
+            ctx.observe(gaussian(xt, 10.0), yobs)
+        else:
+            ctx.observe(gaussian(xt, 0.1), yobs)
+        return xt, xt

@@ -1,0 +1,201 @@
+"""The Python-frontend abstract interpreter: verdicts and diagnostics."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    DANGLING_RV,
+    LOCKSTEP_BRANCH,
+    NONCONJUGATE_EDGE,
+    UNBOUNDED_MEMORY,
+    analyze_model,
+)
+from repro.bench.models import (
+    BoundedWalkModel,
+    CoinModel,
+    DirichletCategoricalModel,
+    HmmInitModel,
+    HmmModel,
+    KalmanModel,
+    MixedFragmentModel,
+    OutlierModel,
+    WalkModel,
+)
+from repro.bench.robot import RobotModel
+from repro.lang import gaussian
+from repro.runtime.node import ProbCtx, ProbNode
+from repro.vectorized.models import GraphOutlierModel
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _load_fixture_module():
+    spec = importlib.util.spec_from_file_location(
+        "lockstep_model_fixture", FIXTURES / "lockstep_model.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def codes(analysis):
+    return {d.code for d in analysis.diagnostics}
+
+
+class TestChainVerdicts:
+    def test_kalman(self):
+        a = analyze_model(KalmanModel())
+        assert a.conclusive and a.batchable and a.bounded
+        assert a.families == frozenset({"gaussian"})
+        assert a.shape == "chain" and a.forced == 0
+        assert a.verdict == "batchable"
+
+    def test_hmm(self):
+        a = analyze_model(HmmModel())
+        assert a.conclusive and a.batchable and a.bounded
+
+    def test_robot_multivariate_projection_chain(self):
+        a = analyze_model(RobotModel())
+        assert a.conclusive and a.batchable and a.bounded
+        assert a.families == frozenset({"gaussian", "mv_gaussian"})
+        assert a.shape == "chain"
+
+    def test_coin(self):
+        a = analyze_model(CoinModel())
+        assert a.conclusive and a.batchable and a.bounded
+        assert a.families == frozenset({"beta", "bernoulli"})
+
+
+class TestLockstepAndTrees:
+    def test_raw_outlier_is_conclusively_unbatchable(self):
+        a = analyze_model(OutlierModel())
+        assert a.conclusive and not a.batchable
+        assert LOCKSTEP_BRANCH in codes(a)
+        assert a.verdict == "unbatchable"
+
+    def test_outlier_lockstep_site_points_at_the_branch(self):
+        a = analyze_model(OutlierModel())
+        diag = next(d for d in a.diagnostics if d.code == LOCKSTEP_BRANCH)
+        assert diag.site.file.endswith("models.py")
+        assert diag.site.line > 0
+
+    def test_graph_outlier_adapter_is_batchable_tree(self):
+        a = analyze_model(GraphOutlierModel(OutlierModel()))
+        assert a.conclusive and a.batchable and a.bounded
+        assert a.shape == "tree"
+        assert a.forced == 1
+        assert {"gaussian", "beta", "bernoulli"} <= a.families
+
+    def test_committed_lockstep_fixture(self):
+        module = _load_fixture_module()
+        a = analyze_model(module.LockstepBranchModel())
+        assert a.conclusive and not a.batchable
+        assert codes(a) == {LOCKSTEP_BRANCH}
+
+
+class TestMemoryVerdicts:
+    def test_hmm_init_unbounded_with_anchor_named(self):
+        a = analyze_model(HmmInitModel())
+        assert a.conclusive and a.batchable and not a.bounded
+        assert a.verdict == "batchable_unbounded"
+        diag = next(d for d in a.diagnostics if d.code == UNBOUNDED_MEMORY)
+        assert "'i'" in diag.message
+        assert diag.severity == "error"
+
+    def test_walk_unbounded(self):
+        a = analyze_model(WalkModel())
+        assert a.conclusive and not a.bounded
+        assert UNBOUNDED_MEMORY in codes(a)
+
+    def test_bounded_walk_is_the_mitigation(self):
+        a = analyze_model(BoundedWalkModel())
+        assert a.conclusive and a.batchable and a.bounded
+        assert a.forced >= 1
+        assert UNBOUNDED_MEMORY not in codes(a)
+
+
+class TestRealizeAndContinue:
+    @pytest.mark.parametrize(
+        "realize,forced", [("none", 0), ("one", 1), ("all", 4)]
+    )
+    def test_mixed_fragment_forced_counts(self, realize, forced):
+        a = analyze_model(MixedFragmentModel(realize=realize))
+        assert a.conclusive and a.batchable and a.bounded
+        assert a.forced == forced
+        if forced:
+            assert NONCONJUGATE_EDGE in codes(a)
+            assert len(a.realize_sites) >= 1
+        else:
+            assert NONCONJUGATE_EDGE not in codes(a)
+
+    def test_realize_sites_are_nonconjugate_edges(self):
+        a = analyze_model(MixedFragmentModel(realize="one"))
+        assert all(e.kind == "nonconjugate" for e in a.realize_sites)
+
+
+class TestStepGraph:
+    def test_kalman_graph_has_sample_and_observe(self):
+        a = analyze_model(KalmanModel())
+        kinds = {n.kind for n in a.step_graph.nodes}
+        assert "sample" in kinds and "observe" in kinds
+        assert any(e.kind == "affine" and e.conjugate for e in a.step_graph.edges)
+
+    def test_graph_outlier_edge_classification(self):
+        a = analyze_model(GraphOutlierModel(OutlierModel()))
+        kinds = {e.kind for e in a.step_graph.edges}
+        assert "affine" in kinds
+        assert "beta_bernoulli" in kinds
+
+
+class TestInconclusive:
+    def test_opaque_model_reports_why(self):
+        # a step without retrievable source
+        namespace = {}
+        exec(
+            "def step(self, state, inp, ctx):\n    return 0.0, None\n",
+            namespace,
+        )
+
+        class BuiltFromExec(ProbNode):
+            step = namespace["step"]
+
+            def init(self):
+                return None
+
+        a = analyze_model(BuiltFromExec())
+        assert not a.conclusive
+        assert a.reason
+        assert a.verdict == "inconclusive"
+
+    def test_unknown_call_on_rv_is_inconclusive(self):
+        def mystery(x):
+            return x
+
+        class MysteryModel(ProbNode):
+            def init(self):
+                return None
+
+            def step(self, state, inp, ctx: ProbCtx):
+                xt = ctx.sample(gaussian(0.0, 1.0))
+                ctx.observe(gaussian(mystery(xt), 1.0), inp)
+                return xt, None
+
+        a = analyze_model(MysteryModel())
+        assert not a.conclusive
+
+    def test_dangling_sample_flagged(self):
+        class DanglingModel(ProbNode):
+            def init(self):
+                return None
+
+            def step(self, state, inp, ctx: ProbCtx):
+                ctx.sample(gaussian(0.0, 1.0))
+                xt = ctx.sample(gaussian(0.0, 1.0))
+                ctx.observe(gaussian(xt, 1.0), inp)
+                return xt, None
+
+        a = analyze_model(DanglingModel())
+        assert a.conclusive
+        assert DANGLING_RV in codes(a)

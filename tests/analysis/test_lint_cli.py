@@ -1,0 +1,142 @@
+"""The ``repro.analysis.lint`` API and the ``replint`` CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.lint import (
+    extract_surface_sources,
+    lint_bench_models,
+    lint_path,
+    lint_paths,
+    lint_report,
+    lint_source,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+class TestLintAPI:
+    def test_lint_source_surface_program(self):
+        diags = lint_source((FIXTURES / "unbounded_walk.zls").read_text())
+        assert "REP001" in codes(diags)
+
+    def test_lint_path_zls(self):
+        diags = lint_path(str(FIXTURES / "nonconjugate.zls"))
+        assert "REP003" in codes(diags)
+        assert all(d.site.file.endswith("nonconjugate.zls") for d in diags)
+
+    def test_lint_paths_aggregates(self):
+        diags = lint_paths(
+            [
+                str(FIXTURES / "unbounded_walk.zls"),
+                str(FIXTURES / "symbolic_branch.zls"),
+            ]
+        )
+        assert {"REP001", "REP009"} <= codes(diags)
+
+    def test_lint_py_file_extracts_surface_strings(self):
+        diags = lint_path(str(REPO / "examples" / "surface_language.py"))
+        # the example's HMM is clean — extraction ran, found no problems
+        assert diags == []
+
+    def test_extract_surface_sources(self):
+        src = (REPO / "examples" / "surface_language.py").read_text()
+        found = extract_surface_sources(src)
+        assert len(found) == 1
+        assert "let node hmm" in found[0][1]
+
+    def test_extract_ignores_non_programs(self):
+        assert extract_surface_sources("x = 'let node but not a program'") == []
+        assert extract_surface_sources("not python {{{") == []
+
+    def test_lint_bench_models_covers_the_bench(self):
+        results = lint_bench_models()
+        assert "KalmanModel" in results and "RobotModel" in results
+        assert all(a.conclusive for a in results.values())
+
+    def test_lint_report_structure(self):
+        report = lint_report(paths=[str(FIXTURES / "unbounded_walk.zls")])
+        assert report["tool"] == "replint"
+        assert report["summary"]["errors"] >= 1
+        assert report["files"][0]["path"].endswith("unbounded_walk.zls")
+        assert any(d["code"] == "REP001" for d in report["diagnostics"])
+
+
+class TestCLI:
+    def test_errors_exit_1(self, capsys):
+        rc = main([str(FIXTURES / "unbounded_walk.zls")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REP001" in out and "unbounded-memory" in out
+
+    def test_warnings_exit_0_without_strict(self, capsys):
+        rc = main([str(FIXTURES / "nonconjugate.zls")])
+        assert rc == 0
+        assert "REP003" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings(self):
+        rc = main([str(FIXTURES / "nonconjugate.zls"), "--strict"])
+        assert rc == 1
+
+    def test_json_format(self, capsys):
+        rc = main([str(FIXTURES / "symbolic_branch.zls"), "--format=json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] >= 1
+        assert any(d["code"] == "REP009" for d in doc["diagnostics"])
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        rc = main(
+            [
+                str(FIXTURES / "unbounded_walk.zls"),
+                "--format=json",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(out_file.read_text())
+        assert doc["summary"]["errors"] >= 1
+        assert capsys.readouterr().out == ""
+
+    def test_bench_models_flag(self, capsys):
+        rc = main(["--bench-models", "--format=json"])
+        doc = json.loads(capsys.readouterr().out)
+        names = {m["model"] for m in doc["bench_models"]}
+        assert "KalmanModel" in names and "OutlierModel" in names
+        # the bench ships the Section-5.3 memory pathologies on purpose
+        assert rc == 1
+        assert any(d["code"] == "REP001" for d in doc["diagnostics"])
+        assert any(d["code"] == "REP002" for d in doc["diagnostics"])
+
+    def test_nothing_to_lint_exit_2(self, capsys):
+        assert main([]) == 2
+
+    def test_missing_file_exit_2(self, capsys):
+        assert main([str(FIXTURES / "does_not_exist.zls")]) == 2
+
+    def test_acceptance_fixture_triptych(self, capsys):
+        """replint flags one unbounded-memory, one non-conjugate-edge,
+        and one lockstep-violating program (REP009, the kernel-level
+        lockstep break) — the committed acceptance fixtures."""
+        rc = main(
+            [
+                str(FIXTURES / "unbounded_walk.zls"),
+                str(FIXTURES / "nonconjugate.zls"),
+                str(FIXTURES / "symbolic_branch.zls"),
+                "--format=json",
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        found = {d["code"] for d in doc["diagnostics"]}
+        assert {"REP001", "REP003", "REP009"} <= found
